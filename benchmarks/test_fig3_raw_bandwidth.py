@@ -1,0 +1,69 @@
+"""Figure 3: aggregate raw write bandwidth.
+
+Paper series (MB/s): 1 client 6.1 (1 server) rising slightly to 6.4
+(8 servers); 2 clients reach 12.9 and 4 clients 19.3 at 8 servers; a
+single server sustains 7.7 under multi-client load.
+
+Each benchmark reproduces one curve of the figure (10,000 x 4 KB blocks
+per client, flushed) and asserts the paper's shape.
+"""
+
+import pytest
+
+from repro.workloads.microbench import run_write_bench
+
+SERVER_POINTS = (1, 2, 4, 8)
+
+
+def _curve(clients):
+    return {servers: run_write_bench(clients, servers)
+            for servers in SERVER_POINTS}
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_one_client_curve(benchmark, record):
+    results = benchmark.pedantic(lambda: _curve(1), rounds=1, iterations=1)
+    rates = {servers: result.raw_mb_per_s
+             for servers, result in results.items()}
+    record(**{"raw_%ds" % s: r for s, r in rates.items()},
+           paper_1s=6.1, paper_8s=6.4)
+    # Shape: client-bound, nearly flat, inside the paper's band.
+    assert 5.0 <= rates[1] <= 7.5
+    assert max(rates.values()) / min(rates.values()) < 1.35
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_two_client_curve(benchmark, record):
+    results = benchmark.pedantic(lambda: _curve(2), rounds=1, iterations=1)
+    rates = {servers: result.raw_mb_per_s
+             for servers, result in results.items()}
+    record(**{"raw_%ds" % s: r for s, r in rates.items()}, paper_8s=12.9)
+    # One server saturates near the paper's 7.7 MB/s...
+    assert 6.0 <= rates[1] <= 10.0
+    # ...and with 8 servers both clients run at full single-client rate.
+    assert 10.5 <= rates[8] <= 15.0
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_four_client_curve(benchmark, record):
+    results = benchmark.pedantic(lambda: _curve(4), rounds=1, iterations=1)
+    rates = {servers: result.raw_mb_per_s
+             for servers, result in results.items()}
+    record(**{"raw_%ds" % s: r for s, r in rates.items()}, paper_8s=19.3)
+    # Aggregate grows with servers and lands near the paper's 19.3.
+    assert rates[8] > rates[1]
+    assert 14.0 <= rates[8] <= 23.0
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_server_sustained_rate(benchmark, record):
+    """In-text: one server sustains 7.7 MB/s; its disk bound is 10.3."""
+    from repro.bench.figures import run_server_sustained
+
+    result = benchmark.pedantic(run_server_sustained, rounds=1, iterations=1)
+    record(sustained=result.raw_mb_per_s,
+           disk_bound=result.disk_upper_bound_mb_per_s,
+           paper_sustained=7.7, paper_disk_bound=10.3)
+    assert 6.5 <= result.raw_mb_per_s <= 9.5
+    assert 9.8 <= result.disk_upper_bound_mb_per_s <= 11.0
+    assert result.raw_mb_per_s < result.disk_upper_bound_mb_per_s

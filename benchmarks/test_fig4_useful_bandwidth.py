@@ -1,0 +1,71 @@
+"""Figure 4: useful write throughput (application bytes only).
+
+Paper series (MB/s): 1 client 3.0 at 2 servers rising to ~5.5 as the
+parity cost amortizes; 4 clients 6.7 at 2 servers and 16.0 at 8 — the
+latter within 17 % of the raw rate. Minimum configuration is two
+servers (one data + one parity).
+"""
+
+import pytest
+
+from repro.workloads.microbench import run_write_bench
+
+SERVER_POINTS = (2, 4, 8)
+
+
+def _curve(clients):
+    return {servers: run_write_bench(clients, servers)
+            for servers in SERVER_POINTS}
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_one_client_curve(benchmark, record):
+    results = benchmark.pedantic(lambda: _curve(1), rounds=1, iterations=1)
+    rates = {servers: result.useful_mb_per_s
+             for servers, result in results.items()}
+    record(**{"useful_%ds" % s: r for s, r in rates.items()},
+           paper_2s=3.0, paper_4s=5.5)
+    # Paper band at 2 servers, monotone amortization with width.
+    assert 2.5 <= rates[2] <= 4.0
+    assert rates[2] < rates[4] <= rates[8] * 1.1
+    assert rates[8] > 1.3 * rates[2]
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_four_client_curve(benchmark, record):
+    results = benchmark.pedantic(lambda: _curve(4), rounds=1, iterations=1)
+    rates = {servers: result.useful_mb_per_s
+             for servers, result in results.items()}
+    record(**{"useful_%ds" % s: r for s, r in rates.items()},
+           paper_2s=6.7, paper_8s=16.0)
+    assert 5.5 <= rates[2] <= 10.0
+    assert 12.0 <= rates[8] <= 19.0
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_useful_approaches_raw_at_width(benchmark, record):
+    """§3.4: at 4 clients / 8 servers useful is within ~17 % of raw
+    (parity amortized over seven data fragments)."""
+    result = benchmark.pedantic(lambda: run_write_bench(4, 8),
+                                rounds=1, iterations=1)
+    gap = 1 - result.useful_mb_per_s / result.raw_mb_per_s
+    record(useful=result.useful_mb_per_s, raw=result.raw_mb_per_s,
+           gap_fraction=gap, paper_gap=0.17)
+    assert gap <= 0.25
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_parity_fraction_drives_the_gap(benchmark, record):
+    """The raw/useful gap shrinks as stripes widen — exactly the
+    parity-amortization argument the paper makes for Figure 4."""
+
+    def run():
+        return {servers: run_write_bench(1, servers)
+                for servers in (2, 8)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    gap2 = 1 - results[2].useful_mb_per_s / results[2].raw_mb_per_s
+    gap8 = 1 - results[8].useful_mb_per_s / results[8].raw_mb_per_s
+    record(gap_2s=gap2, gap_8s=gap8)
+    assert gap2 > 0.4          # half the bytes are parity at width 2
+    assert gap8 < gap2 - 0.2   # far less at width 8

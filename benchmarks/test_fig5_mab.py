@@ -1,0 +1,44 @@
+"""Figure 5: Modified Andrew Benchmark, Sting vs ext2fs.
+
+Paper: Sting completes in 9.4 s against ext2fs's 17.9 s (~1.9x) with a
+single client and a single storage server; Sting runs at 93 % CPU
+utilization while ext2fs is disk-bound at 57 %.
+"""
+
+import pytest
+
+from repro.workloads.mab import run_mab_on_ext2, run_mab_on_sting
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_sting_elapsed(benchmark, record):
+    result = benchmark.pedantic(run_mab_on_sting, rounds=1, iterations=1)
+    record(elapsed_s=result.elapsed_s, cpu_util=result.cpu_utilization,
+           paper_elapsed_s=9.4, paper_util=0.93,
+           **{"phase_%s" % k: v for k, v in result.phase_seconds.items()})
+    assert 7.0 <= result.elapsed_s <= 12.0
+    assert result.cpu_utilization > 0.85
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_ext2_elapsed(benchmark, record):
+    result = benchmark.pedantic(run_mab_on_ext2, rounds=1, iterations=1)
+    record(elapsed_s=result.elapsed_s, cpu_util=result.cpu_utilization,
+           paper_elapsed_s=17.9, paper_util=0.57,
+           **{"phase_%s" % k: v for k, v in result.phase_seconds.items()})
+    assert 13.0 <= result.elapsed_s <= 22.0
+    assert result.cpu_utilization < 0.70
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_speedup_and_utilization_contrast(benchmark, record):
+    def run():
+        return run_mab_on_sting(), run_mab_on_ext2()
+
+    sting, ext2 = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = ext2.elapsed_s / sting.elapsed_s
+    record(speedup=speedup, paper_speedup=1.90,
+           sting_util=sting.cpu_utilization,
+           ext2_util=ext2.cpu_utilization)
+    assert 1.5 <= speedup <= 2.3
+    assert sting.cpu_utilization - ext2.cpu_utilization > 0.25

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""The log cleaner reclaiming space under churn (§2.2).
+
+A logical disk overwrites the same blocks repeatedly, turning old
+stripes into garbage. Watch server slot usage climb, then have the
+cleaner demand checkpoints, relocate the surviving live blocks, and
+delete dead stripes — while every logical block stays readable.
+
+Run: ``python examples/cleaner_in_action.py``
+"""
+
+from repro.cluster import build_local_cluster
+from repro.services import CleanerService, LogicalDiskService
+from repro.workloads import make_churn_trace
+
+
+def used_slots(cluster) -> int:
+    return sum(len(server.slots) for server in cluster.servers.values())
+
+
+def main() -> None:
+    cluster = build_local_cluster(num_servers=3, fragment_size=64 << 10,
+                                  server_slots=512)
+    stack = cluster.make_stack(client_id=2)
+    cleaner = stack.push(CleanerService(1, utilization_threshold=0.8))
+    disk = stack.push(LogicalDiskService(2))
+
+    expected = {}
+    for op, path, data in make_churn_trace(seed=11, n_files=40, rounds=6):
+        block_no = int(path.rsplit("f", 1)[1])
+        if op == "write":
+            disk.write(block_no, data)
+            expected[block_no] = data
+        else:
+            disk.trim(block_no)
+            expected.pop(block_no, None)
+    stack.checkpoint_all()
+
+    before = used_slots(cluster)
+    print("after churn: %d slots used across servers" % before)
+
+    moved = cleaner.clean(target_stripes=1000)
+    after = used_slots(cluster)
+    print("cleaner: %d stripes cleaned, %d live blocks moved, "
+          "%d KB relocated" % (cleaner.stripes_cleaned, moved,
+                               cleaner.bytes_moved // 1024))
+    print("slots: %d -> %d (reclaimed %d)" % (before, after, before - after))
+
+    for block_no, data in expected.items():
+        assert disk.read(block_no) == data
+    print("every live logical block verified after cleaning (%d blocks)"
+          % len(expected))
+
+
+if __name__ == "__main__":
+    main()

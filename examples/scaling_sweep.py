@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Reproduce the shape of Figures 3 and 4 on the simulated testbed.
+
+Runs the paper's write microbenchmark (10,000 x 4 KB blocks per client)
+across client and server counts and prints the bandwidth curves next to
+the paper's headline numbers. Expect a couple of minutes of wall time;
+pass ``--quick`` for a reduced run.
+
+Run: ``python examples/scaling_sweep.py [--quick]``
+"""
+
+import sys
+
+from repro.workloads import run_write_bench
+
+
+def main() -> None:
+    blocks = 2_500 if "--quick" in sys.argv[1:] else 10_000
+    print("paper: 1 client raw 6.1 (1 server) -> 6.4 (8); useful 3.0 @2;"
+          " 4 clients raw 19.3 / useful 16.0 @8\n")
+    print("clients servers   raw MB/s   useful MB/s")
+    for clients in (1, 2, 4):
+        for servers in (1, 2, 4, 8):
+            result = run_write_bench(clients, servers, blocks=blocks)
+            print("%7d %7d %10.2f %13.2f"
+                  % (clients, servers, result.raw_mb_per_s,
+                     result.useful_mb_per_s))
+        print()
+
+
+if __name__ == "__main__":
+    main()

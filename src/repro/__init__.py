@@ -1,0 +1,47 @@
+"""swarm-repro: a reproduction of *The Swarm Scalable Storage System*.
+
+Swarm (Hartman, Murdock, Spalink — ICDCS 1999) builds scalable,
+reliable storage from simple storage servers: each client appends its
+writes to a private log, stripes the log's 1 MB fragments across a
+group of servers with rotated client-computed parity, and layers
+stackable services (cleaner, atomic recovery units, logical disk,
+caching, the Sting file system) on top. No server-to-server or
+client-to-client synchronization is ever needed.
+
+Typical entry points:
+
+>>> from repro.cluster import build_local_cluster
+>>> cluster = build_local_cluster(num_servers=4)
+>>> log = cluster.make_log(client_id=1)
+>>> addr = log.write_block(42, b"hello swarm")
+>>> log.flush().wait()
+>>> log.read(addr)
+b'hello swarm'
+
+Subpackages
+-----------
+``repro.sim``
+    Discrete-event testbed calibrated to the paper's 1999 hardware.
+``repro.rpc``
+    Message codec and the local / simulated transports.
+``repro.server``
+    The storage server: fragment slots, marked fragments, ACLs,
+    SwarmScript.
+``repro.log``
+    The striped log: fragments, stripes, parity, checkpoints,
+    rollforward, reconstruction.
+``repro.services``
+    Stackable services: cleaner, ARU, logical disk, cache, compression.
+``repro.sting``
+    The Sting file system.
+``repro.baselines``
+    The ext2fs baseline for the Andrew-benchmark comparison.
+``repro.cluster``
+    Cluster assembly (functional and simulated) and failure injection.
+``repro.workloads`` / ``repro.bench``
+    The paper's benchmarks and the figure-regeneration harness.
+``repro.tools``
+    Operational tooling: log scrubbing (fsck) and repair.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,14 @@
+"""Baselines the paper compares against.
+
+The Modified Andrew Benchmark (Figure 5) pits Sting against ext2fs on a
+local disk. :mod:`repro.baselines.ext2` implements a functional
+FFS/ext2-style file system — inode table, block bitmap, directories,
+buffer cache — whose operations are charged to the same 1999 disk model
+the Swarm servers use, preserving exactly the access-pattern difference
+the comparison hinges on: ext2's scattered synchronous metadata writes
+versus Sting's 1 MB sequential log writes.
+"""
+
+from repro.baselines.ext2 import Ext2Fs, Ext2Params
+
+__all__ = ["Ext2Fs", "Ext2Params"]

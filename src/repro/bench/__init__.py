@@ -1,0 +1,26 @@
+"""Benchmark harness: regenerates every figure and number in §3.
+
+Each experiment has a function returning structured results plus a
+formatter that prints the same rows/series the paper reports, annotated
+with the paper's values for comparison. ``python -m repro.bench`` runs
+everything and emits the EXPERIMENTS.md table bodies.
+"""
+
+from repro.bench.figures import (
+    run_fig3_raw_bandwidth,
+    run_fig4_useful_bandwidth,
+    run_fig5_mab,
+    run_read_bandwidth,
+    run_server_sustained,
+)
+from repro.bench.report import format_figure_table, format_mab_table
+
+__all__ = [
+    "run_fig3_raw_bandwidth",
+    "run_fig4_useful_bandwidth",
+    "run_fig5_mab",
+    "run_read_bandwidth",
+    "run_server_sustained",
+    "format_figure_table",
+    "format_mab_table",
+]

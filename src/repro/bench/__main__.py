@@ -1,0 +1,83 @@
+"""Run every experiment and print the paper-vs-measured report.
+
+Usage::
+
+    python -m repro.bench            # full sweeps (a few minutes)
+    python -m repro.bench --quick    # reduced block counts (~30 s)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.ablations import (
+    ablate_flow_control,
+    ablate_fragment_size,
+    ablate_parity,
+    ablate_read_prefetch,
+    ablate_stripe_width,
+)
+from repro.bench.figures import (
+    run_fig3_raw_bandwidth,
+    run_fig4_useful_bandwidth,
+    run_fig5_mab,
+    run_read_bandwidth,
+    run_server_sustained,
+)
+from repro.bench.report import (
+    format_figure_table,
+    format_mab_table,
+    format_read_result,
+    format_server_result,
+)
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro.bench``."""
+    argv = sys.argv[1:] if argv is None else argv
+    quick = "--quick" in argv
+    blocks = 2_500 if quick else 10_000
+
+    print("== Figure 3: raw write bandwidth (MB/s) ==")
+    print("paper: 1 client 6.1 -> 6.4 over 1..8 servers; "
+          "2 clients 12.9 @8; 4 clients 19.3 @8")
+    fig3 = run_fig3_raw_bandwidth(blocks=blocks)
+    print(format_figure_table(fig3, raw=True))
+    print()
+
+    print("== Figure 4: useful write throughput (MB/s) ==")
+    print("paper: 1 client 3.0 @2 -> 5.5 @4; 4 clients 6.7 @2 -> 16.0 @8")
+    fig4 = run_fig4_useful_bandwidth(blocks=blocks)
+    print(format_figure_table(fig4, raw=False))
+    print()
+
+    print("== Figure 5: Modified Andrew Benchmark ==")
+    print(format_mab_table(run_fig5_mab()))
+    print()
+
+    print("== In-text numbers ==")
+    print(format_read_result(run_read_bandwidth(
+        blocks=500 if quick else 2000)))
+    print(format_server_result(run_server_sustained(blocks=blocks)))
+    print()
+
+    print("== Ablations ==")
+    for point in ablate_fragment_size(blocks=blocks):
+        print("fragment size %-16s useful %.2f MB/s" % (point.label,
+                                                        point.mb_per_s))
+    parity = ablate_parity(blocks=blocks)
+    print("parity ablation: with=%.2f MB/s (4 servers), "
+          "without=%.2f MB/s (1 server)" % (parity["with_parity_4s"],
+                                            parity["no_parity_1s"]))
+    for point in ablate_stripe_width(blocks=blocks):
+        print("stripe %-12s useful %.2f MB/s" % (point.label, point.mb_per_s))
+    for point in ablate_flow_control(blocks=blocks):
+        print("flow %-12s raw %.2f MB/s" % (point.label, point.mb_per_s))
+    prefetch = ablate_read_prefetch(blocks=300 if quick else 1500)
+    print("reads: per-block %.2f MB/s vs fragment-prefetch %.2f MB/s"
+          % (prefetch["per_block"], prefetch["prefetch"]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

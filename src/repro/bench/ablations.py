@@ -1,0 +1,196 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+The paper argues for several mechanisms qualitatively; these
+experiments quantify them on the simulated testbed:
+
+* **Fragment size** — why 1 MB fragments? Sweep fragment size and watch
+  per-request overheads eat small fragments' bandwidth.
+* **Parity on/off** — the redundancy tax on useful bandwidth.
+* **Stripe-group width** — parity amortization vs reconstruction cost.
+* **Client cache + prefetch** — the paper's own prescription for its
+  1.7 MB/s read rate; we implement it and measure the win.
+* **Flow-control window** — the §2.1.2 pipelining: how many outstanding
+  fragment stores keep disk and network busy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cluster.client import SimClientDriver
+from repro.cluster.cluster import SimCluster
+from repro.cluster.config import ClusterConfig
+from repro.workloads.microbench import run_write_bench
+
+
+@dataclass
+class AblationPoint:
+    """One measured ablation point."""
+
+    label: str
+    value: float
+    mb_per_s: float
+
+
+def ablate_fragment_size(sizes=(64 << 10, 256 << 10, 1 << 20, 4 << 20),
+                         blocks: int = 10_000) -> List[AblationPoint]:
+    """Useful bandwidth vs fragment size (1 client, 4 servers)."""
+    points = []
+    for size in sizes:
+        config = ClusterConfig(num_servers=4, num_clients=1,
+                               fragment_size=size)
+        result = run_write_bench(1, 4, blocks=blocks, config=config)
+        points.append(AblationPoint("fragment=%dKB" % (size >> 10),
+                                    float(size), result.useful_mb_per_s))
+    return points
+
+
+def ablate_parity(blocks: int = 10_000) -> Dict[str, float]:
+    """Useful bandwidth with and without parity (4 servers).
+
+    "Without parity" stripes each fragment on its own single-member
+    stripe group — no redundancy, no XOR, no parity fragment.
+    """
+    with_parity = run_write_bench(1, 4, blocks=blocks).useful_mb_per_s
+
+    cluster = SimCluster(ClusterConfig(num_servers=1, num_clients=1))
+    driver = SimClientDriver(cluster, 0)
+    process = cluster.sim.process(driver.write_blocks(blocks, 4096))
+    cluster.sim.run()
+    useful, _raw = process.value
+    without_parity = useful / cluster.sim.now / 1e6
+    return {"with_parity_4s": with_parity,
+            "no_parity_1s": without_parity}
+
+
+def ablate_stripe_width(widths=(2, 3, 4, 6, 8),
+                        blocks: int = 10_000) -> List[AblationPoint]:
+    """Useful bandwidth vs stripe-group width (= server count here)."""
+    return [AblationPoint("width=%d" % width, float(width),
+                          run_write_bench(1, width, blocks=blocks).useful_mb_per_s)
+            for width in widths]
+
+
+def ablate_flow_control(windows=(1, 2, 4, 8),
+                        blocks: int = 10_000) -> List[AblationPoint]:
+    """Raw bandwidth vs outstanding-fragment window (1 client, 4 servers)."""
+    points = []
+    for window in windows:
+        config = ClusterConfig(num_servers=4, num_clients=1,
+                               max_outstanding_fragments=window)
+        result = run_write_bench(1, 4, blocks=blocks, config=config)
+        points.append(AblationPoint("window=%d" % window, float(window),
+                                    result.raw_mb_per_s))
+    return points
+
+
+def ablate_disjoint_groups(blocks: int = 10_000) -> Dict[str, float]:
+    """Shared vs disjoint stripe groups (§2.1.2's scalability claim).
+
+    Four clients over four servers, two ways: everyone striping over
+    all four servers (shared), or two clients per disjoint pair
+    (disjoint). Disjoint groups also bound failure domains: two server
+    losses are survivable as long as they hit different groups.
+    """
+    results: Dict[str, float] = {}
+    for mode in ("shared", "disjoint"):
+        config = ClusterConfig(num_servers=4, num_clients=4)
+        cluster = SimCluster(config)
+        processes = []
+        for index in range(4):
+            if mode == "shared":
+                group = cluster.stripe_group()
+            else:
+                pair = (["s0", "s1"] if index % 2 == 0 else ["s2", "s3"])
+                group = cluster.stripe_group(pair)
+            driver = SimClientDriver(cluster, index, group=group)
+            processes.append(cluster.sim.process(
+                driver.write_blocks(blocks, 4096)))
+        cluster.sim.run()
+        useful = sum(process.value[0] for process in processes)
+        raw = sum(process.value[1] for process in processes)
+        results["%s_useful" % mode] = useful / cluster.sim.now / 1e6
+        results["%s_raw" % mode] = raw / cluster.sim.now / 1e6
+    return results
+
+
+def ablate_server_cache(reads: int = 10,
+                        fragment_bytes: int = 1 << 20) -> Dict[str, float]:
+    """Repeated whole-fragment reads with/without a server memory cache.
+
+    The paper: "the prototype servers do not cache log fragments in
+    memory ... [this] would greatly improve the performance of reads
+    that miss in the client cache." Measured as elapsed seconds for
+    ``reads`` back-to-back 1 MB retrieves of a hot fragment.
+    """
+    from repro.rpc import messages as m
+
+    results: Dict[str, float] = {}
+    for cached in (False, True):
+        cluster = SimCluster(ClusterConfig(num_servers=1, num_clients=1))
+        node = cluster.server_nodes["s0"]
+        object.__setattr__(node.server.config, "cache_fragments",
+                           8 if cached else 0)
+        node.server.store(1, b"z" * fragment_bytes)
+        transport = cluster.make_transport(0)
+
+        def workload():
+            for _ in range(reads):
+                yield transport.submit("s0", m.RetrieveRequest(fid=1))
+
+        cluster.sim.run_process(workload())
+        results["cached" if cached else "uncached"] = cluster.sim.now
+    return results
+
+
+def ablate_read_prefetch(blocks: int = 1500,
+                         block_size: int = 4096) -> Dict[str, float]:
+    """Read bandwidth: prototype path vs whole-fragment prefetch.
+
+    The prototype read 4 KB blocks one RPC at a time (1.7 MB/s); the
+    paper says prefetch "would greatly improve" it. With fragment
+    prefetch a run of sequential reads costs one 1 MB transfer.
+    """
+    results: Dict[str, float] = {}
+    for prefetch in (False, True):
+        cluster = SimCluster(ClusterConfig(num_servers=2, num_clients=1))
+        driver = SimClientDriver(cluster, 0)
+        addresses = []
+
+        def writer():
+            for index in range(blocks):
+                addresses.append(driver.log.write_block(
+                    1, b"\xcd" * block_size))
+                if index % 16 == 0:
+                    yield from driver._charge_cpu()
+                    yield from driver._throttle()
+            ticket = driver.log.flush()
+            yield cluster.sim.all_of(ticket.events)
+
+        cluster.sim.run_process(writer())
+        start = cluster.sim.now
+        if prefetch:
+            # One whole-fragment fetch per fragment, then local parsing:
+            # model with fragment-sized retrieves.
+            from repro.rpc import messages as m
+
+            fids = sorted({addr.fid for addr in addresses})
+
+            def reader():
+                total = 0
+                for fid in fids:
+                    server_id = driver.log.known_location(fid)
+                    response = yield driver.log.transport.submit(
+                        server_id, m.RetrieveRequest(fid=fid))
+                    total += len(response.payload)
+                return total
+
+            process = cluster.sim.process(reader())
+        else:
+            process = cluster.sim.process(driver.read_blocks(addresses))
+        cluster.sim.run()
+        useful_bytes = blocks * block_size
+        results["prefetch" if prefetch else "per_block"] = (
+            useful_bytes / (cluster.sim.now - start) / 1e6)
+    return results

@@ -1,0 +1,70 @@
+"""Text formatting for benchmark results (paper-vs-measured tables)."""
+
+from __future__ import annotations
+
+
+from repro.bench.figures import (
+    Fig5Result,
+    FigureSweep,
+    PAPER,
+    ReadBenchResult,
+    ServerSustainedResult,
+)
+
+
+def format_figure_table(sweep: FigureSweep, raw: bool) -> str:
+    """A markdown table of one figure's curves (rows = servers)."""
+    client_counts = sorted(sweep.curves)
+    server_counts = sorted({r.servers for curve in sweep.curves.values()
+                            for r in curve})
+    header = "| servers | " + " | ".join("%d client%s (MB/s)"
+                                         % (c, "s" if c > 1 else "")
+                                         for c in client_counts) + " |"
+    rule = "|---" * (len(client_counts) + 1) + "|"
+    lines = [header, rule]
+    for servers in server_counts:
+        cells = []
+        for clients in client_counts:
+            value = ""
+            for result in sweep.curves[clients]:
+                if result.servers == servers:
+                    value = "%.1f" % (result.raw_mb_per_s if raw
+                                      else result.useful_mb_per_s)
+            cells.append(value)
+        lines.append("| %d | " % servers + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def format_mab_table(result: Fig5Result) -> str:
+    """Figure 5 as a markdown table with paper values alongside."""
+    paper = PAPER["fig5"]
+    lines = [
+        "| system | elapsed (s) | paper (s) | CPU util | paper util |",
+        "|---|---|---|---|---|",
+        "| Sting | %.1f | %.1f | %.0f%% | %.0f%% |" % (
+            result.sting.elapsed_s, paper["sting_s"],
+            100 * result.sting.cpu_utilization, 100 * paper["sting_util"]),
+        "| ext2fs | %.1f | %.1f | %.0f%% | %.0f%% |" % (
+            result.ext2.elapsed_s, paper["ext2_s"],
+            100 * result.ext2.cpu_utilization, 100 * paper["ext2_util"]),
+        "",
+        "Speedup: %.2fx (paper: %.2fx)" % (
+            result.speedup, paper["ext2_s"] / paper["sting_s"]),
+    ]
+    return "\n".join(lines)
+
+
+def format_read_result(result: ReadBenchResult) -> str:
+    """§3.4 read number, measured vs paper."""
+    return ("uncached %d-byte reads: %.2f MB/s (paper: %.1f MB/s)"
+            % (result.block_size, result.mb_per_s, PAPER["read_mb_s"]))
+
+
+def format_server_result(result: ServerSustainedResult) -> str:
+    """Server sustained rate and disk upper bound vs paper."""
+    return ("one server, %d clients: %.1f MB/s sustained "
+            "(paper: %.1f); disk upper bound %.1f MB/s (paper: %.1f)"
+            % (result.clients, result.raw_mb_per_s,
+               PAPER["server_sustained_mb_s"],
+               result.disk_upper_bound_mb_per_s,
+               PAPER["disk_upper_bound_mb_s"]))

@@ -1,0 +1,26 @@
+"""Cluster assembly: functional and simulated Swarm deployments.
+
+:func:`build_local_cluster` wires servers and clients in plain Python
+for correctness work; :class:`SimCluster` builds the calibrated 1999
+testbed (200 MHz nodes, 100 Mb/s switched Ethernet, 10.3 MB/s disks)
+for the benchmark figures. Failure injection lives in
+:mod:`repro.cluster.failures`.
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.cluster import (
+    LocalCluster,
+    SimCluster,
+    build_local_cluster,
+)
+from repro.cluster.client import SimClientDriver
+from repro.cluster.failures import FailureInjector
+
+__all__ = [
+    "ClusterConfig",
+    "LocalCluster",
+    "SimCluster",
+    "build_local_cluster",
+    "SimClientDriver",
+    "FailureInjector",
+]

@@ -1,0 +1,175 @@
+"""Cluster construction.
+
+Two deployment styles share the same functional components:
+
+* :class:`LocalCluster` — servers and clients wired directly
+  (``LocalTransport``); everything is synchronous and timeless. Used by
+  correctness tests and examples.
+* :class:`SimCluster` — every node gets a CPU model, every server a
+  disk, everyone hangs off one switched-Ethernet model, and transports
+  route operations through the discrete-event engine. Used by the
+  benchmark harness to regenerate the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.config import ClusterConfig
+from repro.log.config import LogConfig
+from repro.log.layer import LogLayer
+from repro.log.stripe import StripeGroup
+from repro.rpc.transport import LocalTransport, SimTransport
+from repro.server.config import ServerConfig
+from repro.server.server import StorageServer
+from repro.sim.core import Simulator
+from repro.sim.cpu import CpuModel, SimCpu
+from repro.sim.disk import SimDisk
+from repro.sim.network import Nic, Switch
+from repro.services.stack import ServiceStack
+
+
+@dataclass
+class ServerNode:
+    """A simulated storage-server machine."""
+
+    server: StorageServer
+    cpu: SimCpu
+    disk: SimDisk
+    nic: Nic
+
+
+@dataclass
+class ClientNode:
+    """A simulated client machine."""
+
+    name: str
+    cpu: SimCpu
+    nic: Nic
+
+
+class LocalCluster:
+    """Functional (timeless) deployment of servers plus client slots."""
+
+    def __init__(self, config: ClusterConfig, verify_codec: bool = False) -> None:
+        self.config = config
+        self.servers: Dict[str, StorageServer] = {}
+        for index in range(config.num_servers):
+            server_id = config.server_id(index)
+            self.servers[server_id] = StorageServer(ServerConfig(
+                server_id=server_id, fragment_size=config.fragment_size,
+                total_slots=config.server_slots,
+                enforce_acls=config.enforce_acls))
+        self.transport = LocalTransport(self.servers, verify_codec=verify_codec)
+
+    def stripe_group(self, server_ids: Optional[List[str]] = None) -> StripeGroup:
+        """A stripe group over the given servers (default: all)."""
+        return StripeGroup(tuple(server_ids or self.servers))
+
+    def make_log(self, client_id: int,
+                 group: Optional[StripeGroup] = None) -> LogLayer:
+        """A log layer for one client over this cluster."""
+        return LogLayer(self.transport, group or self.stripe_group(),
+                        LogConfig(client_id=client_id,
+                                  fragment_size=self.config.fragment_size))
+
+    def make_stack(self, client_id: int,
+                   group: Optional[StripeGroup] = None) -> ServiceStack:
+        """An empty service stack for one client."""
+        return ServiceStack(self.make_log(client_id, group))
+
+
+def build_local_cluster(num_servers: int = 4, num_clients: int = 1,
+                        fragment_size: int = 1 << 20,
+                        verify_codec: bool = False, **kwargs) -> LocalCluster:
+    """Convenience constructor for functional clusters."""
+    return LocalCluster(ClusterConfig(
+        num_servers=num_servers, num_clients=num_clients,
+        fragment_size=fragment_size, **kwargs), verify_codec=verify_codec)
+
+
+class SimCluster:
+    """The calibrated simulated testbed."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.switch = Switch(self.sim, config.network)
+        self.cpu_model = CpuModel(config.cpu)
+        self.server_nodes: Dict[str, ServerNode] = {}
+        for index in range(config.num_servers):
+            server_id = config.server_id(index)
+            server = StorageServer(ServerConfig(
+                server_id=server_id, fragment_size=config.fragment_size,
+                total_slots=config.server_slots,
+                enforce_acls=config.enforce_acls))
+            self.server_nodes[server_id] = ServerNode(
+                server=server,
+                cpu=SimCpu(self.sim, "%s.cpu" % server_id, config.cpu),
+                disk=SimDisk(self.sim, "%s.disk" % server_id, config.disk),
+                nic=self.switch.attach(server_id))
+        self.client_nodes: Dict[str, ClientNode] = {}
+        for index in range(config.num_clients):
+            name = config.client_name(index)
+            self.client_nodes[name] = ClientNode(
+                name=name,
+                cpu=SimCpu(self.sim, "%s.cpu" % name, config.cpu),
+                nic=self.switch.attach(name))
+
+    # ------------------------------------------------------------------
+
+    def client_node(self, index: int) -> ClientNode:
+        """The simulated machine of client ``index``."""
+        return self.client_nodes[self.config.client_name(index)]
+
+    def make_transport(self, client_index: int,
+                       deferred_mode: bool = False) -> SimTransport:
+        """A transport for client ``client_index`` over this testbed."""
+        return SimTransport(self.sim, self.switch,
+                            self.client_node(client_index),
+                            self.server_nodes, self.cpu_model,
+                            deferred_mode=deferred_mode)
+
+    def stripe_group(self, server_ids: Optional[List[str]] = None) -> StripeGroup:
+        """A stripe group over the given servers (default: all)."""
+        return StripeGroup(tuple(server_ids or self.server_nodes))
+
+    def make_log(self, client_index: int,
+                 group: Optional[StripeGroup] = None,
+                 cost_hook: Optional[Callable[[str, int], None]] = None,
+                 deferred_mode: bool = False) -> LogLayer:
+        """A log layer for one simulated client."""
+        transport = self.make_transport(client_index, deferred_mode)
+        return LogLayer(
+            transport, group or self.stripe_group(),
+            LogConfig(client_id=client_index + 1,
+                      fragment_size=self.config.fragment_size,
+                      max_outstanding_fragments=self.config.max_outstanding_fragments),
+            cost_hook=cost_hook)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+
+    def crash_server(self, server_id: str) -> None:
+        """Take a server down (it stops answering immediately)."""
+        self.server_nodes[server_id].server.crash()
+
+    def restart_server(self, server_id: str) -> None:
+        """Bring a crashed server back with its durable state."""
+        self.server_nodes[server_id].server.restart()
+
+    # ------------------------------------------------------------------
+    # Measurement helpers
+    # ------------------------------------------------------------------
+
+    def total_bytes_stored(self) -> int:
+        """Bytes accepted by all servers so far."""
+        return sum(node.server.bytes_stored
+                   for node in self.server_nodes.values())
+
+    def disk_utilizations(self) -> Dict[str, float]:
+        """Per-server disk-arm utilization over the simulated run."""
+        return {server_id: node.disk.utilization()
+                for server_id, node in self.server_nodes.items()}

@@ -1,0 +1,75 @@
+"""Failure injection for tests and examples.
+
+Swarm's failure model: storage servers can crash (stop answering) and
+later restart with their durable state; clients can crash, losing their
+buffered log tail but recovering via rollforward. The injector wraps
+both, plus scheduled mid-run crashes inside the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.cluster.cluster import LocalCluster, SimCluster
+from repro.server.server import StorageServer
+
+
+class FailureInjector:
+    """Crash/restart servers in a local or simulated cluster."""
+
+    def __init__(self, cluster: Union[LocalCluster, SimCluster]) -> None:
+        self.cluster = cluster
+        self.crashed: List[str] = []
+
+    def _server(self, server_id: str) -> StorageServer:
+        if isinstance(self.cluster, SimCluster):
+            return self.cluster.server_nodes[server_id].server
+        return self.cluster.servers[server_id]
+
+    def crash_server(self, server_id: str) -> None:
+        """Stop a server immediately."""
+        self._server(server_id).crash()
+        if server_id not in self.crashed:
+            self.crashed.append(server_id)
+
+    def restart_server(self, server_id: str) -> None:
+        """Restart a crashed server with its durable state."""
+        self._server(server_id).restart()
+        if server_id in self.crashed:
+            self.crashed.remove(server_id)
+
+    def crash_server_at(self, server_id: str, sim_time: float) -> None:
+        """Schedule a server crash at a simulated time (SimCluster only)."""
+        if not isinstance(self.cluster, SimCluster):
+            raise TypeError("timed crashes need a SimCluster")
+        sim = self.cluster.sim
+
+        def crash_process():
+            yield sim.timeout(sim_time - sim.now if sim_time > sim.now else 0)
+            self.crash_server(server_id)
+
+        sim.process(crash_process(), name="crash %s" % server_id)
+
+    def wipe_server(self, server_id: str) -> None:
+        """Simulate total media loss: crash and discard durable state.
+
+        Afterwards every fragment the server held must be reconstructed
+        from stripe parity (see
+        :meth:`repro.log.reconstruct.Reconstructor.rebuild_to_server`).
+        """
+        server = self._server(server_id)
+        server.crash()
+        from repro.server.backend import MemoryBackend
+
+        server.backend = MemoryBackend()
+        if server_id not in self.crashed:
+            self.crashed.append(server_id)
+
+    def alive_servers(self) -> List[str]:
+        """Servers currently answering."""
+        if isinstance(self.cluster, SimCluster):
+            candidates = self.cluster.server_nodes
+        else:
+            candidates = self.cluster.servers
+        return [sid for sid in candidates
+                if self._server(sid).available]

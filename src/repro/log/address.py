@@ -1,0 +1,48 @@
+"""Fragment identifiers and block addresses.
+
+A fragment is identified by a 64-bit integer FID. To keep every
+client's FIDs globally unique without any coordination (a core Swarm
+design goal), the high 24 bits carry the client id and the low 40 bits
+a per-client sequence number. Fragments of one stripe have *consecutive*
+sequence numbers — the property fragment reconstruction relies on: the
+stripe sibling of fragment N is reachable from N−1 or N+1.
+
+A block is addressed by ``(FID, offset, length)``: the byte range of the
+block's data within the stored fragment. Storage servers serve byte
+ranges without interpreting them, so this address is all a reader needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.fids import FID_NONE, fid_client, fid_seq, make_fid
+
+__all__ = ["FID_NONE", "make_fid", "fid_client", "fid_seq", "BlockAddress"]
+
+
+@dataclass(frozen=True, order=True)
+class BlockAddress:
+    """The location of one block's data inside the log.
+
+    Attributes
+    ----------
+    fid:
+        Fragment identifier.
+    offset:
+        Byte offset of the block data within the stored fragment image.
+    length:
+        Length of the block data in bytes.
+    """
+
+    fid: int
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.length < 0:
+            raise ValueError("negative offset/length in block address")
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return "%d.%d:%d+%d" % (fid_client(self.fid), fid_seq(self.fid),
+                                self.offset, self.length)

@@ -1,0 +1,58 @@
+"""Log-layer configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.server.config import DEFAULT_FRAGMENT_SIZE
+
+
+@dataclass(frozen=True)
+class LogConfig:
+    """Per-client log parameters.
+
+    Attributes
+    ----------
+    client_id:
+        This client's numeric identity; embedded in the high bits of
+        every FID the client allocates, so clients never need to
+        coordinate FID assignment.
+    fragment_size:
+        Fragment capacity in bytes (1 MB in the prototype); must match
+        the servers' slot size.
+    principal:
+        Name presented for ACL checks (defaults to ``client-<id>``).
+    max_outstanding_fragments:
+        Flow-control hint: simulated drivers keep at most this many
+        fragment stores in flight ("rudimentary flow control", §2.2.2).
+    preallocate_stripes:
+        When True, the log layer issues the server ``preallocate``
+        operation for every member of a stripe before transferring any
+        data, guaranteeing space for the whole stripe up front (§2.4
+        lists preallocation among the server's operations).
+    """
+
+    client_id: int
+    fragment_size: int = DEFAULT_FRAGMENT_SIZE
+    principal: str = ""
+    max_outstanding_fragments: int = 4
+    preallocate_stripes: bool = False
+    fragment_aid: int = 0
+    """ACL id to tag every stored fragment with (0 = untagged).
+
+    When set, the whole byte range of each fragment this client stores
+    is protected by that ACL (§2.4.2): servers with enforcement on will
+    refuse reads/deletes from principals outside the ACL. Create the
+    ACL on every server in the stripe group first.
+    """
+
+    def __post_init__(self) -> None:
+        if self.client_id < 0:
+            raise ConfigError("client_id must be non-negative")
+        if self.fragment_size < 4096:
+            raise ConfigError("fragment_size unreasonably small")
+        if self.max_outstanding_fragments < 1:
+            raise ConfigError("max_outstanding_fragments must be >= 1")
+        if not self.principal:
+            object.__setattr__(self, "principal", "client-%d" % self.client_id)

@@ -1,0 +1,348 @@
+"""Fragment format: the unit of striping and storage.
+
+The log is stored in fixed-capacity fragments (1 MB in the prototype).
+A fragment image is a fixed-size header followed by a payload of *items*
+(blocks and records). The header embeds the fragment's complete stripe
+descriptor — stripe base FID, width, this fragment's index, and the
+server that holds each sibling — which is what makes client-side
+reconstruction possible without any central metadata: any one surviving
+fragment of a stripe names all the others.
+
+The header has constant size so that block offsets can be handed back to
+services *at append time*, before the stripe is sealed; the stripe
+descriptor fields are patched in when the stripe closes. Parity
+fragments carry the XOR of their siblings' entire images (zero-padded to
+equal length) as payload, so reconstruction yields a complete, parseable
+fragment image.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import CorruptFragmentError
+from repro.log.records import Record
+from repro.util.checksums import crc32_of
+
+MAGIC = b"SWFR"
+VERSION = 1
+
+MAX_STRIPE_WIDTH = 16
+_SERVER_NAME_LEN = 16
+
+FLAG_PARITY = 1 << 0
+FLAG_MARKED = 1 << 1
+
+NO_PARITY = 0xFFFF
+"""Sentinel ``parity_index`` for stripes written without redundancy
+(single-server stripe groups)."""
+
+_FIXED = struct.Struct(">4sHHQIQHHHIIQQI")
+HEADER_SIZE = _FIXED.size + MAX_STRIPE_WIDTH * _SERVER_NAME_LEN + 4
+
+ITEM_BLOCK = 1
+ITEM_RECORD = 2
+_ITEM_HEAD = struct.Struct(">BI")
+_BLOCK_OWNER = struct.Struct(">I")
+
+BLOCK_ITEM_OVERHEAD = _ITEM_HEAD.size + _BLOCK_OWNER.size
+"""Bytes of framing added around each block's data."""
+
+
+@dataclass(frozen=True)
+class FragmentHeader:
+    """Parsed fragment header (see module docstring for the layout)."""
+
+    fid: int
+    client_id: int
+    is_parity: bool
+    marked: bool
+    stripe_base_fid: int
+    stripe_width: int
+    stripe_index: int
+    parity_index: int
+    payload_len: int
+    item_count: int
+    first_lsn: int
+    last_lsn: int
+    servers: Tuple[str, ...]
+
+    def server_of_index(self, index: int) -> str:
+        """Name of the server holding stripe member ``index``."""
+        return self.servers[index]
+
+    def sibling_fids(self) -> List[int]:
+        """FIDs of every fragment in this stripe, in stripe order."""
+        return [self.stripe_base_fid + i for i in range(self.stripe_width)]
+
+    def encode(self) -> bytes:
+        """Serialize the header to its fixed-size binary form."""
+        flags = (FLAG_PARITY if self.is_parity else 0) | \
+                (FLAG_MARKED if self.marked else 0)
+        fixed = _FIXED.pack(
+            MAGIC, VERSION, flags, self.fid, self.client_id,
+            self.stripe_base_fid, self.stripe_width, self.stripe_index,
+            self.parity_index, self.payload_len, self.item_count,
+            self.first_lsn, self.last_lsn, 0)
+        names = bytearray(MAX_STRIPE_WIDTH * _SERVER_NAME_LEN)
+        for i, name in enumerate(self.servers):
+            raw = name.encode("utf-8")
+            if len(raw) > _SERVER_NAME_LEN:
+                raise ValueError("server name too long: %r" % name)
+            names[i * _SERVER_NAME_LEN:i * _SERVER_NAME_LEN + len(raw)] = raw
+        body = fixed + bytes(names)
+        return body + struct.pack(">I", crc32_of(body))
+
+    @classmethod
+    def decode(cls, image: bytes) -> "FragmentHeader":
+        """Parse and validate a header from the start of ``image``."""
+        if len(image) < HEADER_SIZE:
+            raise CorruptFragmentError("image shorter than fragment header")
+        body = image[:HEADER_SIZE - 4]
+        (stored_crc,) = struct.unpack_from(">I", image, HEADER_SIZE - 4)
+        if crc32_of(body) != stored_crc:
+            raise CorruptFragmentError("fragment header checksum mismatch")
+        (magic, version, flags, fid, client_id, base, width, index,
+         parity_index, payload_len, item_count, first_lsn, last_lsn,
+         _reserved) = _FIXED.unpack_from(image, 0)
+        if magic != MAGIC:
+            raise CorruptFragmentError("bad fragment magic %r" % magic)
+        if version != VERSION:
+            raise CorruptFragmentError("unsupported fragment version %d" % version)
+        servers: List[str] = []
+        pos = _FIXED.size
+        for i in range(width):
+            raw = image[pos + i * _SERVER_NAME_LEN:
+                        pos + (i + 1) * _SERVER_NAME_LEN]
+            servers.append(raw.rstrip(b"\x00").decode("utf-8"))
+        return cls(
+            fid=fid, client_id=client_id,
+            is_parity=bool(flags & FLAG_PARITY),
+            marked=bool(flags & FLAG_MARKED),
+            stripe_base_fid=base, stripe_width=width, stripe_index=index,
+            parity_index=parity_index, payload_len=payload_len,
+            item_count=item_count, first_lsn=first_lsn, last_lsn=last_lsn,
+            servers=tuple(servers))
+
+
+@dataclass(frozen=True)
+class LogItem:
+    """One parsed payload item: a block or a record.
+
+    For blocks, ``data_offset`` is the absolute offset of the block data
+    within the fragment image — i.e. the ``offset`` field of the block's
+    :class:`~repro.log.address.BlockAddress`.
+    """
+
+    kind: int
+    owner_service: int
+    data: bytes
+    record: Optional[Record]
+    data_offset: int
+
+
+class Fragment:
+    """An immutable, sealed fragment: header plus payload bytes."""
+
+    def __init__(self, header: FragmentHeader, payload: bytes) -> None:
+        if header.payload_len != len(payload):
+            raise ValueError("header payload_len disagrees with payload")
+        self.header = header
+        self.payload = payload
+
+    @property
+    def fid(self) -> int:
+        """This fragment's identifier."""
+        return self.header.fid
+
+    def encode(self) -> bytes:
+        """Serialize the complete fragment image (header + payload)."""
+        return self.header.encode() + self.payload
+
+    @classmethod
+    def decode(cls, image: bytes, verify_payload: bool = False) -> "Fragment":
+        """Parse a fragment image.
+
+        ``verify_payload`` walks the items to validate structure; headers
+        are always checksum-verified.
+        """
+        header = FragmentHeader.decode(image)
+        if len(image) < HEADER_SIZE + header.payload_len:
+            raise CorruptFragmentError("image truncated before payload end")
+        payload = bytes(image[HEADER_SIZE:HEADER_SIZE + header.payload_len])
+        fragment = cls(header, payload)
+        if verify_payload and not header.is_parity:
+            count = sum(1 for _ in fragment.items())
+            if count != header.item_count:
+                raise CorruptFragmentError(
+                    "item count mismatch: header says %d, found %d"
+                    % (header.item_count, count))
+        return fragment
+
+    def items(self) -> Iterator[LogItem]:
+        """Iterate the payload's blocks and records in log order."""
+        if self.header.is_parity:
+            return
+        pos = 0
+        payload = self.payload
+        while pos < len(payload):
+            try:
+                kind, length = _ITEM_HEAD.unpack_from(payload, pos)
+            except struct.error as exc:
+                raise CorruptFragmentError("truncated item header") from exc
+            body_start = pos + _ITEM_HEAD.size
+            body_end = body_start + length
+            if body_end > len(payload):
+                raise CorruptFragmentError("item body overruns payload")
+            if kind == ITEM_BLOCK:
+                (owner,) = _BLOCK_OWNER.unpack_from(payload, body_start)
+                data_start = body_start + _BLOCK_OWNER.size
+                yield LogItem(
+                    kind=ITEM_BLOCK, owner_service=owner,
+                    data=payload[data_start:body_end], record=None,
+                    data_offset=HEADER_SIZE + data_start)
+            elif kind == ITEM_RECORD:
+                record, _ = Record.decode(payload, body_start)
+                yield LogItem(kind=ITEM_RECORD, owner_service=record.service_id,
+                              data=b"", record=record,
+                              data_offset=HEADER_SIZE + body_start)
+            else:
+                raise CorruptFragmentError("unknown item kind %d" % kind)
+            pos = body_end
+
+    def records(self) -> Iterator[Record]:
+        """Iterate only the records, in log order."""
+        for item in self.items():
+            if item.record is not None:
+                yield item.record
+
+
+class FragmentBuilder:
+    """Accumulates blocks and records into one fragment payload.
+
+    ``capacity`` is the total fragment size (header included), matching
+    the server's slot size. Stripe descriptor fields are supplied later
+    via :meth:`seal`, but block addresses are final as soon as
+    :meth:`add_block` returns — the header size is constant.
+    """
+
+    def __init__(self, fid: int, client_id: int, capacity: int) -> None:
+        if capacity <= HEADER_SIZE:
+            raise ValueError("fragment capacity smaller than header")
+        self.fid = fid
+        self.client_id = client_id
+        self.capacity = capacity
+        self.marked = False
+        self._payload = bytearray()
+        self._item_count = 0
+        self._first_lsn = 0
+        self._last_lsn = 0
+
+    # -- capacity queries --------------------------------------------------
+
+    @property
+    def payload_used(self) -> int:
+        """Bytes of payload appended so far."""
+        return len(self._payload)
+
+    @property
+    def item_count(self) -> int:
+        """Items appended so far."""
+        return self._item_count
+
+    def free_payload(self) -> int:
+        """Payload bytes still available."""
+        return self.capacity - HEADER_SIZE - len(self._payload)
+
+    def fits_block(self, data_len: int) -> bool:
+        """Whether a block with ``data_len`` bytes of data fits."""
+        return BLOCK_ITEM_OVERHEAD + data_len <= self.free_payload()
+
+    def fits_record(self, record: Record) -> bool:
+        """Whether ``record`` fits."""
+        return _ITEM_HEAD.size + len(record.encode()) <= self.free_payload()
+
+    @staticmethod
+    def max_block_size(capacity: int) -> int:
+        """Largest block data size a fragment of ``capacity`` can hold."""
+        return capacity - HEADER_SIZE - BLOCK_ITEM_OVERHEAD
+
+    # -- appends -----------------------------------------------------------
+
+    def add_block(self, owner_service: int, data: bytes) -> int:
+        """Append a block; return the absolute offset of its data."""
+        body_len = _BLOCK_OWNER.size + len(data)
+        if BLOCK_ITEM_OVERHEAD + len(data) > self.free_payload():
+            raise ValueError("block does not fit in fragment")
+        self._payload += _ITEM_HEAD.pack(ITEM_BLOCK, body_len)
+        self._payload += _BLOCK_OWNER.pack(owner_service)
+        data_offset = HEADER_SIZE + len(self._payload)
+        self._payload += data
+        self._item_count += 1
+        return data_offset
+
+    def add_record(self, record: Record) -> int:
+        """Append a record; return its absolute offset in the image."""
+        body = record.encode()
+        if _ITEM_HEAD.size + len(body) > self.free_payload():
+            raise ValueError("record does not fit in fragment")
+        self._payload += _ITEM_HEAD.pack(ITEM_RECORD, len(body))
+        offset = HEADER_SIZE + len(self._payload)
+        self._payload += body
+        self._item_count += 1
+        if self._first_lsn == 0:
+            self._first_lsn = record.lsn
+        self._last_lsn = record.lsn
+        return offset
+
+    def peek_range(self, offset: int, length: int) -> bytes:
+        """Read buffered bytes at image offset ``offset`` (pre-seal).
+
+        Lets the log layer serve reads of not-yet-flushed blocks from
+        memory, the way a log-structured file system serves reads from
+        its write buffer.
+        """
+        start = offset - HEADER_SIZE
+        if start < 0 or start + length > len(self._payload):
+            raise ValueError("peek outside buffered payload")
+        return bytes(self._payload[start:start + length])
+
+    # -- sealing -----------------------------------------------------------
+
+    def seal(self, stripe_base_fid: int, stripe_width: int, stripe_index: int,
+             parity_index: int, servers: Tuple[str, ...]) -> Fragment:
+        """Finalize the fragment with its stripe descriptor."""
+        if len(servers) != stripe_width:
+            raise ValueError("stripe descriptor width mismatch")
+        header = FragmentHeader(
+            fid=self.fid, client_id=self.client_id, is_parity=False,
+            marked=self.marked, stripe_base_fid=stripe_base_fid,
+            stripe_width=stripe_width, stripe_index=stripe_index,
+            parity_index=parity_index, payload_len=len(self._payload),
+            item_count=self._item_count, first_lsn=self._first_lsn,
+            last_lsn=self._last_lsn, servers=tuple(servers))
+        return Fragment(header, bytes(self._payload))
+
+
+def make_parity_fragment(fid: int, client_id: int, data_images: List[bytes],
+                         stripe_base_fid: int, stripe_width: int,
+                         stripe_index: int, servers: Tuple[str, ...]) -> Fragment:
+    """Build the parity fragment for a stripe.
+
+    The payload is the byte-wise XOR of the data fragments' complete
+    images, zero-padded to the longest image, so any single missing data
+    fragment's full image can be recovered by XOR-ing the parity payload
+    with the surviving images.
+    """
+    from repro.log.stripe import parity_of  # local import to avoid a cycle
+
+    payload = parity_of(data_images)
+    header = FragmentHeader(
+        fid=fid, client_id=client_id, is_parity=True, marked=False,
+        stripe_base_fid=stripe_base_fid, stripe_width=stripe_width,
+        stripe_index=stripe_index, parity_index=stripe_index,
+        payload_len=len(payload), item_count=0, first_lsn=0, last_lsn=0,
+        servers=tuple(servers))
+    return Fragment(header, payload)

@@ -1,0 +1,474 @@
+"""The client-side log layer.
+
+Services hand the log layer blocks (opaque data) and records (recovery
+metadata); the log layer batches them into fragments, groups fragments
+into parity-protected stripes, and writes stripes across the client's
+stripe group asynchronously. Everything above this module addresses
+data by :class:`~repro.log.address.BlockAddress` and never knows which
+server holds what.
+
+Responsibilities, mapped to the paper:
+
+* append-only blocks/records with immediate address assignment (§2.1.1);
+* automatic CREATE/DELETE records for crash recovery (§2.1.1);
+* striping with rotated client-computed parity (§2.1.2);
+* asynchronous, pipelined fragment writes (§2.1.2);
+* per-service checkpoints stored in *marked* fragments, plus the
+  checkpoint table that makes every service's checkpoint reachable from
+  the newest marked fragment (§2.1.3, §2.4.1);
+* reads with transparent reconstruction when a server is down (§2.4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import BlockNotFoundError, LogError
+from repro.log.address import BlockAddress, fid_seq, make_fid
+from repro.log.config import LogConfig
+from repro.log.fragment import (
+    BLOCK_ITEM_OVERHEAD,
+    Fragment,
+    FragmentBuilder,
+    HEADER_SIZE,
+    NO_PARITY,
+    make_parity_fragment,
+)
+from repro.log.records import (
+    Record,
+    RecordType,
+    SERVICE_LOG_LAYER,
+    encode_checkpoint_table,
+    encode_record_payload_block,
+)
+from repro.log.stripe import StripeGroup, StripeLayout
+from repro.rpc import messages as m
+from repro.util.idgen import IdGenerator
+
+CostHook = Callable[[str, int], None]
+UsageListener = Callable[[str, BlockAddress, int], None]
+
+
+class FlushTicket:
+    """Handle for the asynchronous stores one flush started.
+
+    ``events`` are future-like objects (already complete on the local
+    transport; simulator processes on the simulated one). Synchronous
+    callers use :meth:`wait`; simulated drivers ``yield
+    sim.all_of(ticket.events)``.
+    """
+
+    def __init__(self, events: List) -> None:
+        self.events = events
+
+    def wait(self, allow_degraded: bool = False) -> None:
+        """Verify every store finished; raises the first failure.
+
+        With ``allow_degraded`` a flush that lost *some* stores is
+        accepted silently — the data in a stripe that lost one member
+        is still recoverable through parity; callers inspect
+        :meth:`failures` and typically reform the stripe group.
+
+        Only valid once the underlying futures have resolved (always
+        true on the local transport).
+        """
+        for event in self.events:
+            if not event.triggered:
+                raise LogError("flush not complete; drive the simulator first")
+            if event.exception is not None and not allow_degraded:
+                raise event.exception
+
+    def failures(self) -> List[BaseException]:
+        """Exceptions of the stores that failed (empty when clean)."""
+        return [event.exception for event in self.events
+                if event.triggered and event.exception is not None]
+
+    @property
+    def fragment_count(self) -> int:
+        """Number of fragment stores this flush covers."""
+        return len(self.events)
+
+
+class LogLayer:
+    """One client's striped log."""
+
+    def __init__(self, transport, group: StripeGroup, config: LogConfig,
+                 cost_hook: Optional[CostHook] = None) -> None:
+        self.transport = transport
+        self.group = group
+        self.config = config
+        self.layout = StripeLayout(group)
+        self.cost_hook = cost_hook or (lambda kind, n: None)
+        self._seq = IdGenerator(1)
+        self._lsn = IdGenerator(1)
+        # Stagger stripe rotation by client id so concurrent clients do
+        # not advance across the stripe group in lockstep (which would
+        # make every client hit the same server at the same moment).
+        self._stripe_number = config.client_id % max(1, group.size)
+        # Fragments of the stripe currently being filled. The last entry
+        # is the open builder; earlier entries are full but unsealed
+        # (their stripe descriptor is patched at stripe close).
+        self._building: List[FragmentBuilder] = []
+        self._pending: List = []
+        self._locations: Dict[int, str] = {}
+        self._checkpoint_table: Dict[int, Tuple[BlockAddress, int]] = {}
+        self._usage_listeners: List[UsageListener] = []
+        # Statistics.
+        self.raw_bytes_written = 0
+        self.useful_bytes_written = 0
+        self.stripes_written = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def next_lsn(self) -> int:
+        """LSN the next record will get."""
+        return self._lsn.peek()
+
+    @property
+    def checkpoint_table(self) -> Dict[int, Tuple[BlockAddress, int]]:
+        """Latest known checkpoint address and LSN per service."""
+        return dict(self._checkpoint_table)
+
+    def pending_events(self) -> List:
+        """Futures of fragment stores dispatched but not yet claimed by a
+        flush ticket. Simulated drivers use this for flow control."""
+        return list(self._pending)
+
+    def known_location(self, fid: int) -> Optional[str]:
+        """Server believed to hold ``fid`` (from this client's writes)."""
+        return self._locations.get(fid)
+
+    def add_usage_listener(self, listener: UsageListener) -> None:
+        """Subscribe to block lifecycle events.
+
+        The cleaner uses this to maintain its stripe-utilization table:
+        ``listener(event, addr, size)`` with event ``"create"`` or
+        ``"delete"``.
+        """
+        self._usage_listeners.append(listener)
+
+    def _notify_usage(self, event: str, addr: BlockAddress, size: int) -> None:
+        for listener in self._usage_listeners:
+            listener(event, addr, size)
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+
+    def max_block_size(self) -> int:
+        """Largest single block the configured fragment size admits."""
+        return FragmentBuilder.max_block_size(self.config.fragment_size)
+
+    def write_block(self, owner_service: int, data: bytes,
+                    create_info: bytes = b"") -> BlockAddress:
+        """Append a block; returns its final address immediately.
+
+        Also appends the automatic CREATE record carrying
+        ``create_info`` — the service-specific hint (inode number, file
+        offset, ...) that replay and cleaner notifications hand back to
+        the service so it can find the block in its own metadata.
+        """
+        if len(data) > self.max_block_size():
+            raise LogError("block of %d bytes exceeds fragment capacity"
+                           % len(data))
+        # Keep the block and its CREATE record in one fragment whenever
+        # they fit together: the cleaner reads a block's creation record
+        # from the block's own fragment, so co-location makes move
+        # notifications self-contained. Near-fragment-sized blocks fall
+        # back to exact fit (the record spills; the cleaner looks ahead).
+        record_need = 96 + len(create_info)
+        needed = BLOCK_ITEM_OVERHEAD + len(data) + record_need
+        if needed > self.config.fragment_size - HEADER_SIZE:
+            needed = BLOCK_ITEM_OVERHEAD + len(data)
+        builder = self._builder_with_room(needed)
+        offset = builder.add_block(owner_service, data)
+        addr = BlockAddress(builder.fid, offset, len(data))
+        record = Record(self._lsn.next(), SERVICE_LOG_LAYER, RecordType.CREATE,
+                        encode_record_payload_block(addr, owner_service,
+                                                    create_info))
+        self._append_record(record)
+        self.cost_hook("copy", len(data))
+        self.cost_hook("block_op", 1)
+        self.useful_bytes_written += len(data)
+        self._notify_usage("create", addr, len(data))
+        return addr
+
+    def write_record(self, owner_service: int, rtype: int,
+                     payload: bytes) -> Record:
+        """Append a service record; returns it (with its LSN assigned)."""
+        record = Record(self._lsn.next(), owner_service, rtype, payload)
+        self._append_record(record)
+        self.cost_hook("copy", len(payload))
+        return record
+
+    def delete_block(self, addr: BlockAddress, owner_service: int,
+                     create_info: bytes = b"") -> Record:
+        """Record the deletion of a block.
+
+        The data bytes stay in place until the cleaner reclaims their
+        stripe; the DELETE record makes them dead immediately.
+        """
+        record = Record(self._lsn.next(), SERVICE_LOG_LAYER, RecordType.DELETE,
+                        encode_record_payload_block(addr, owner_service,
+                                                    create_info))
+        self._append_record(record)
+        self._notify_usage("delete", addr, addr.length)
+        return record
+
+    def _append_record(self, record: Record) -> BlockAddress:
+        encoded_len = len(record.encode())
+        builder = self._builder_with_room(encoded_len + 16)
+        offset = builder.add_record(record)
+        return BlockAddress(builder.fid, offset, encoded_len)
+
+    def _builder_with_room(self, needed: int) -> FragmentBuilder:
+        if self._building:
+            builder = self._building[-1]
+            if builder.free_payload() >= needed:
+                return builder
+            self._advance_fragment()
+        else:
+            self._open_fragment()
+        builder = self._building[-1]
+        if builder.free_payload() < needed:
+            raise LogError("item of %d bytes cannot fit any fragment" % needed)
+        return builder
+
+    def _open_fragment(self) -> None:
+        fid = make_fid(self.config.client_id, self._seq.next())
+        self._building.append(FragmentBuilder(fid, self.config.client_id,
+                                              self.config.fragment_size))
+
+    def _advance_fragment(self) -> None:
+        """Current fragment is full: open the next one, closing the
+        stripe first if it has reached full width."""
+        if len(self._building) >= self.layout.max_data_fragments():
+            self._close_stripe()
+        self._open_fragment()
+
+    # ------------------------------------------------------------------
+    # Stripe close / flush
+    # ------------------------------------------------------------------
+
+    def _close_stripe(self) -> None:
+        """Seal the accumulated data fragments, compute parity, and
+        dispatch the whole stripe asynchronously."""
+        builders = [b for b in self._building if b.item_count > 0]
+        self._building = []
+        if not builders:
+            return
+        ndata = len(builders)
+        width = self.layout.width_for(ndata)
+        base_fid = builders[0].fid
+        servers = self.layout.servers_for_stripe(self._stripe_number, width)
+        has_parity = width > ndata
+        parity_index = (self.layout.parity_index(width) if has_parity
+                        else NO_PARITY)
+        fragments: List[Fragment] = []
+        for index, builder in enumerate(builders):
+            fragments.append(builder.seal(base_fid, width, index,
+                                          parity_index, servers))
+        images = [fragment.encode() for fragment in fragments]
+        if has_parity:
+            parity_fid = make_fid(self.config.client_id, self._seq.next())
+            if parity_fid != base_fid + width - 1:
+                raise LogError("non-consecutive stripe FIDs (internal bug)")
+            parity = make_parity_fragment(
+                parity_fid, self.config.client_id, images, base_fid, width,
+                parity_index, servers)
+            fragments.append(parity)
+            images.append(parity.encode())
+            self.cost_hook("xor", sum(len(img) for img in images[:-1]))
+        if self.config.preallocate_stripes:
+            self._preallocate(fragments, servers)
+        marked_flags = [b.marked for b in builders] + [False] * (width - ndata)
+        for fragment, image, marked in zip(fragments, images, marked_flags):
+            server_id = servers[fragment.header.stripe_index]
+            self._locations[fragment.fid] = server_id
+            acl_ranges = ()
+            if self.config.fragment_aid:
+                acl_ranges = ((0, len(image), self.config.fragment_aid),)
+            request = m.StoreRequest(
+                fid=fragment.fid, data=image,
+                principal=self.config.principal, marked=marked,
+                acl_ranges=acl_ranges)
+            self._pending.append(self.transport.submit(server_id, request))
+            self.raw_bytes_written += len(image)
+        self._stripe_number += 1
+        self.stripes_written += 1
+
+    def _preallocate(self, fragments, servers) -> None:
+        """Reserve a slot for every stripe member before sending data.
+
+        Best-effort: a server that cannot reserve (full, down) will
+        fail the subsequent store instead, which callers already
+        handle through the flush ticket.
+        """
+        for fragment in fragments:
+            server_id = servers[fragment.header.stripe_index]
+            try:
+                self.transport.call(server_id, m.PreallocateRequest(
+                    fid=fragment.fid, principal=self.config.principal))
+            except Exception:
+                pass
+
+    def flush(self) -> FlushTicket:
+        """Seal and dispatch everything buffered; return the ticket.
+
+        Includes stores already in flight from earlier stripe closes, so
+        waiting on the ticket means "all my data is durable".
+        """
+        self._close_stripe()
+        events, self._pending = self._pending, []
+        return FlushTicket(events)
+
+    # ------------------------------------------------------------------
+    # Stripe-group reconfiguration
+    # ------------------------------------------------------------------
+
+    def reform_group(self, group: StripeGroup) -> None:
+        """Switch to a new stripe group for all *future* stripes.
+
+        The escape hatch for a failed server: already-written stripes
+        keep their embedded descriptors (reads reconstruct through
+        parity); new stripes simply avoid the dead member. Buffered
+        data is unaffected — only placement changes.
+        """
+        self.group = group
+        self.layout = StripeLayout(group)
+        self._stripe_number = self.config.client_id % max(1, group.size)
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, service_id: int, state: bytes) -> FlushTicket:
+        """Write a service checkpoint and flush it in a marked fragment.
+
+        The checkpoint record carries the service's consistent state;
+        the accompanying checkpoint-table record lists *every* service's
+        newest checkpoint, so recovery only needs to find the newest
+        marked fragment (via the servers' ``last_marked`` query) to find
+        them all. Records older than the checkpoint become obsolete,
+        which is what licenses the cleaner to reclaim their stripes.
+        """
+        # Reserve room for the checkpoint record *and* its table in the
+        # same fragment, so the marked fragment is self-contained.
+        table_size_estimate = 64 + 40 * (len(self._checkpoint_table) + 1)
+        self._builder_with_room(len(state) + table_size_estimate + 96)
+        record = Record(self._lsn.next(), service_id, RecordType.CHECKPOINT,
+                        state)
+        addr = self._append_record(record)
+        self._checkpoint_table[service_id] = (addr, record.lsn)
+        table_record = Record(self._lsn.next(), SERVICE_LOG_LAYER,
+                              RecordType.CHECKPOINT_TABLE,
+                              encode_checkpoint_table(self._checkpoint_table))
+        table_addr = self._append_record(table_record)
+        if table_addr.fid != addr.fid:
+            raise LogError("checkpoint split across fragments (internal bug)")
+        self._building[-1].marked = True
+        self.cost_hook("copy", len(state))
+        return self.flush()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def read(self, addr: BlockAddress) -> bytes:
+        """Read a block's data, reconstructing its fragment if needed."""
+        data = self.read_range(addr.fid, addr.offset, addr.length)
+        if len(data) != addr.length:
+            raise BlockNotFoundError("short read at %s" % (addr,))
+        return data
+
+    def read_range(self, fid: int, offset: int, length: int) -> bytes:
+        """Read an arbitrary byte range of a fragment.
+
+        Not-yet-flushed fragments are served straight from the client's
+        write buffer, so services can read back data they just wrote
+        without forcing a flush.
+        """
+        from repro.log.reconstruct import Reconstructor
+
+        for builder in self._building:
+            if builder.fid == fid:
+                return builder.peek_range(offset, length)
+        server_id = self._locate(fid)
+        if server_id is not None:
+            try:
+                response = self.transport.call(
+                    server_id, m.RetrieveRequest(
+                        fid=fid, offset=offset, length=length,
+                        principal=self.config.principal))
+                return response.payload
+            except LogError:
+                raise
+            except Exception:
+                pass  # fall through to reconstruction
+        image = Reconstructor(self.transport, self.config.principal).fetch(fid)
+        return image[offset:offset + length]
+
+    def read_fragment(self, fid: int) -> bytes:
+        """Read a whole fragment image (cleaner / recovery paths)."""
+        from repro.log.reconstruct import Reconstructor
+
+        server_id = self._locate(fid)
+        if server_id is not None:
+            try:
+                response = self.transport.call(
+                    server_id, m.RetrieveRequest(
+                        fid=fid, principal=self.config.principal))
+                return response.payload
+            except Exception:
+                pass
+        return Reconstructor(self.transport, self.config.principal).fetch(fid)
+
+    def _locate(self, fid: int) -> Optional[str]:
+        server_id = self._locations.get(fid)
+        if server_id is not None:
+            return server_id
+        found = self.transport.broadcast_holds([fid])
+        server_id = found.get(fid)
+        if server_id is not None:
+            self._locations[fid] = server_id
+        return server_id
+
+    # ------------------------------------------------------------------
+    # Deletion of whole stripes (cleaner back-end)
+    # ------------------------------------------------------------------
+
+    def delete_stripe(self, base_fid: int, width: int) -> None:
+        """Delete every fragment of a stripe from its servers."""
+        for i in range(width):
+            fid = base_fid + i
+            server_id = self._locate(fid)
+            if server_id is None:
+                continue
+            try:
+                self.transport.call(server_id, m.DeleteRequest(
+                    fid=fid, principal=self.config.principal))
+            except Exception:
+                pass
+            self._locations.pop(fid, None)
+
+    # ------------------------------------------------------------------
+    # Recovery hand-off
+    # ------------------------------------------------------------------
+
+    def adopt_recovered_state(self, highest_fid_seen: int, highest_lsn: int,
+                              checkpoint_table: Dict[int, Tuple[BlockAddress, int]],
+                              ) -> None:
+        """Fast-forward counters after log rollforward.
+
+        Ensures newly allocated FIDs/LSNs never collide with what is
+        already durable in the log.
+        """
+        self._seq.advance_past(fid_seq(highest_fid_seen))
+        self._lsn.advance_past(highest_lsn)
+        self._checkpoint_table = dict(checkpoint_table)
+        # Stripe rotation continues from an estimate; exactness is not
+        # required for correctness, only for balance.
+        self._stripe_number = fid_seq(highest_fid_seen)

@@ -1,0 +1,106 @@
+"""Sequential log reading: locate, fetch, and parse fragments in order.
+
+Used by crash recovery (rollforward) and by the cleaner. The reader
+walks FIDs in sequence, learning fragment→server placements from stripe
+descriptors as it goes so that only one broadcast per stripe is usually
+needed. Unavailable fragments are reconstructed transparently; a
+fragment that is absent everywhere *and* unreconstructable marks the end
+of the log (or, mid-log, the boundary of an incompletely flushed tail —
+rollforward stops there, yielding a consistent prefix of the record
+stream).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import ReconstructionError, SwarmError
+from repro.log.fragment import Fragment
+from repro.log.records import Record
+from repro.log.reconstruct import Reconstructor
+from repro.rpc import messages as m
+
+
+class FragmentLocator:
+    """Caches fragment→server placements, learned from headers."""
+
+    def __init__(self, transport, principal: str = "") -> None:
+        self.transport = transport
+        self.principal = principal
+        self._cache: Dict[int, str] = {}
+
+    def locate(self, fid: int) -> Optional[str]:
+        """Best-known server for ``fid``; broadcasts on a cache miss."""
+        server_id = self._cache.get(fid)
+        if server_id is not None:
+            return server_id
+        found = self.transport.broadcast_holds([fid])
+        server_id = found.get(fid)
+        if server_id is not None:
+            self._cache[fid] = server_id
+        return server_id
+
+    def learn(self, fragment: Fragment) -> None:
+        """Absorb the stripe descriptor of a fetched fragment."""
+        header = fragment.header
+        for index, server_id in enumerate(header.servers):
+            self._cache[header.stripe_base_fid + index] = server_id
+
+    def forget(self, fid: int) -> None:
+        """Drop a placement (e.g. after observing a failure)."""
+        self._cache.pop(fid, None)
+
+
+class LogReader:
+    """Reads one client's log in FID order."""
+
+    def __init__(self, transport, principal: str = "") -> None:
+        self.transport = transport
+        self.principal = principal
+        self.locator = FragmentLocator(transport, principal)
+        self.reconstructor = Reconstructor(transport, principal)
+
+    def read_fragment(self, fid: int) -> Optional[Fragment]:
+        """Fetch and parse fragment ``fid``; None if it does not exist.
+
+        Tries the cached/learned placement first, then a broadcast, then
+        reconstruction from the stripe.
+        """
+        server_id = self.locator.locate(fid)
+        image: Optional[bytes] = None
+        if server_id is not None:
+            try:
+                response = self.transport.call(server_id, m.RetrieveRequest(
+                    fid=fid, principal=self.principal))
+                image = response.payload
+            except SwarmError:
+                self.locator.forget(fid)
+        if image is None:
+            try:
+                image = self.reconstructor.fetch(fid)
+            except ReconstructionError:
+                return None
+        fragment = Fragment.decode(image)
+        self.locator.learn(fragment)
+        return fragment
+
+    def fragments_from(self, start_fid: int) -> Iterator[Fragment]:
+        """Yield fragments starting at ``start_fid`` until the log ends."""
+        fid = start_fid
+        while True:
+            fragment = self.read_fragment(fid)
+            if fragment is None:
+                return
+            yield fragment
+            fid += 1
+
+    def records_from(self, start_fid: int, min_lsn: int = 0) -> List[Record]:
+        """All records in fragments >= ``start_fid`` with LSN > ``min_lsn``,
+        in LSN (= log) order."""
+        records: List[Record] = []
+        for fragment in self.fragments_from(start_fid):
+            for record in fragment.records():
+                if record.lsn > min_lsn:
+                    records.append(record)
+        records.sort(key=lambda record: record.lsn)
+        return records

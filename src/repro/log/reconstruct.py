@@ -1,0 +1,154 @@
+"""Client-side fragment reconstruction (§2.4.3).
+
+When a storage server is unavailable, any fragment it held can be
+rebuilt from the rest of its stripe. Servers take no part in this —
+reconstruction is *transparent to the servers, not the clients*. The
+protocol is exactly the paper's:
+
+1. Fragments of a stripe have consecutive FIDs, so for a missing
+   fragment N, fragment N−1 or N+1 is in the same stripe. The client
+   *broadcasts* to all storage servers asking who holds those FIDs —
+   no directory service exists or is needed (Swarm is self-hosting).
+2. A located neighbor's header carries the full stripe descriptor:
+   base FID, width, and the server of every member.
+3. The client fetches the surviving members and XORs them together.
+   Parity payloads are defined as the XOR of the data members' whole
+   images, so a missing data fragment comes back as a complete,
+   parseable image (with harmless zero padding), and a missing parity
+   fragment is simply recomputed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ReconstructionError, SwarmError
+from repro.log.fragment import Fragment, FragmentHeader, make_parity_fragment
+from repro.log.stripe import recover_data_image
+from repro.rpc import messages as m
+
+
+class Reconstructor:
+    """Fetches fragments, reconstructing them from parity when needed."""
+
+    def __init__(self, transport, principal: str = "",
+                 cache: Optional[Dict[int, bytes]] = None) -> None:
+        self.transport = transport
+        self.principal = principal
+        self.cache = cache if cache is not None else {}
+        self.reconstructions = 0
+
+    # ------------------------------------------------------------------
+
+    def fetch(self, fid: int) -> bytes:
+        """Return fragment ``fid``'s image, from a server or by XOR."""
+        cached = self.cache.get(fid)
+        if cached is not None:
+            return cached
+        image = self._try_direct(fid)
+        if image is not None:
+            return image
+        image = self.reconstruct(fid)
+        self.cache[fid] = image
+        return image
+
+    def _try_direct(self, fid: int, server_id: str = None) -> Optional[bytes]:
+        if server_id is None:
+            found = self.transport.broadcast_holds([fid])
+            server_id = found.get(fid)
+            if server_id is None:
+                return None
+        try:
+            response = self.transport.call(
+                server_id, m.RetrieveRequest(fid=fid, principal=self.principal))
+        except SwarmError:
+            return None
+        return response.payload
+
+    # ------------------------------------------------------------------
+
+    def reconstruct(self, fid: int) -> bytes:
+        """Rebuild fragment ``fid`` from the rest of its stripe."""
+        header = self._find_stripe_descriptor(fid)
+        if header is None:
+            raise ReconstructionError(
+                "no stripe neighbor of fragment %d found; cannot reconstruct"
+                % fid)
+        base = header.stripe_base_fid
+        width = header.stripe_width
+        missing_index = fid - base
+        survivors: Dict[int, bytes] = {}
+        for index in range(width):
+            if index == missing_index:
+                continue
+            sibling = base + index
+            image = self._try_direct(sibling,
+                                     server_id=header.server_of_index(index))
+            if image is None:
+                image = self._try_direct(sibling)
+            if image is None:
+                raise ReconstructionError(
+                    "two members of stripe %d..%d unavailable (%d and %d)"
+                    % (base, base + width - 1, fid, sibling))
+            survivors[index] = image
+        self.reconstructions += 1
+        if missing_index == header.parity_index:
+            return self._rebuild_parity(fid, header, survivors)
+        return self._rebuild_data(header, survivors)
+
+    def _find_stripe_descriptor(self, fid: int) -> Optional[FragmentHeader]:
+        """Locate a same-stripe neighbor of ``fid`` and return its header."""
+        neighbors = [n for n in (fid - 1, fid + 1) if n > 0]
+        found = self.transport.broadcast_holds(neighbors)
+        for neighbor, server_id in sorted(found.items()):
+            image = self._try_direct(neighbor, server_id=server_id)
+            if image is None:
+                continue
+            try:
+                header = FragmentHeader.decode(image)
+            except SwarmError:
+                continue
+            if header.stripe_base_fid <= fid < (header.stripe_base_fid
+                                                + header.stripe_width):
+                return header
+        return None
+
+    def _rebuild_data(self, header: FragmentHeader,
+                      survivors: Dict[int, bytes]) -> bytes:
+        parity_payload = self._parity_payload(
+            survivors[header.parity_index])
+        data_images = [image for index, image in sorted(survivors.items())
+                       if index != header.parity_index]
+        image = recover_data_image(parity_payload, data_images)
+        # Validate: the recovered bytes must parse as a fragment.
+        Fragment.decode(image)
+        return image
+
+    def _rebuild_parity(self, fid: int, header: FragmentHeader,
+                        survivors: Dict[int, bytes]) -> bytes:
+        data_images = [image for _index, image in sorted(survivors.items())]
+        parity = make_parity_fragment(
+            fid, header.client_id, data_images, header.stripe_base_fid,
+            header.stripe_width, header.parity_index, header.servers)
+        return parity.encode()
+
+    @staticmethod
+    def _parity_payload(parity_image: bytes) -> bytes:
+        fragment = Fragment.decode(parity_image)
+        if not fragment.header.is_parity:
+            raise ReconstructionError(
+                "stripe descriptor named a non-parity fragment as parity")
+        return fragment.payload
+
+    # ------------------------------------------------------------------
+
+    def rebuild_to_server(self, fid: int, target_server: str,
+                          marked: bool = False) -> None:
+        """Reconstruct ``fid`` and store it on ``target_server``.
+
+        Used when repairing the cluster after replacing a failed server:
+        clients re-materialize the fragments the dead server held.
+        """
+        image = self.fetch(fid)
+        self.transport.call(target_server, m.StoreRequest(
+            fid=fid, data=image, principal=self.principal, marked=marked))

@@ -1,0 +1,53 @@
+"""Client↔server communication.
+
+Requests and responses are plain dataclasses with a compact binary
+codec. Two transports carry them:
+
+* :class:`~repro.rpc.transport.LocalTransport` — direct in-process
+  calls; used by correctness tests, examples, and anything that does not
+  need timing.
+* :class:`~repro.rpc.transport.SimTransport` — routes each operation
+  through the discrete-event testbed (client CPU → network → server CPU
+  → server disk → reply), so benchmarks measure contention the way the
+  real cluster would experience it. Functional effects are the same.
+"""
+
+from repro.rpc.messages import (
+    CreateAclRequest,
+    DeleteRequest,
+    ErrorResponse,
+    EvalScriptRequest,
+    HoldsRequest,
+    LastMarkedRequest,
+    ModifyAclRequest,
+    PreallocateRequest,
+    Response,
+    RetrieveRequest,
+    StoreRequest,
+)
+from repro.rpc.codec import decode_message, encode_message, wire_size
+from repro.rpc.transport import (
+    LocalTransport,
+    SimTransport,
+    Transport,
+)
+
+__all__ = [
+    "CreateAclRequest",
+    "DeleteRequest",
+    "ErrorResponse",
+    "EvalScriptRequest",
+    "HoldsRequest",
+    "LastMarkedRequest",
+    "ModifyAclRequest",
+    "PreallocateRequest",
+    "Response",
+    "RetrieveRequest",
+    "StoreRequest",
+    "decode_message",
+    "encode_message",
+    "wire_size",
+    "LocalTransport",
+    "SimTransport",
+    "Transport",
+]

@@ -1,0 +1,139 @@
+"""Request/response message types for the storage-server protocol.
+
+One dataclass per server operation. Every request carries the calling
+``principal`` for ACL checks. Responses use a single generic
+:class:`Response` (a value plus optional payload bytes) or
+:class:`ErrorResponse` (an error class name plus message), which the
+transports convert back into the library's exception hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class StoreRequest:
+    """Store a complete fragment (atomically)."""
+
+    fid: int
+    data: bytes
+    principal: str = ""
+    marked: bool = False
+    acl_ranges: Tuple[Tuple[int, int, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class RetrieveRequest:
+    """Read ``length`` bytes at ``offset`` within fragment ``fid``."""
+
+    fid: int
+    offset: int = 0
+    length: int = -1
+    principal: str = ""
+
+
+@dataclass(frozen=True)
+class DeleteRequest:
+    """Delete fragment ``fid``."""
+
+    fid: int
+    principal: str = ""
+
+
+@dataclass(frozen=True)
+class PreallocateRequest:
+    """Reserve a slot for fragment ``fid``."""
+
+    fid: int
+    principal: str = ""
+
+
+@dataclass(frozen=True)
+class LastMarkedRequest:
+    """Ask for the newest marked fragment's FID (0 if none).
+
+    ``client_id`` >= 0 restricts the answer to fragments written by that
+    client (FIDs embed the writer's id), so clients sharing servers each
+    find their *own* newest checkpoint.
+    """
+
+    client_id: int = -1
+    principal: str = ""
+
+
+@dataclass(frozen=True)
+class HoldsRequest:
+    """Ask whether the server stores fragment ``fid`` (broadcast probe)."""
+
+    fid: int
+    principal: str = ""
+
+
+@dataclass(frozen=True)
+class CreateAclRequest:
+    """Create an ACL with the given reader/writer principals."""
+
+    readers: Tuple[str, ...]
+    writers: Tuple[str, ...]
+    principal: str = ""
+
+
+@dataclass(frozen=True)
+class ModifyAclRequest:
+    """Replace an ACL's membership sets (None leaves a set unchanged)."""
+
+    aid: int
+    readers: Optional[Tuple[str, ...]] = None
+    writers: Optional[Tuple[str, ...]] = None
+    principal: str = ""
+
+
+@dataclass(frozen=True)
+class DeleteAclRequest:
+    """Delete an ACL."""
+
+    aid: int
+    principal: str = ""
+
+
+@dataclass(frozen=True)
+class ListFidsRequest:
+    """Ask for every stored FID (optionally one client's): a diagnostic
+    operation used by the fsck tool, not part of the paper's op set."""
+
+    client_id: int = -1
+    principal: str = ""
+
+
+@dataclass(frozen=True)
+class EvalScriptRequest:
+    """Run a SwarmScript program on the server (the active-disk hook)."""
+
+    script: str
+    principal: str = ""
+
+
+@dataclass(frozen=True)
+class Response:
+    """Successful reply: a small scalar ``value`` plus optional bytes."""
+
+    value: int = 0
+    payload: bytes = b""
+    text: str = ""
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """Failed reply; transports re-raise the named exception class."""
+
+    error_class: str
+    message: str
+
+
+REQUEST_TYPES = (
+    StoreRequest, RetrieveRequest, DeleteRequest, PreallocateRequest,
+    LastMarkedRequest, HoldsRequest, CreateAclRequest, ModifyAclRequest,
+    DeleteAclRequest, EvalScriptRequest, ListFidsRequest,
+)

@@ -1,0 +1,348 @@
+"""Transports: how client code reaches storage servers.
+
+Both transports expose the same interface, so the log layer and every
+service above it are oblivious to whether they run in plain Python
+(correctness tests, examples) or inside the discrete-event testbed
+(benchmarks). Asynchronous operations return *future-like* objects with
+``triggered`` / ``ok`` / ``value`` / ``exception`` attributes — the same
+shape as simulator events, so simulated drivers can ``yield`` them
+directly while synchronous callers just read the result.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro import errors
+from repro.rpc import messages as m
+from repro.rpc.codec import decode_message, encode_message, wire_size
+
+
+def dispatch(server, request) -> Any:
+    """Apply one request to a :class:`~repro.server.server.StorageServer`.
+
+    Returns a :class:`~repro.rpc.messages.Response`; converts library
+    exceptions into :class:`~repro.rpc.messages.ErrorResponse` so the
+    failure crosses the "network" as data, exactly as a real wire
+    protocol would carry it.
+    """
+    try:
+        if isinstance(request, m.StoreRequest):
+            slot = server.store(request.fid, request.data,
+                                principal=request.principal,
+                                marked=request.marked,
+                                acl_ranges=list(request.acl_ranges))
+            return m.Response(value=slot)
+        if isinstance(request, m.RetrieveRequest):
+            data = server.retrieve(request.fid, request.offset, request.length,
+                                   principal=request.principal)
+            return m.Response(value=len(data), payload=data)
+        if isinstance(request, m.DeleteRequest):
+            server.delete(request.fid, principal=request.principal)
+            return m.Response()
+        if isinstance(request, m.PreallocateRequest):
+            slot = server.preallocate(request.fid)
+            return m.Response(value=slot)
+        if isinstance(request, m.LastMarkedRequest):
+            return m.Response(value=server.last_marked(request.client_id))
+        if isinstance(request, m.HoldsRequest):
+            return m.Response(value=1 if server.holds(request.fid) else 0)
+        if isinstance(request, m.CreateAclRequest):
+            aid = server.create_acl(set(request.readers), set(request.writers))
+            return m.Response(value=aid)
+        if isinstance(request, m.ModifyAclRequest):
+            readers = set(request.readers) if request.readers is not None else None
+            writers = set(request.writers) if request.writers is not None else None
+            server.modify_acl(request.aid, readers, writers)
+            return m.Response()
+        if isinstance(request, m.DeleteAclRequest):
+            server.delete_acl(request.aid)
+            return m.Response()
+        if isinstance(request, m.ListFidsRequest):
+            fids = server.list_fids()
+            if request.client_id >= 0:
+                from repro.util.fids import fid_client
+
+                fids = [fid for fid in fids
+                        if fid_client(fid) == request.client_id]
+            import struct as _struct
+
+            payload = b"".join(_struct.pack(">Q", fid) for fid in fids)
+            return m.Response(value=len(fids), payload=payload)
+        if isinstance(request, m.EvalScriptRequest):
+            from repro.server.script import SwarmScriptInterpreter
+
+            interp = SwarmScriptInterpreter(server, principal=request.principal)
+            result = interp.run(request.script)
+            return m.Response(text=result)
+        raise errors.BadRequestError("unknown request %r" % (request,))
+    except errors.SwarmError as exc:
+        return m.ErrorResponse(error_class=type(exc).__name__, message=str(exc))
+
+
+def raise_error_response(response: m.ErrorResponse) -> None:
+    """Re-raise the library exception an :class:`ErrorResponse` names."""
+    cls = getattr(errors, response.error_class, errors.ServerError)
+    if not (isinstance(cls, type) and issubclass(cls, errors.SwarmError)):
+        cls = errors.ServerError
+    raise cls(response.message)
+
+
+class CompletedFuture:
+    """A future that resolved at creation time (local transport)."""
+
+    def __init__(self, value: Any = None,
+                 exception: Optional[BaseException] = None) -> None:
+        self.value = value
+        self.exception = exception
+        self.triggered = True
+
+    @property
+    def ok(self) -> bool:
+        """True when the operation succeeded."""
+        return self.exception is None
+
+    def result(self) -> Any:
+        """Return the value or raise the stored exception."""
+        if self.exception is not None:
+            raise self.exception
+        return self.value
+
+
+class Transport(ABC):
+    """Abstract client-side channel to a set of storage servers."""
+
+    @abstractmethod
+    def call(self, server_id: str, request) -> m.Response:
+        """Perform one operation synchronously; raises on error."""
+
+    @abstractmethod
+    def submit(self, server_id: str, request):
+        """Start one operation; returns a future-like object."""
+
+    @abstractmethod
+    def server_ids(self) -> List[str]:
+        """Names of all reachable servers."""
+
+    def broadcast_holds(self, fids: Iterable[int]) -> Dict[int, str]:
+        """Ask every server which of ``fids`` it stores.
+
+        Returns ``{fid: server_id}`` for each fragment found. This is
+        the self-hosting lookup used by reconstruction: no directory
+        service exists, the cluster itself answers.
+        """
+        found: Dict[int, str] = {}
+        pending = set(fids)
+        for server_id in self.server_ids():
+            if not pending:
+                break
+            located = set()
+            for fid in pending:
+                try:
+                    response = self.call(server_id, m.HoldsRequest(fid=fid))
+                except errors.ServerUnavailableError:
+                    break
+                if response.value:
+                    found[fid] = server_id
+                    located.add(fid)
+            pending -= located
+        return found
+
+
+class LocalTransport(Transport):
+    """Direct, synchronous, in-process transport.
+
+    With ``verify_codec=True`` every message and reply is round-tripped
+    through the binary codec, keeping the wire format honest even in
+    pure-functional tests.
+    """
+
+    def __init__(self, servers: Dict[str, Any], verify_codec: bool = False) -> None:
+        self.servers = dict(servers)
+        self.verify_codec = verify_codec
+
+    def add_server(self, server) -> None:
+        """Register another server (e.g. grown cluster in examples)."""
+        self.servers[server.server_id] = server
+
+    def server_ids(self) -> List[str]:
+        return list(self.servers)
+
+    def _dispatch(self, server_id: str, request):
+        server = self.servers.get(server_id)
+        if server is None:
+            raise errors.ServerUnavailableError("no server %r" % server_id)
+        if self.verify_codec:
+            request = decode_message(encode_message(request))
+        response = dispatch(server, request)
+        if self.verify_codec:
+            response = decode_message(encode_message(response))
+        return response
+
+    def call(self, server_id: str, request) -> m.Response:
+        response = self._dispatch(server_id, request)
+        if isinstance(response, m.ErrorResponse):
+            raise_error_response(response)
+        return response
+
+    def submit(self, server_id: str, request) -> CompletedFuture:
+        try:
+            return CompletedFuture(value=self.call(server_id, request))
+        except errors.SwarmError as exc:
+            return CompletedFuture(exception=exc)
+
+
+class SimTransport(Transport):
+    """Transport that routes operations through the simulated testbed.
+
+    Each :meth:`submit` becomes a simulator process walking the real
+    pipeline — client CPU (protocol send cost), client NIC, switch
+    fabric, server NIC, server CPU, server disk, and the reply path —
+    while the *functional* effect is applied to the in-process server at
+    the disk stage. Because NICs, CPUs, and disk arms are simulator
+    resources, overlapping operations contend exactly where real ones
+    would: a fragment can be crossing the wire while the server's disk
+    writes its predecessor, which is the pipelining §2.2 describes.
+
+    :meth:`call` applies the functional effect immediately and adds the
+    operation's modeled service time to a *deferred-time ledger* that
+    single-threaded simulated drivers (e.g. the Andrew-benchmark runner)
+    fold into their timeline.
+    """
+
+    def __init__(self, sim, switch, client_node, server_nodes: Dict[str, Any],
+                 cpu_model, deferred_mode: bool = False) -> None:
+        self.sim = sim
+        self.switch = switch
+        self.client_node = client_node
+        self.server_nodes = dict(server_nodes)
+        self.cpu_model = cpu_model
+        self.deferred_mode = deferred_mode
+        self.deferred_time = 0.0
+
+    def server_ids(self) -> List[str]:
+        return list(self.server_nodes)
+
+    # -- synchronous path ---------------------------------------------------
+
+    def call(self, server_id: str, request) -> m.Response:
+        node = self._node(server_id)
+        response = dispatch(node.server, request)
+        self.deferred_time += self._estimate_round_trip(node, request, response)
+        if isinstance(response, m.ErrorResponse):
+            raise_error_response(response)
+        return response
+
+    def take_deferred_time(self) -> float:
+        """Return and clear the accumulated synchronous service time."""
+        elapsed, self.deferred_time = self.deferred_time, 0.0
+        return elapsed
+
+    def _estimate_round_trip(self, node, request, response) -> float:
+        params = self.switch.params
+        out = wire_size(request)
+        back = wire_size(response)
+        time = self.cpu_model.send_cost(out) + self.cpu_model.receive_cost(back)
+        time += params.wire_time(out) + params.wire_time(back)
+        time += 2 * params.per_message_latency_s
+        time += self.cpu_model.server_request_cost(out + back)
+        time += self._disk_time(node, request)
+        return time
+
+    def _disk_time(self, node, request) -> float:
+        model = node.disk.model
+        if isinstance(request, m.StoreRequest):
+            # Fragment write plus the fragment-map commit (small, seeks).
+            return (model.access_time(len(request.data), sequential=False,
+                                      nearby=True)
+                    + model.access_time(4096, sequential=False))
+        if isinstance(request, m.RetrieveRequest):
+            if node.server.last_retrieve_was_cached:
+                return 0.0
+            length = (request.length if request.length >= 0
+                      else node.server.config.fragment_size)
+            return model.access_time(length, sequential=False)
+        if isinstance(request, m.DeleteRequest):
+            return model.access_time(4096, sequential=False)
+        return 0.0
+
+    # -- asynchronous path ----------------------------------------------------
+
+    def submit(self, server_id: str, request):
+        if self.deferred_mode:
+            # Deferred mode: apply the functional effect now and fold the
+            # modeled service time into the ledger. Used by sequential
+            # single-client workloads (e.g. the Andrew benchmark), whose
+            # drivers cannot yield from inside synchronous FS code.
+            try:
+                return CompletedFuture(value=self.call(server_id, request))
+            except errors.SwarmError as exc:
+                return CompletedFuture(exception=exc)
+        return self.sim.process(self._operation(server_id, request),
+                                name="rpc %s" % type(request).__name__)
+
+    def _operation(self, server_id: str, request):
+        node = self._node(server_id)
+        client = self.client_node
+        out_size = wire_size(request)
+        # Client-side protocol processing.
+        yield from client.cpu.compute(self.cpu_model.send_cost(out_size))
+        # Network: client NIC -> fabric -> server NIC.
+        yield from self._transfer(client.nic, node.nic, out_size)
+        # Server-side protocol processing.
+        yield from node.cpu.compute(self.cpu_model.server_request_cost(out_size))
+        # Functional effect, then the disk work it implies.
+        response = dispatch(node.server, request)
+        yield from self._disk_work(node, request, response)
+        # Reply.
+        back_size = wire_size(response)
+        yield from self._transfer(node.nic, client.nic, back_size)
+        yield from client.cpu.compute(self.cpu_model.receive_cost(back_size))
+        if isinstance(response, m.ErrorResponse):
+            raise_error_response(response)
+        return response
+
+    _MAP_REGION = -64.0  # disk position of the fragment map, far from slots
+
+    def _disk_work(self, node, request, response):
+        """Charge the disk operations one request implies."""
+        if isinstance(request, m.StoreRequest) and isinstance(response, m.Response):
+            yield from node.disk.positioned_access(len(request.data),
+                                                   float(response.value))
+            yield from node.disk.positioned_access(4096, self._MAP_REGION)
+        elif isinstance(request, m.RetrieveRequest) and isinstance(response, m.Response):
+            if node.server.last_retrieve_was_cached:
+                return  # served from server memory: no disk time
+            slot = node.server.slots.slot_of(request.fid) or 0
+            # Position includes the intra-fragment offset so consecutive
+            # block reads from one fragment are sequential on the platter.
+            position = float(slot) + max(0, request.offset) / float(1 << 20)
+            yield from node.disk.positioned_access(
+                max(len(response.payload), 1), position, write=False)
+        elif isinstance(request, m.DeleteRequest):
+            yield from node.disk.positioned_access(4096, self._MAP_REGION)
+
+    def _transfer(self, src_nic, dst_nic, size: int):
+        params = self.switch.params
+        wire = params.wire_time(size)
+        yield src_nic.tx.request()
+        try:
+            yield self.sim.timeout(wire)
+        finally:
+            src_nic.tx.release()
+        fabric = getattr(self.switch, "fabric", None)
+        if fabric is not None:
+            yield from fabric.use(size / params.fabric_bandwidth_bytes_per_s)
+        yield self.sim.timeout(params.per_message_latency_s)
+        yield dst_nic.rx.request()
+        try:
+            yield self.sim.timeout(wire)
+        finally:
+            dst_nic.rx.release()
+
+    def _node(self, server_id: str):
+        node = self.server_nodes.get(server_id)
+        if node is None:
+            raise errors.ServerUnavailableError("no server %r" % server_id)
+        return node

@@ -1,0 +1,31 @@
+"""The Swarm storage server.
+
+A storage server is deliberately simple — "little more than a virtual
+disk that provides a sparse address space". It stores log fragments in
+fragment-sized slots, keeps an FID→slot map, answers "newest marked
+fragment" queries (checkpoint discovery), performs every store
+atomically, enforces byte-range ACLs, and exposes the whole operation
+set through SwarmScript (the reproduction's stand-in for the prototype's
+TCL interface). Servers never talk to each other and know nothing about
+stripes, blocks, or records.
+"""
+
+from repro.server.acl import Acl, AclStore
+from repro.server.backend import FileBackend, MemoryBackend, StorageBackend
+from repro.server.config import ServerConfig
+from repro.server.server import FragmentInfo, StorageServer
+from repro.server.slots import SlotTable
+from repro.server.script import SwarmScriptInterpreter
+
+__all__ = [
+    "Acl",
+    "AclStore",
+    "FileBackend",
+    "MemoryBackend",
+    "StorageBackend",
+    "ServerConfig",
+    "FragmentInfo",
+    "StorageServer",
+    "SlotTable",
+    "SwarmScriptInterpreter",
+]

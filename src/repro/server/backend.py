@@ -1,0 +1,133 @@
+"""Storage backends: where fragment slots actually live.
+
+The server logic is backend-agnostic. :class:`MemoryBackend` keeps slots
+in a dict (fast, used by tests and the simulated testbed, whose timing
+comes from the disk *model*, not real IO). :class:`FileBackend` keeps
+slots in a real file on the host filesystem with write-then-rename
+metadata commits, demonstrating the durability story end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+
+class StorageBackend(ABC):
+    """Slot-granular persistent storage for one server."""
+
+    @abstractmethod
+    def write_slot(self, slot: int, data: bytes) -> None:
+        """Atomically replace the contents of ``slot`` with ``data``."""
+
+    @abstractmethod
+    def read_slot(self, slot: int) -> Optional[bytes]:
+        """Return the contents of ``slot`` or None if never written."""
+
+    @abstractmethod
+    def clear_slot(self, slot: int) -> None:
+        """Discard the contents of ``slot``."""
+
+    @abstractmethod
+    def save_metadata(self, key: str, payload: bytes) -> None:
+        """Atomically persist a named metadata blob (the fragment map)."""
+
+    @abstractmethod
+    def load_metadata(self, key: str) -> Optional[bytes]:
+        """Load a metadata blob saved by :meth:`save_metadata`."""
+
+
+class MemoryBackend(StorageBackend):
+    """In-memory backend; survives simulated crashes (which only reset
+    the server's volatile state), not process exit."""
+
+    def __init__(self) -> None:
+        self._slots: Dict[int, bytes] = {}
+        self._metadata: Dict[str, bytes] = {}
+
+    def write_slot(self, slot: int, data: bytes) -> None:
+        self._slots[slot] = bytes(data)
+
+    def read_slot(self, slot: int) -> Optional[bytes]:
+        return self._slots.get(slot)
+
+    def clear_slot(self, slot: int) -> None:
+        self._slots.pop(slot, None)
+
+    def save_metadata(self, key: str, payload: bytes) -> None:
+        self._metadata[key] = bytes(payload)
+
+    def load_metadata(self, key: str) -> Optional[bytes]:
+        return self._metadata.get(key)
+
+    def used_slots(self) -> int:
+        """Number of occupied slots (test/diagnostic helper)."""
+        return len(self._slots)
+
+
+class FileBackend(StorageBackend):
+    """Backend storing slots as files under a directory.
+
+    Each slot is one file (``slot_<n>``), written via a temporary file
+    and ``os.replace`` so a crash never leaves a half-written slot —
+    this is how the real server honours the paper's atomic-store
+    guarantee. Metadata blobs use the same write-then-rename commit.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _slot_path(self, slot: int) -> str:
+        return os.path.join(self.directory, "slot_%d" % slot)
+
+    def _meta_path(self, key: str) -> str:
+        return os.path.join(self.directory, "meta_%s.json" % key)
+
+    def _atomic_write(self, path: str, data: bytes) -> None:
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def write_slot(self, slot: int, data: bytes) -> None:
+        self._atomic_write(self._slot_path(slot), data)
+
+    def read_slot(self, slot: int) -> Optional[bytes]:
+        try:
+            with open(self._slot_path(slot), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    def clear_slot(self, slot: int) -> None:
+        try:
+            os.remove(self._slot_path(slot))
+        except FileNotFoundError:
+            pass
+
+    def save_metadata(self, key: str, payload: bytes) -> None:
+        self._atomic_write(self._meta_path(key), payload)
+
+    def load_metadata(self, key: str) -> Optional[bytes]:
+        try:
+            with open(self._meta_path(key), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+
+def encode_fragment_map(mapping: Dict[int, dict]) -> bytes:
+    """Serialize the FID→slot map for backend persistence."""
+    return json.dumps({str(fid): info for fid, info in mapping.items()},
+                      sort_keys=True).encode("utf-8")
+
+
+def decode_fragment_map(payload: bytes) -> Dict[int, dict]:
+    """Inverse of :func:`encode_fragment_map`."""
+    raw = json.loads(payload.decode("utf-8"))
+    return {int(fid): info for fid, info in raw.items()}

@@ -1,0 +1,365 @@
+"""SwarmScript: the server's scriptable command interface.
+
+The prototype drove every storage-server operation through TCL scripts
+sent over the wire, which (a) made the interface easy to extend and
+debug and (b) effectively turned the server into an *Active Disk* —
+clients can ship small programs to run next to the data. A real TCL is
+not available offline, so this module implements a small TCL-flavoured
+interpreter with the features the paper's usage implies:
+
+* one command per line (or ``;``-separated), words split on whitespace;
+* ``set name value`` variables and ``$name`` substitution;
+* ``[command ...]`` substitution (nested evaluation);
+* ``{...}`` literal grouping and ``"..."`` grouping with substitution;
+* ``expr``, ``if``, ``foreach``, ``puts`` control/utility commands;
+* one command per storage-server operation (``store``, ``retrieve``,
+  ``delete``, ``preallocate``, ``last-marked``, ``holds``, ACL ops);
+* active-disk demonstrators that compute *at* the server instead of
+  shipping a fragment to the client: ``count-byte`` and ``checksum``.
+
+Binary fragment data crosses the script boundary hex-encoded, mirroring
+how the prototype passed data through ASCII TCL scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ScriptError
+from repro.util.checksums import crc32_of
+
+
+def tokenize_command(line: str) -> List[str]:
+    """Split one command into words, honouring ``{}``, ``""`` and ``[]``.
+
+    Returns raw words; substitution happens later so ``{}`` can suppress
+    it, exactly as in TCL.
+    """
+    words: List[str] = []
+    i, n = 0, len(line)
+    while i < n:
+        ch = line[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "{" or ch == "[":
+            close = "}" if ch == "{" else "]"
+            depth = 1
+            j = i + 1
+            while j < n and depth:
+                if line[j] == ch:
+                    depth += 1
+                elif line[j] == close:
+                    depth -= 1
+                j += 1
+            if depth:
+                raise ScriptError("unbalanced %r in command: %r" % (ch, line))
+            words.append(line[i:j])
+            i = j
+        elif ch == '"':
+            j = i + 1
+            while j < n and line[j] != '"':
+                j += 1
+            if j >= n:
+                raise ScriptError("unterminated string in command: %r" % line)
+            words.append(line[i:j + 1])
+            i = j + 1
+        else:
+            j = i
+            while j < n and not line[j].isspace():
+                j += 1
+            words.append(line[i:j])
+            i = j
+    return words
+
+
+def split_commands(script: str) -> List[str]:
+    """Split a script into commands on newlines and ``;`` (outside
+    braces/brackets/strings); drops blanks and ``#`` comments."""
+    commands: List[str] = []
+    current: List[str] = []
+    depth = 0
+    in_string = False
+    for ch in script:
+        if in_string:
+            current.append(ch)
+            if ch == '"':
+                in_string = False
+            continue
+        if ch == '"':
+            in_string = True
+            current.append(ch)
+        elif ch in "{[":
+            depth += 1
+            current.append(ch)
+        elif ch in "}]":
+            depth -= 1
+            current.append(ch)
+        elif ch in "\n;" and depth == 0:
+            commands.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    commands.append("".join(current))
+    result = []
+    for command in commands:
+        stripped = command.strip()
+        if stripped and not stripped.startswith("#"):
+            result.append(stripped)
+    return result
+
+
+class SwarmScriptInterpreter:
+    """Evaluates SwarmScript programs against one storage server."""
+
+    def __init__(self, server, principal: str = "") -> None:
+        self.server = server
+        self.principal = principal
+        self.variables: Dict[str, str] = {}
+        self.output: List[str] = []
+        self._commands: Dict[str, Callable[[List[str]], str]] = {
+            "set": self._cmd_set,
+            "expr": self._cmd_expr,
+            "if": self._cmd_if,
+            "foreach": self._cmd_foreach,
+            "puts": self._cmd_puts,
+            "store": self._cmd_store,
+            "retrieve": self._cmd_retrieve,
+            "delete": self._cmd_delete,
+            "preallocate": self._cmd_preallocate,
+            "last-marked": self._cmd_last_marked,
+            "holds": self._cmd_holds,
+            "acl-create": self._cmd_acl_create,
+            "acl-modify": self._cmd_acl_modify,
+            "acl-delete": self._cmd_acl_delete,
+            "count-byte": self._cmd_count_byte,
+            "checksum": self._cmd_checksum,
+        }
+
+    # -- evaluation ---------------------------------------------------------
+
+    def run(self, script: str) -> str:
+        """Execute ``script``; return accumulated ``puts`` output."""
+        self.output = []
+        for command in split_commands(script):
+            self.eval_command(command)
+        return "\n".join(self.output)
+
+    def eval_command(self, command: str) -> str:
+        """Evaluate one command and return its result string."""
+        raw_words = tokenize_command(command)
+        if not raw_words:
+            return ""
+        name = self._substitute(raw_words[0])
+        handler = self._commands.get(name)
+        if handler is None:
+            raise ScriptError("unknown command %r" % name)
+        return handler(raw_words[1:])
+
+    def _substitute(self, word: str) -> str:
+        """Apply TCL-style substitution to one word."""
+        if word.startswith("{") and word.endswith("}"):
+            return word[1:-1]
+        if word.startswith("[") and word.endswith("]"):
+            return self.eval_command(word[1:-1])
+        if word.startswith('"') and word.endswith('"') and len(word) >= 2:
+            return self._interpolate(word[1:-1])
+        return self._interpolate(word)
+
+    def _interpolate(self, text: str) -> str:
+        out: List[str] = []
+        i, n = 0, len(text)
+        while i < n:
+            if text[i] == "$":
+                j = i + 1
+                while j < n and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                name = text[i + 1:j]
+                if not name:
+                    raise ScriptError("dangling $ in %r" % text)
+                if name not in self.variables:
+                    raise ScriptError("undefined variable %r" % name)
+                out.append(self.variables[name])
+                i = j
+            elif text[i] == "[":
+                depth = 1
+                j = i + 1
+                while j < n and depth:
+                    if text[j] == "[":
+                        depth += 1
+                    elif text[j] == "]":
+                        depth -= 1
+                    j += 1
+                out.append(self.eval_command(text[i + 1:j - 1]))
+                i = j
+            else:
+                out.append(text[i])
+                i += 1
+        return "".join(out)
+
+    def _args(self, raw_words: List[str]) -> List[str]:
+        return [self._substitute(word) for word in raw_words]
+
+    # -- utility commands ------------------------------------------------------
+
+    def _cmd_set(self, raw: List[str]) -> str:
+        args = self._args(raw)
+        if len(args) != 2:
+            raise ScriptError("set expects: set name value")
+        self.variables[args[0]] = args[1]
+        return args[1]
+
+    def _cmd_expr(self, raw: List[str]) -> str:
+        # Brace-quoted expressions arrive literal; expr performs its own
+        # substitution pass, as TCL's expr does.
+        expression = self._interpolate(" ".join(self._args(raw)))
+        allowed = set("0123456789+-*/%()<>=! .")
+        if not expression or not set(expression) <= allowed:
+            raise ScriptError("expr accepts arithmetic only: %r" % expression)
+        try:
+            value = eval(expression, {"__builtins__": {}}, {})  # noqa: S307
+        except Exception as exc:
+            raise ScriptError("bad expression %r: %s" % (expression, exc))
+        if isinstance(value, bool):
+            return "1" if value else "0"
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return str(value)
+
+    def _cmd_if(self, raw: List[str]) -> str:
+        if len(raw) not in (2, 4):
+            raise ScriptError("if expects: if {cond} {body} ?else {body}?")
+        condition = self._cmd_expr([raw[0]])
+        if condition not in ("0", ""):
+            return self.run_block(raw[1])
+        if len(raw) == 4:
+            if self._substitute(raw[2]) != "else":
+                raise ScriptError("expected 'else' in if command")
+            return self.run_block(raw[3])
+        return ""
+
+    def _cmd_foreach(self, raw: List[str]) -> str:
+        if len(raw) != 3:
+            raise ScriptError("foreach expects: foreach var {items} {body}")
+        var = self._substitute(raw[0])
+        items = self._substitute(raw[1]).split()
+        result = ""
+        for item in items:
+            self.variables[var] = item
+            result = self.run_block(raw[2])
+        return result
+
+    def run_block(self, raw_block: str) -> str:
+        """Run a ``{...}`` block as a script; return the last result."""
+        body = raw_block[1:-1] if raw_block.startswith("{") else raw_block
+        result = ""
+        for command in split_commands(body):
+            result = self.eval_command(command)
+        return result
+
+    def _cmd_puts(self, raw: List[str]) -> str:
+        text = " ".join(self._args(raw))
+        self.output.append(text)
+        return text
+
+    # -- server operation commands ------------------------------------------------
+
+    def _cmd_store(self, raw: List[str]) -> str:
+        args = self._args(raw)
+        if len(args) < 2:
+            raise ScriptError("store expects: store fid hexdata ?marked?")
+        fid = self._int(args[0])
+        try:
+            data = bytes.fromhex(args[1])
+        except ValueError as exc:
+            raise ScriptError("store data must be hex: %s" % exc)
+        marked = len(args) > 2 and args[2] in ("1", "marked", "true")
+        slot = self.server.store(fid, data, principal=self.principal,
+                                 marked=marked)
+        return str(slot)
+
+    def _cmd_retrieve(self, raw: List[str]) -> str:
+        args = self._args(raw)
+        if len(args) not in (1, 3):
+            raise ScriptError("retrieve expects: retrieve fid ?offset length?")
+        fid = self._int(args[0])
+        offset = self._int(args[1]) if len(args) == 3 else 0
+        length = self._int(args[2]) if len(args) == 3 else -1
+        data = self.server.retrieve(fid, offset, length,
+                                    principal=self.principal)
+        return data.hex()
+
+    def _cmd_delete(self, raw: List[str]) -> str:
+        args = self._args(raw)
+        if len(args) != 1:
+            raise ScriptError("delete expects: delete fid")
+        self.server.delete(self._int(args[0]), principal=self.principal)
+        return ""
+
+    def _cmd_preallocate(self, raw: List[str]) -> str:
+        args = self._args(raw)
+        if len(args) != 1:
+            raise ScriptError("preallocate expects: preallocate fid")
+        return str(self.server.preallocate(self._int(args[0])))
+
+    def _cmd_last_marked(self, raw: List[str]) -> str:
+        if raw:
+            raise ScriptError("last-marked takes no arguments")
+        return str(self.server.last_marked())
+
+    def _cmd_holds(self, raw: List[str]) -> str:
+        args = self._args(raw)
+        if len(args) != 1:
+            raise ScriptError("holds expects: holds fid")
+        return "1" if self.server.holds(self._int(args[0])) else "0"
+
+    def _cmd_acl_create(self, raw: List[str]) -> str:
+        args = self._args(raw)
+        if len(args) != 2:
+            raise ScriptError("acl-create expects: acl-create {readers} {writers}")
+        return str(self.server.create_acl(set(args[0].split()),
+                                          set(args[1].split())))
+
+    def _cmd_acl_modify(self, raw: List[str]) -> str:
+        args = self._args(raw)
+        if len(args) != 3:
+            raise ScriptError(
+                "acl-modify expects: acl-modify aid {readers} {writers}")
+        self.server.modify_acl(self._int(args[0]), set(args[1].split()),
+                               set(args[2].split()))
+        return ""
+
+    def _cmd_acl_delete(self, raw: List[str]) -> str:
+        args = self._args(raw)
+        if len(args) != 1:
+            raise ScriptError("acl-delete expects: acl-delete aid")
+        self.server.delete_acl(self._int(args[0]))
+        return ""
+
+    # -- active-disk demonstrators ----------------------------------------------
+
+    def _cmd_count_byte(self, raw: List[str]) -> str:
+        """Count occurrences of a byte value inside a fragment,
+        server-side — the data never crosses the network."""
+        args = self._args(raw)
+        if len(args) != 2:
+            raise ScriptError("count-byte expects: count-byte fid byte")
+        data = self.server.retrieve(self._int(args[0]),
+                                    principal=self.principal)
+        return str(data.count(self._int(args[1]) & 0xFF))
+
+    def _cmd_checksum(self, raw: List[str]) -> str:
+        """CRC-32 of a whole fragment, computed at the server."""
+        args = self._args(raw)
+        if len(args) != 1:
+            raise ScriptError("checksum expects: checksum fid")
+        data = self.server.retrieve(self._int(args[0]),
+                                    principal=self.principal)
+        return str(crc32_of(data))
+
+    @staticmethod
+    def _int(text: str) -> int:
+        try:
+            return int(text, 0)
+        except ValueError as exc:
+            raise ScriptError("expected integer, got %r" % text) from exc

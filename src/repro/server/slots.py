@@ -1,0 +1,153 @@
+"""Slot allocation and the on-disk fragment map.
+
+The server divides its disk into fragment-sized slots, one per fragment,
+and maintains an FID→slot mapping (the *fragment map*), persisted
+through the storage backend so it survives server restarts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import OutOfSlotsError
+from repro.util.fids import fid_client
+from repro.server.backend import (
+    StorageBackend,
+    decode_fragment_map,
+    encode_fragment_map,
+)
+
+_MAP_KEY = "fragment_map"
+
+
+class SlotTable:
+    """Allocates slots and maps FIDs to them.
+
+    Allocation hands out the lowest free slot; freed slots are reused.
+    Every mutation persists the map via the backend's atomic metadata
+    write, keeping the map consistent with at-most-one in-flight
+    fragment — which is what makes the server's store operation atomic:
+    the fragment data is written to its slot first, and only then does
+    the map commit make it visible.
+    """
+
+    def __init__(self, backend: StorageBackend, total_slots: int) -> None:
+        self._backend = backend
+        self._total_slots = total_slots
+        self._fid_to_slot: Dict[int, dict] = {}
+        self._used_slots: set = set()
+        self._free_heap: List[int] = []
+        self._next_fresh = 0
+        self._load()
+
+    def _load(self) -> None:
+        payload = self._backend.load_metadata(_MAP_KEY)
+        if payload is None:
+            return
+        self._fid_to_slot = decode_fragment_map(payload)
+        self._used_slots = {info["slot"] for info in self._fid_to_slot.values()}
+        self._next_fresh = max(self._used_slots) + 1 if self._used_slots else 0
+        self._free_heap = [slot for slot in range(self._next_fresh)
+                           if slot not in self._used_slots]
+        heapq.heapify(self._free_heap)
+
+    def _persist(self) -> None:
+        self._backend.save_metadata(_MAP_KEY, encode_fragment_map(self._fid_to_slot))
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, fid: int) -> bool:
+        return fid in self._fid_to_slot
+
+    def __len__(self) -> int:
+        return len(self._fid_to_slot)
+
+    def slot_of(self, fid: int) -> Optional[int]:
+        """Slot holding ``fid``, or None."""
+        info = self._fid_to_slot.get(fid)
+        return None if info is None else info["slot"]
+
+    def info_of(self, fid: int) -> Optional[dict]:
+        """Full map entry for ``fid`` (slot, marked, length, acl ranges)."""
+        return self._fid_to_slot.get(fid)
+
+    def fids(self) -> Iterator[int]:
+        """Iterate all stored FIDs."""
+        return iter(list(self._fid_to_slot))
+
+    def free_slots(self) -> int:
+        """Number of unused slots."""
+        return self._total_slots - len(self._used_slots)
+
+    def newest_marked_fid(self, client_id: int = -1) -> int:
+        """Largest FID stored with the *marked* flag, or 0 if none.
+
+        This is the server-side half of checkpoint discovery: clients
+        store checkpoints in marked fragments and ask each server in
+        their stripe group for its newest one. ``client_id`` >= 0
+        restricts the search to FIDs that client allocated.
+        """
+        marked: List[int] = [
+            fid for fid, info in self._fid_to_slot.items()
+            if info.get("marked")
+            and (client_id < 0 or fid_client(fid) == client_id)
+        ]
+        return max(marked) if marked else 0
+
+    # -- mutations ----------------------------------------------------------
+
+    def reserve(self) -> int:
+        """Take the lowest free slot *without* persisting anything.
+
+        First half of the atomic store protocol: the server writes the
+        fragment data into the reserved slot, then calls :meth:`commit`.
+        A crash in between leaves the slot unreferenced (and reclaimable
+        on restart), so a partially stored fragment is never visible.
+        """
+        slot = self._lowest_free_slot()
+        self._used_slots.add(slot)
+        return slot
+
+    def commit(self, fid: int, slot: int, length: int, marked: bool,
+               acl_ranges: Optional[list] = None) -> None:
+        """Publish ``fid`` → ``slot`` in the persistent fragment map."""
+        self._fid_to_slot[fid] = {
+            "slot": slot,
+            "length": length,
+            "marked": bool(marked),
+            "acl_ranges": acl_ranges or [],
+        }
+        self._persist()
+
+    def abort_reservation(self, slot: int) -> None:
+        """Return a reserved-but-uncommitted slot to the free pool."""
+        if slot in self._used_slots:
+            self._used_slots.discard(slot)
+            heapq.heappush(self._free_heap, slot)
+
+    def allocate(self, fid: int, length: int, marked: bool,
+                 acl_ranges: Optional[list] = None) -> int:
+        """Reserve and commit in one step (non-crash-critical callers)."""
+        slot = self.reserve()
+        self.commit(fid, slot, length, marked, acl_ranges)
+        return slot
+
+    def release(self, fid: int) -> Optional[int]:
+        """Unbind ``fid``; return its former slot (None if absent)."""
+        info = self._fid_to_slot.pop(fid, None)
+        if info is None:
+            return None
+        self._used_slots.discard(info["slot"])
+        heapq.heappush(self._free_heap, info["slot"])
+        self._persist()
+        return info["slot"]
+
+    def _lowest_free_slot(self) -> int:
+        if self._free_heap:
+            return heapq.heappop(self._free_heap)
+        if self._next_fresh < self._total_slots:
+            slot = self._next_fresh
+            self._next_fresh += 1
+            return slot
+        raise OutOfSlotsError("no free fragment slots")

@@ -1,0 +1,42 @@
+"""Stackable services layered on the log (§2.3).
+
+The log alone only appends; services extend or hide its functionality by
+intercepting the block and record streams that flow between the layers
+above and below them. This package provides the stacking framework and
+the services the paper describes or sketches:
+
+* :class:`~repro.services.cleaner.CleanerService` — log-structured
+  space reclamation (§2.2);
+* :class:`~repro.services.aru.AruService` — atomic recovery units:
+  failure atomicity across multiple log writes;
+* :class:`~repro.services.logical_disk.LogicalDiskService` — an
+  overwritable block address space hiding the append-only log;
+* :class:`~repro.services.cache.CacheService` — client-side block
+  caching with optional fragment prefetch (the paper names their absence
+  as the cause of its 1.7 MB/s uncached read rate);
+* :class:`~repro.services.compress.CompressionService` — an example
+  transform service.
+"""
+
+from repro.services.base import Service
+from repro.services.stack import ServiceStack
+from repro.services.cleaner import CleanerService
+from repro.services.aru import AruService
+from repro.services.logical_disk import LogicalDiskService
+from repro.services.cache import CacheService
+from repro.services.compress import CompressionService
+from repro.services.encrypt import EncryptionService
+from repro.services.coopcache import CooperativeCacheService, HintDirectory
+
+__all__ = [
+    "Service",
+    "ServiceStack",
+    "CleanerService",
+    "AruService",
+    "LogicalDiskService",
+    "CacheService",
+    "CompressionService",
+    "EncryptionService",
+    "CooperativeCacheService",
+    "HintDirectory",
+]

@@ -1,0 +1,100 @@
+"""The service interface.
+
+A service is one layer in a client's storage stack. Layers below a
+writer may transform what it writes (compression, ARU tagging); layers
+below a reader undo those transforms; during replay, each layer filters
+the record stream travelling upward (the ARU service drops records of
+uncommitted ARUs). The paper places no restriction on inter-layer
+interfaces beyond this interception model, and neither do we.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.log.address import BlockAddress
+from repro.log.records import Record
+
+
+class Service:
+    """Base class for stackable services.
+
+    Subclasses override only the hooks they care about; the defaults are
+    all identity/no-op. ``service_id`` must be unique within one
+    client's stack and ≥ 1 (0 is the log layer itself).
+    """
+
+    def __init__(self, service_id: int, name: str = "") -> None:
+        if service_id < 1:
+            raise ValueError("service ids start at 1")
+        self.service_id = service_id
+        self.name = name or type(self).__name__
+        self.stack = None
+
+    def bind(self, stack) -> None:
+        """Called when the service is pushed onto a stack."""
+        self.stack = stack
+
+    # -- write-path interception (top-down) -------------------------------
+
+    def transform_block_down(self, writer_id: int, data: bytes) -> bytes:
+        """Transform a block written by a layer above, on its way down."""
+        return data
+
+    def transform_record_down(self, writer_id: int, rtype: int,
+                              payload: bytes) -> Tuple[int, bytes]:
+        """Transform a record written by a layer above, on its way down."""
+        return rtype, payload
+
+    def transform_create_info_down(self, writer_id: int, info: bytes) -> bytes:
+        """Transform the ``create_info`` of a block written above.
+
+        The log layer embeds ``create_info`` in the automatic CREATE
+        record, so this is how a layer (e.g. the ARU service) extends
+        its record interception to block creations.
+        """
+        return info
+
+    # -- read-path interception (bottom-up) --------------------------------
+
+    def transform_block_up(self, reader_id: int, data: bytes) -> bytes:
+        """Undo :meth:`transform_block_down` on a block being read."""
+        return data
+
+    def filter_replay_up(self, records: List[Record]) -> List[Record]:
+        """Filter/transform the replayed record stream travelling up."""
+        return records
+
+    # -- cache hooks ----------------------------------------------------------
+
+    def cache_lookup(self, addr: BlockAddress) -> Optional[bytes]:
+        """Return cached (already down-transformed) bytes for ``addr``."""
+        return None
+
+    def cache_insert(self, addr: BlockAddress, data: bytes) -> None:
+        """Offer freshly read bytes for caching."""
+
+    def cache_invalidate(self, addr: BlockAddress) -> None:
+        """Drop any cached copy of ``addr``."""
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def checkpoint_state(self) -> bytes:
+        """Serialize a consistent snapshot of this service's state."""
+        return b""
+
+    def restore(self, state: Optional[bytes], records: List[Record]) -> None:
+        """Rebuild state from the last checkpoint plus replayed records."""
+
+    def on_block_moved(self, old_addr: BlockAddress, new_addr: BlockAddress,
+                       create_info: bytes) -> None:
+        """The cleaner moved one of this service's blocks."""
+
+    def on_checkpoint_demand(self) -> None:
+        """The cleaner needs a fresh checkpoint; write one now.
+
+        Ignoring this is legal but perilous: the cleaner will eventually
+        reclaim the service's un-checkpointed records anyway (§2.2).
+        """
+        if self.stack is not None:
+            self.stack.checkpoint(self)

@@ -1,0 +1,325 @@
+"""The log cleaner (§2.2, §2.3).
+
+The log is infinite; disks are not. As services delete and overwrite
+blocks and checkpoints obsolete old records, stripes become mostly
+dead, and the cleaner reclaims them: it copies each stripe's surviving
+live blocks to the head of the log (with their original ``create_info``
+so owners can re-find them), notifies the owning services of the moves,
+and deletes the stripe's fragments from their servers.
+
+Exactly as the paper prescribes, the cleaner is *a service like any
+other*, layered on the log rather than built into it: it keeps its
+bookkeeping (per-fragment utilization and the dead-block set) in
+ordinary service state, checkpoints it, and recovers it by replaying
+the log's CREATE/DELETE records.
+
+Safety rule (§2.2): a stripe may only be cleaned when every record it
+holds is already obsolete — i.e. older than the *oldest* checkpoint of
+any service — because newer records must survive for replay. When free
+space runs low the cleaner *demands* fresh checkpoints from the
+services; one that refuses eventually has its records reclaimed anyway,
+"at its own peril".
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import CleanerError
+from repro.log.address import BlockAddress
+from repro.log.fragment import Fragment, FragmentHeader, HEADER_SIZE
+from repro.log.records import (
+    Record,
+    RecordType,
+    SERVICE_LOG_LAYER,
+    decode_record_payload_block,
+)
+from repro.services.base import Service
+
+_ADDR = struct.Struct(">QII")
+
+
+@dataclass
+class StripeUsage:
+    """Cleaning statistics for one stripe (keyed by its base FID)."""
+
+    base_fid: int
+    width: int
+    live_bytes: int
+    total_bytes: int
+    max_lsn: int
+
+    @property
+    def utilization(self) -> float:
+        """Live fraction; 0.0 means pure garbage."""
+        if self.total_bytes <= 0:
+            return 0.0
+        return self.live_bytes / self.total_bytes
+
+
+class CleanerService(Service):
+    """Reclaims dead stripes by relocating their live blocks."""
+
+    #: recover_all() passes this flag to the rollforward so the cleaner
+    #: sees *every* service's CREATE/DELETE records, not only its own.
+    needs_all_block_records = True
+
+    def __init__(self, service_id: int,
+                 utilization_threshold: float = 0.75) -> None:
+        super().__init__(service_id, "cleaner")
+        self.utilization_threshold = utilization_threshold
+        # Per-fragment accounting, folded into stripes lazily (the
+        # stripe shape is only known from fragment headers).
+        self._live: Dict[int, int] = {}       # fid -> live bytes
+        self._total: Dict[int, int] = {}      # fid -> total block bytes
+        self._dead: Set[BlockAddress] = set()
+        # Statistics.
+        self.stripes_cleaned = 0
+        self.blocks_moved = 0
+        self.bytes_moved = 0
+
+    def bind(self, stack) -> None:
+        super().bind(stack)
+        stack.log.add_usage_listener(self._on_usage)
+
+    # ------------------------------------------------------------------
+    # Liveness accounting (driven by log-layer usage events)
+    # ------------------------------------------------------------------
+
+    def _on_usage(self, event: str, addr: BlockAddress, size: int) -> None:
+        if event == "create":
+            self._live[addr.fid] = self._live.get(addr.fid, 0) + size
+            self._total[addr.fid] = self._total.get(addr.fid, 0) + size
+            self._dead.discard(addr)
+        elif event == "delete":
+            self._live[addr.fid] = self._live.get(addr.fid, 0) - size
+            self._dead.add(addr)
+
+    def fragment_utilization(self, fid: int) -> float:
+        """Live fraction of one fragment's block bytes."""
+        total = self._total.get(fid, 0)
+        if total <= 0:
+            return 0.0
+        return max(0.0, self._live.get(fid, 0) / total)
+
+    # ------------------------------------------------------------------
+    # Stripe discovery and eligibility
+    # ------------------------------------------------------------------
+
+    def _min_checkpoint_lsn(self) -> int:
+        """Oldest checkpoint LSN across all services (0 = none yet)."""
+        table = self.stack.log.checkpoint_table
+        if not table:
+            return 0
+        return min(lsn for _addr, lsn in table.values())
+
+    def _read_header(self, fid: int) -> Optional[FragmentHeader]:
+        try:
+            image = self.stack.log.read_range(fid, 0, HEADER_SIZE)
+            return FragmentHeader.decode(image)
+        except Exception:
+            return None
+
+    def candidate_stripes(self) -> List[StripeUsage]:
+        """Stripes eligible for cleaning, least-utilized first.
+
+        A stripe qualifies when (a) its records are all older than the
+        oldest service checkpoint and (b) its live fraction is below the
+        threshold.
+        """
+        min_ckpt = self._min_checkpoint_lsn()
+        if min_ckpt <= 0:
+            return []
+        seen_bases: Set[int] = set()
+        stripes: List[StripeUsage] = []
+        for fid in sorted(self._total):
+            header = self._read_header(fid)
+            if header is None or header.is_parity:
+                continue
+            base = header.stripe_base_fid
+            if base in seen_bases:
+                continue
+            seen_bases.add(base)
+            usage = self._stripe_usage(header)
+            if usage is None:
+                continue
+            if usage.max_lsn >= min_ckpt:
+                continue
+            if usage.utilization >= self.utilization_threshold:
+                continue
+            stripes.append(usage)
+        stripes.sort(key=lambda s: s.utilization)
+        return stripes
+
+    def _stripe_usage(self, header: FragmentHeader) -> Optional[StripeUsage]:
+        base, width = header.stripe_base_fid, header.stripe_width
+        live = total = 0
+        max_lsn = 0
+        for index in range(width):
+            if index == header.parity_index:
+                continue
+            member = self._read_header(base + index)
+            if member is None:
+                if base + index == header.fid:
+                    return None
+                continue
+            if member.is_parity:
+                continue
+            live += max(0, self._live.get(base + index, 0))
+            total += self._total.get(base + index, 0)
+            max_lsn = max(max_lsn, member.last_lsn)
+        return StripeUsage(base_fid=base, width=width, live_bytes=live,
+                           total_bytes=total, max_lsn=max_lsn)
+
+    # ------------------------------------------------------------------
+    # Cleaning
+    # ------------------------------------------------------------------
+
+    def clean_once(self) -> int:
+        """Clean the single least-utilized eligible stripe.
+
+        Returns the number of blocks moved, or raises
+        :class:`~repro.errors.CleanerError` if nothing is eligible.
+        """
+        candidates = self.candidate_stripes()
+        if not candidates:
+            raise CleanerError("no stripe is eligible for cleaning")
+        return self._clean_stripe(candidates[0])
+
+    def clean(self, target_stripes: int = 1) -> int:
+        """Clean up to ``target_stripes`` stripes; returns blocks moved.
+
+        If nothing is eligible, demands fresh checkpoints from every
+        service (the paper's on-demand checkpoint mechanism) and retries
+        once.
+        """
+        moved = 0
+        for _ in range(target_stripes):
+            candidates = self.candidate_stripes()
+            if not candidates:
+                self.stack.demand_checkpoints()
+                candidates = self.candidate_stripes()
+                if not candidates:
+                    break
+            moved += self._clean_stripe(candidates[0])
+        return moved
+
+    def _clean_stripe(self, usage: StripeUsage) -> int:
+        log = self.stack.log
+        moved = 0
+        notifications: List[Tuple[int, BlockAddress, BlockAddress, bytes]] = []
+        for index in range(usage.width):
+            fid = usage.base_fid + index
+            try:
+                image = log.read_fragment(fid)
+                fragment = Fragment.decode(image)
+            except Exception:
+                continue
+            if fragment.header.is_parity:
+                continue
+            creators = self._creation_records(fragment)
+            lookahead: Dict[BlockAddress, bytes] = {}
+            for item in fragment.items():
+                if item.record is not None:
+                    continue
+                addr = BlockAddress(fid, item.data_offset, len(item.data))
+                if addr in self._dead:
+                    continue
+                create_info = creators.get(addr)
+                if create_info is None:
+                    # The CREATE record spilled into the next fragment;
+                    # fetch it once and look the block up there.
+                    if not lookahead:
+                        lookahead = self._spilled_creation_records(fid + 1)
+                    create_info = lookahead.get(addr, b"")
+                new_addr = log.write_block(item.owner_service, item.data,
+                                           create_info)
+                notifications.append((item.owner_service, addr, new_addr,
+                                      create_info))
+                moved += 1
+                self.bytes_moved += len(item.data)
+        # Make the copies durable before destroying the originals.
+        log.flush().wait()
+        for owner, old_addr, new_addr, create_info in notifications:
+            self.stack.notify_block_moved(owner, old_addr, new_addr,
+                                          create_info)
+        log.delete_stripe(usage.base_fid, usage.width)
+        self._forget_stripe(usage)
+        self.stripes_cleaned += 1
+        self.blocks_moved += moved
+        return moved
+
+    @staticmethod
+    def _creation_records(fragment: Fragment) -> Dict[BlockAddress, bytes]:
+        """Map each block in ``fragment`` to its CREATE record's info.
+
+        CREATE records usually live in the same fragment as their block;
+        ones that spilled into the next fragment are simply absent here,
+        in which case the move notification carries empty info (owners
+        fall back to matching by address).
+        """
+        creators: Dict[BlockAddress, bytes] = {}
+        for record in fragment.records():
+            if (record.service_id == SERVICE_LOG_LAYER
+                    and record.rtype == RecordType.CREATE):
+                addr, _owner, info = decode_record_payload_block(record.payload)
+                creators[addr] = info
+        return creators
+
+    def _spilled_creation_records(self, fid: int) -> Dict[BlockAddress, bytes]:
+        """Creation records in fragment ``fid`` (lookahead for blocks
+        whose record crossed a fragment boundary)."""
+        try:
+            image = self.stack.log.read_fragment(fid)
+            fragment = Fragment.decode(image)
+        except Exception:
+            return {}
+        return self._creation_records(fragment)
+
+    def _forget_stripe(self, usage: StripeUsage) -> None:
+        for index in range(usage.width):
+            fid = usage.base_fid + index
+            self._live.pop(fid, None)
+            self._total.pop(fid, None)
+        self._dead = {addr for addr in self._dead
+                      if not (usage.base_fid <= addr.fid
+                              < usage.base_fid + usage.width)}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def checkpoint_state(self) -> bytes:
+        live_items = sorted(self._total)
+        out = [struct.pack(">II", len(live_items), len(self._dead))]
+        for fid in live_items:
+            out.append(struct.pack(">Qqq", fid, self._live.get(fid, 0),
+                                   self._total[fid]))
+        for addr in sorted(self._dead):
+            out.append(_ADDR.pack(addr.fid, addr.offset, addr.length))
+        return b"".join(out)
+
+    def restore(self, state: Optional[bytes], records: List[Record]) -> None:
+        self._live, self._total, self._dead = {}, {}, set()
+        if state:
+            nfrag, ndead = struct.unpack_from(">II", state, 0)
+            pos = 8
+            for _ in range(nfrag):
+                fid, live, total = struct.unpack_from(">Qqq", state, pos)
+                self._live[fid] = live
+                self._total[fid] = total
+                pos += 24
+            for _ in range(ndead):
+                fid, offset, length = _ADDR.unpack_from(state, pos)
+                self._dead.add(BlockAddress(fid, offset, length))
+                pos += _ADDR.size
+        for record in records:
+            if record.service_id != SERVICE_LOG_LAYER:
+                continue
+            if record.rtype not in (RecordType.CREATE, RecordType.DELETE):
+                continue
+            addr, _owner, _info = decode_record_payload_block(record.payload)
+            event = "create" if record.rtype == RecordType.CREATE else "delete"
+            self._on_usage(event, addr, addr.length)

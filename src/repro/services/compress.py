@@ -1,0 +1,53 @@
+"""Compression service — an example transform layer (§2.3).
+
+Demonstrates the interception model: blocks written by services above
+are compressed on the way down and decompressed on the way up. The
+stored block (and therefore its address's ``length``) is the compressed
+image; layers above never notice. A one-byte header distinguishes
+compressed from stored-raw payloads so incompressible data costs almost
+nothing.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.errors import ServiceError
+from repro.services.base import Service
+
+_RAW = b"\x00"
+_ZLIB = b"\x01"
+
+
+class CompressionService(Service):
+    """zlib-compresses blocks flowing through it."""
+
+    def __init__(self, service_id: int, level: int = 1) -> None:
+        super().__init__(service_id, "compress")
+        self.level = level
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def transform_block_down(self, writer_id: int, data: bytes) -> bytes:
+        compressed = zlib.compress(data, self.level)
+        self.bytes_in += len(data)
+        if len(compressed) + 1 < len(data):
+            out = _ZLIB + compressed
+        else:
+            out = _RAW + data
+        self.bytes_out += len(out)
+        return out
+
+    def transform_block_up(self, reader_id: int, data: bytes) -> bytes:
+        if not data:
+            raise ServiceError("empty compressed block")
+        if data[:1] == _ZLIB:
+            return zlib.decompress(data[1:])
+        if data[:1] == _RAW:
+            return data[1:]
+        raise ServiceError("unknown compression header %r" % data[:1])
+
+    @property
+    def ratio(self) -> float:
+        """Stored bytes / input bytes (lower is better)."""
+        return self.bytes_out / self.bytes_in if self.bytes_in else 1.0

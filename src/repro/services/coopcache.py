@@ -1,0 +1,113 @@
+"""Cooperative caching using hints (§2.3's last example service).
+
+The paper names "distributed cooperative caching" — citing Sarkar &
+Hartman's hint-based design — as a service layerable on Swarm. The
+idea: clients' caches together form one large cache. On a local miss,
+a client consults its *hints* about which peer probably caches the
+block and fetches it from that peer's memory — cheaper than a server
+disk access — falling back to the servers when the hint is wrong.
+
+Hints are deliberately allowed to go stale (that is what makes them
+cheap): they are updated opportunistically on successful and failed
+probes rather than kept coherent. The implementation mirrors that
+design:
+
+* a shared :class:`HintDirectory` maps block addresses to the client
+  believed to be the *master* copy holder (last known cacher);
+* each :class:`CooperativeCacheService` is a normal LRU block cache
+  that additionally (a) registers itself as the master for blocks it
+  caches, and (b) on miss, probes the hinted peer before touching the
+  log;
+* wrong hints are corrected on the spot; peer probes answer from cache
+  only (a peer never does IO on another client's behalf).
+
+Statistics expose the hit classes the original paper evaluates: local
+hits, peer hits, wrong hints, and server fetches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.log.address import BlockAddress
+from repro.services.cache import CacheService
+
+
+class HintDirectory:
+    """Loose, shared address→probable-holder map.
+
+    One instance is shared by all cooperating clients. Nothing here is
+    authoritative; every entry is a hint that may be stale.
+    """
+
+    def __init__(self) -> None:
+        self._hints: Dict[BlockAddress, "CooperativeCacheService"] = {}
+        self.updates = 0
+
+    def suggest(self, addr: BlockAddress,
+                holder: "CooperativeCacheService") -> None:
+        """Record that ``holder`` probably caches ``addr``."""
+        self._hints[addr] = holder
+        self.updates += 1
+
+    def lookup(self, addr: BlockAddress,
+               asker: "CooperativeCacheService"
+               ) -> Optional["CooperativeCacheService"]:
+        """Best guess at who holds ``addr`` (never the asker itself)."""
+        holder = self._hints.get(addr)
+        return None if holder is asker else holder
+
+    def forget(self, addr: BlockAddress,
+               holder: "CooperativeCacheService") -> None:
+        """Invalidate a hint we just found to be wrong/stale."""
+        if self._hints.get(addr) is holder:
+            del self._hints[addr]
+
+
+class CooperativeCacheService(CacheService):
+    """An LRU block cache that borrows from its peers before the log."""
+
+    def __init__(self, service_id: int, hints: HintDirectory,
+                 capacity_bytes: int = 16 << 20) -> None:
+        super().__init__(service_id, capacity_bytes=capacity_bytes)
+        self.name = "coop-cache"
+        self.hints = hints
+        self.peer_hits = 0
+        self.wrong_hints = 0
+        self.peer_probes_served = 0
+
+    # -- peer protocol ------------------------------------------------------
+
+    def probe(self, addr: BlockAddress) -> Optional[bytes]:
+        """Answer a peer's probe from this cache (memory only)."""
+        data = self._entries.get(addr)
+        if data is not None:
+            self._entries.move_to_end(addr)
+            self.peer_probes_served += 1
+        return data
+
+    # -- cache hooks ----------------------------------------------------------
+
+    def cache_lookup(self, addr: BlockAddress) -> Optional[bytes]:
+        local = super().cache_lookup(addr)
+        if local is not None:
+            return local
+        holder = self.hints.lookup(addr, self)
+        if holder is not None:
+            data = holder.probe(addr)
+            if data is not None:
+                self.peer_hits += 1
+                self._insert(addr, data)
+                self.hints.suggest(addr, self)
+                return data
+            self.wrong_hints += 1
+            self.hints.forget(addr, holder)
+        return None
+
+    def cache_insert(self, addr: BlockAddress, data: bytes) -> None:
+        super().cache_insert(addr, data)
+        self.hints.suggest(addr, self)
+
+    def cache_invalidate(self, addr: BlockAddress) -> None:
+        super().cache_invalidate(addr)
+        self.hints.forget(addr, self)

@@ -1,0 +1,86 @@
+"""Encryption service — another of §2.3's example transform layers.
+
+Blocks written by services above are encrypted on the way down and
+decrypted on the way up, so storage servers only ever hold ciphertext.
+The byte-range ACLs (§2.4.2) control *access*; this layer protects
+*contents* even from the servers themselves.
+
+The cipher is a keyed SHA-256 keystream with a per-block random nonce
+(CTR-style), plus a truncated keyed digest for integrity. The offline
+environment has no real crypto library; this construction demonstrates
+the service mechanism faithfully — same data flow, same overhead shape
+— and is **not** an audited cipher. Swap ``_keystream`` for AES-CTR in
+production.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import struct
+
+from repro.errors import ServiceError
+from repro.services.base import Service
+
+_MAGIC = b"SWE1"
+_NONCE_LEN = 16
+_TAG_LEN = 16
+_HEADER = len(_MAGIC) + _NONCE_LEN
+
+OVERHEAD = _HEADER + _TAG_LEN
+"""Bytes added to every stored block."""
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Deterministic keystream: SHA-256(key ‖ nonce ‖ counter) blocks."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out += hashlib.sha256(key + nonce
+                              + struct.pack(">Q", counter)).digest()
+        counter += 1
+    return bytes(out[:length])
+
+
+def _xor(data: bytes, stream: bytes) -> bytes:
+    return (int.from_bytes(data, "little")
+            ^ int.from_bytes(stream, "little")).to_bytes(
+        max(len(data), 1) if data else 0, "little")[:len(data)] \
+        if data else b""
+
+
+class EncryptionService(Service):
+    """Encrypts every block flowing through it."""
+
+    def __init__(self, service_id: int, key: bytes,
+                 nonce_source=os.urandom) -> None:
+        super().__init__(service_id, "encrypt")
+        if len(key) < 16:
+            raise ServiceError("key must be at least 16 bytes")
+        self._key = bytes(key)
+        self._nonce_source = nonce_source
+        self.blocks_encrypted = 0
+        self.blocks_decrypted = 0
+
+    def _tag(self, nonce: bytes, ciphertext: bytes) -> bytes:
+        mac = hmac.new(self._key, nonce + ciphertext, hashlib.sha256)
+        return mac.digest()[:_TAG_LEN]
+
+    def transform_block_down(self, writer_id: int, data: bytes) -> bytes:
+        nonce = self._nonce_source(_NONCE_LEN)
+        ciphertext = _xor(data, _keystream(self._key, nonce, len(data)))
+        self.blocks_encrypted += 1
+        return _MAGIC + nonce + ciphertext + self._tag(nonce, ciphertext)
+
+    def transform_block_up(self, reader_id: int, data: bytes) -> bytes:
+        if len(data) < OVERHEAD or data[:len(_MAGIC)] != _MAGIC:
+            raise ServiceError("not an encrypted block")
+        nonce = data[len(_MAGIC):_HEADER]
+        ciphertext = data[_HEADER:-_TAG_LEN]
+        tag = data[-_TAG_LEN:]
+        if not hmac.compare_digest(tag, self._tag(nonce, ciphertext)):
+            raise ServiceError("encrypted block failed integrity check")
+        self.blocks_decrypted += 1
+        return _xor(ciphertext, _keystream(self._key, nonce,
+                                           len(ciphertext)))

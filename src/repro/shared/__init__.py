@@ -1,0 +1,36 @@
+"""A distributed file service layered on Swarm (§2.3, §4).
+
+The paper: "Distributed services, such as distributed file systems and
+distributed cooperative caching, can also be layered on the base Swarm
+functionality", with synchronization needed *only* among the clients
+that share — and notes that a Frangipani-style file system "could be
+implemented as a Swarm service".
+
+This package is that service, in the xFS/Zebra mold the authors came
+from:
+
+* every client writes file **data** into its *own* striped log — the
+  Swarm way, no write-sharing of logs, full parity protection;
+* one client acts as the **namespace manager**: it owns directories and
+  per-file block maps (client-id + block address per file block), and
+  serializes metadata operations. The manager's state is itself an
+  ordinary Swarm service — checkpointed to its log, rebuilt by record
+  replay after a crash;
+* readers fetch the block map from the manager and then read the
+  owning clients' fragments directly from the storage servers (located
+  by broadcast if needed, reconstructed through parity if a server is
+  down) — data never flows through the manager;
+* a small **lease manager** serializes whole-file writes; version
+  numbers keep client caches honest.
+
+Cross-client calls are direct method invocations on shared objects
+(this is a single-process reproduction); the interfaces are RPC-shaped
+so the substitution is confined to the transport.
+"""
+
+from repro.shared.lease import LeaseManager
+from repro.shared.manager import FileMap, NamespaceManager
+from repro.shared.client import SharedSwarmClient
+
+__all__ = ["LeaseManager", "FileMap", "NamespaceManager",
+           "SharedSwarmClient"]

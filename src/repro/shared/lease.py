@@ -1,0 +1,59 @@
+"""Per-path write leases.
+
+High-level synchronization for clients that share files — exactly where
+the paper says synchronization belongs ("two applications running on
+different clients must synchronize their accesses to shared data ...
+even if the storage system enforces consistency"). One writer per path
+at a time; readers need no lease (they get snapshot consistency from
+the manager's versioned block maps).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ServiceError
+
+
+class LeaseManager:
+    """Grants exclusive per-path write leases to named clients."""
+
+    def __init__(self) -> None:
+        self._holders: Dict[str, str] = {}
+        self.grants = 0
+        self.contentions = 0
+
+    def acquire(self, path: str, client: str) -> None:
+        """Take the write lease on ``path``; raises if someone else
+        holds it (callers retry/queue at their level)."""
+        holder = self._holders.get(path)
+        if holder is not None and holder != client:
+            self.contentions += 1
+            raise ServiceError(
+                "lease on %r held by %r, wanted by %r"
+                % (path, holder, client))
+        self._holders[path] = client
+        self.grants += 1
+
+    def release(self, path: str, client: str) -> None:
+        """Give the lease back (idempotent for the holder)."""
+        holder = self._holders.get(path)
+        if holder is None:
+            return
+        if holder != client:
+            raise ServiceError(
+                "client %r releasing %r's lease on %r"
+                % (client, holder, path))
+        del self._holders[path]
+
+    def holder(self, path: str) -> Optional[str]:
+        """Current lease holder, if any."""
+        return self._holders.get(path)
+
+    def revoke_client(self, client: str) -> int:
+        """Drop every lease a (crashed) client held; returns the count."""
+        stale = [path for path, holder in self._holders.items()
+                 if holder == client]
+        for path in stale:
+            del self._holders[path]
+        return len(stale)

@@ -1,0 +1,237 @@
+"""The namespace manager: shared metadata as a Swarm service.
+
+The manager owns the shared namespace (directories) and, per file, a
+versioned *block map*: which client's log holds each file block, at
+which address. It runs as an ordinary stacked service on the manager
+client's own log, so its state enjoys everything Swarm provides —
+striping, parity, checkpoints, and record-replay crash recovery.
+
+Every mutating operation appends one manager record (a compact JSON
+payload; metadata is small and rare relative to data), so a manager
+that crashes between checkpoints rebuilds exactly the operations it
+acknowledged and flushed. Data blocks are *not* the manager's problem:
+clients write them to their own logs and only publish addresses here.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    DirectoryNotEmptyFsError,
+    FileExistsFsError,
+    FileNotFoundFsError,
+    NotADirectoryFsError,
+    ServiceError,
+)
+from repro.log.records import Record, RecordType
+from repro.services.base import Service
+from repro.sting.path import normalize, split_parent
+
+RT_SHARED_OP = RecordType.USER_BASE + 20
+
+BlockRef = Tuple[int, int, int, int]
+"""(owner_client_id, fid, offset, length) — one published file block."""
+
+
+@dataclass
+class FileMap:
+    """Versioned location map of one shared file."""
+
+    version: int = 0
+    size: int = 0
+    block_size: int = 8192
+    blocks: Dict[int, BlockRef] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {"v": self.version, "s": self.size, "bs": self.block_size,
+                "b": {str(i): list(ref) for i, ref in self.blocks.items()}}
+
+    @classmethod
+    def from_json(cls, raw: dict) -> "FileMap":
+        return cls(version=raw["v"], size=raw["s"], block_size=raw["bs"],
+                   blocks={int(i): tuple(ref)
+                           for i, ref in raw["b"].items()})
+
+
+class NamespaceManager(Service):
+    """Serializes shared-namespace metadata operations."""
+
+    def __init__(self, service_id: int) -> None:
+        super().__init__(service_id, "ns-manager")
+        self._dirs: Dict[str, set] = {"/": set()}
+        self._files: Dict[str, FileMap] = {}
+
+    # ------------------------------------------------------------------
+    # Logging of operations
+    # ------------------------------------------------------------------
+
+    def _log_op(self, op: str, **args) -> None:
+        payload = json.dumps({"op": op, **args},
+                             sort_keys=True).encode("utf-8")
+        self.stack.write_record(self, RT_SHARED_OP, payload)
+
+    def _apply(self, op: str, args: dict) -> None:
+        if op == "mkdir":
+            self._do_mkdir(args["path"])
+        elif op == "create":
+            self._do_create(args["path"])
+        elif op == "unlink":
+            self._do_unlink(args["path"])
+        elif op == "rmdir":
+            self._do_rmdir(args["path"])
+        elif op == "publish":
+            self._do_publish(args["path"],
+                             FileMap.from_json(args["map"]))
+
+    # ------------------------------------------------------------------
+    # Namespace operations (called by clients)
+    # ------------------------------------------------------------------
+
+    def mkdir(self, path: str) -> None:
+        """Create a shared directory."""
+        self._do_mkdir(path)
+        self._log_op("mkdir", path=normalize(path))
+
+    def _do_mkdir(self, path: str) -> None:
+        path = normalize(path)
+        parent, name = split_parent(path)
+        self._require_dir(parent)
+        if path in self._dirs or path in self._files:
+            raise FileExistsFsError("path exists: %r" % path)
+        self._dirs[path] = set()
+        self._dirs[parent].add(name)
+
+    def create(self, path: str) -> None:
+        """Create an empty shared file."""
+        self._do_create(path)
+        self._log_op("create", path=normalize(path))
+
+    def _do_create(self, path: str) -> None:
+        path = normalize(path)
+        parent, name = split_parent(path)
+        self._require_dir(parent)
+        if path in self._files or path in self._dirs:
+            raise FileExistsFsError("path exists: %r" % path)
+        self._files[path] = FileMap()
+        self._dirs[parent].add(name)
+
+    def unlink(self, path: str) -> None:
+        """Remove a shared file (its blocks stay in the owner's log
+        until that owner deletes them; see SharedSwarmClient)."""
+        self._do_unlink(path)
+        self._log_op("unlink", path=normalize(path))
+
+    def _do_unlink(self, path: str) -> None:
+        path = normalize(path)
+        if path not in self._files:
+            raise FileNotFoundFsError("no shared file %r" % path)
+        parent, name = split_parent(path)
+        del self._files[path]
+        self._dirs[parent].discard(name)
+
+    def rmdir(self, path: str) -> None:
+        """Remove an empty shared directory."""
+        self._do_rmdir(path)
+        self._log_op("rmdir", path=normalize(path))
+
+    def _do_rmdir(self, path: str) -> None:
+        path = normalize(path)
+        if path == "/":
+            raise ServiceError("cannot remove the root")
+        if path not in self._dirs:
+            raise NotADirectoryFsError("no shared directory %r" % path)
+        if self._dirs[path]:
+            raise DirectoryNotEmptyFsError("directory not empty: %r" % path)
+        parent, name = split_parent(path)
+        del self._dirs[path]
+        self._dirs[parent].discard(name)
+
+    def publish(self, path: str, file_map: FileMap) -> int:
+        """Install a new block map for ``path``; returns the version.
+
+        The writer must already have made the data durable in its own
+        log (flushed) — the manager only records locations.
+        """
+        file_map.version = self._files[normalize(path)].version + 1 \
+            if normalize(path) in self._files else 1
+        self._do_publish(path, file_map)
+        self._log_op("publish", path=normalize(path),
+                     map=file_map.to_json())
+        return file_map.version
+
+    def _do_publish(self, path: str, file_map: FileMap) -> None:
+        path = normalize(path)
+        if path not in self._files:
+            raise FileNotFoundFsError("no shared file %r" % path)
+        self._files[path] = file_map
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def listdir(self, path: str) -> List[str]:
+        """Sorted entries of a shared directory."""
+        path = normalize(path)
+        self._require_dir(path)
+        return sorted(self._dirs[path])
+
+    def exists(self, path: str) -> bool:
+        """Whether a shared path resolves."""
+        path = normalize(path)
+        return path in self._files or path in self._dirs
+
+    def file_map(self, path: str) -> FileMap:
+        """Current versioned block map of a shared file."""
+        path = normalize(path)
+        file_map = self._files.get(path)
+        if file_map is None:
+            raise FileNotFoundFsError("no shared file %r" % path)
+        return file_map
+
+    def version(self, path: str) -> int:
+        """Current version of a shared file (cache validation)."""
+        return self.file_map(path).version
+
+    def _require_dir(self, path: str) -> None:
+        if path not in self._dirs:
+            if path in self._files:
+                raise NotADirectoryFsError("%r is a file" % path)
+            raise FileNotFoundFsError("no shared directory %r" % path)
+
+    # ------------------------------------------------------------------
+    # Service lifecycle
+    # ------------------------------------------------------------------
+
+    def checkpoint_state(self) -> bytes:
+        state = {
+            "dirs": {path: sorted(names)
+                     for path, names in self._dirs.items()},
+            "files": {path: fm.to_json()
+                      for path, fm in self._files.items()},
+        }
+        return json.dumps(state, sort_keys=True).encode("utf-8")
+
+    def restore(self, state: Optional[bytes],
+                records: List[Record]) -> None:
+        self._dirs = {"/": set()}
+        self._files = {}
+        if state:
+            raw = json.loads(state.decode("utf-8"))
+            self._dirs = {path: set(names)
+                          for path, names in raw["dirs"].items()}
+            self._files = {path: FileMap.from_json(fm)
+                           for path, fm in raw["files"].items()}
+        for record in records:
+            if record.rtype != RT_SHARED_OP:
+                continue
+            raw = json.loads(record.payload.decode("utf-8"))
+            op = raw.pop("op")
+            try:
+                self._apply(op, raw)
+            except Exception:
+                # Replay is best-effort idempotent: an op that lost a
+                # race with the checkpoint state is already applied.
+                pass

@@ -1,0 +1,26 @@
+"""Sting: a local file system built on Swarm (§3.1).
+
+Sting provides the standard UNIX file-system interface, but its data
+live in the client's Swarm log instead of on a local disk — giving a
+single client Swarm's striped performance and parity-protected
+reliability for free. Sting "borrows heavily from Sprite LFS" while
+being far simpler: log management, storage, cleaning, and
+reconstruction are all handled by the layers below it.
+
+Each instance is confined to one client (no file sharing between
+clients), exactly like the prototype.
+"""
+
+from repro.sting.fs import StingFileSystem
+from repro.sting.inode import FileType, Inode
+from repro.sting.path import basename, dirname, normalize, split_path
+
+__all__ = [
+    "StingFileSystem",
+    "FileType",
+    "Inode",
+    "normalize",
+    "split_path",
+    "dirname",
+    "basename",
+]

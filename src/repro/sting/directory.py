@@ -1,0 +1,57 @@
+"""Directory content codec.
+
+A directory's entries are ordinary file content of its inode (stored
+through the same block machinery as file data), serialized as a sorted
+name→inode table. Keeping directories "just files" means the cleaner,
+recovery, and parity machinery need no special cases for them.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+from repro.errors import FileSystemError
+from repro.util.packing import pack_str, unpack_str
+
+_COUNT = struct.Struct(">I")
+_INO = struct.Struct(">Q")
+
+MAX_NAME_LEN = 255
+
+
+def validate_name(name: str) -> None:
+    """Reject names that cannot be directory entries."""
+    if not name or name in (".", ".."):
+        raise FileSystemError("invalid file name %r" % name)
+    if "/" in name:
+        raise FileSystemError("file name may not contain '/': %r" % name)
+    if len(name.encode("utf-8")) > MAX_NAME_LEN:
+        raise FileSystemError("file name too long: %r" % name)
+
+
+def encode_entries(entries: Dict[str, int]) -> bytes:
+    """Serialize a directory's name→ino table."""
+    out = [_COUNT.pack(len(entries))]
+    for name in sorted(entries):
+        out.append(pack_str(name))
+        out.append(_INO.pack(entries[name]))
+    return b"".join(out)
+
+
+def decode_entries(data: bytes) -> Dict[str, int]:
+    """Parse a directory content blob."""
+    if not data:
+        return {}
+    try:
+        (count,) = _COUNT.unpack_from(data, 0)
+        pos = _COUNT.size
+        entries: Dict[str, int] = {}
+        for _ in range(count):
+            name, pos = unpack_str(data, pos)
+            (ino,) = _INO.unpack_from(data, pos)
+            pos += _INO.size
+            entries[name] = ino
+        return entries
+    except (struct.error, ValueError) as exc:
+        raise FileSystemError("corrupt directory content") from exc

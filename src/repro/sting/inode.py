@@ -1,0 +1,101 @@
+"""Inodes: per-file metadata, stored as blocks in the log.
+
+An inode records a file's type, size, timestamps, and the log address
+of every file block. When any of that changes, Sting appends a *new*
+inode block (the log is append-only) and updates its in-memory inode
+map; the old inode block is deleted so the cleaner can reclaim it —
+the same no-overwrite discipline as Sprite LFS.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict
+
+from repro.errors import FileSystemError
+from repro.log.address import BlockAddress
+
+INODE_BLOCK_INDEX = 0xFFFFFFFF
+"""``create_info`` index value marking an inode block (vs a data block)."""
+
+_INFO = struct.Struct(">QI")
+
+
+def encode_create_info(ino: int, index: int) -> bytes:
+    """The ``create_info`` Sting attaches to every block it writes.
+
+    Carries the inode number and the file block index (or
+    ``INODE_BLOCK_INDEX``), so replay and cleaner notifications can find
+    the block in Sting's metadata — precisely the paper's example of
+    what creation records are for.
+    """
+    return _INFO.pack(ino, index)
+
+
+def decode_create_info(info: bytes):
+    """Inverse of :func:`encode_create_info`; None if not Sting's."""
+    if len(info) != _INFO.size:
+        return None
+    return _INFO.unpack(info)
+
+
+class FileType(IntEnum):
+    """What an inode describes."""
+
+    FILE = 1
+    DIRECTORY = 2
+
+
+_HEAD = struct.Struct(">QBIQQI")
+_BLOCK_PTR = struct.Struct(">IQII")
+
+
+@dataclass
+class Inode:
+    """One file or directory."""
+
+    ino: int
+    ftype: FileType
+    size: int = 0
+    mtime: int = 0
+    block_size: int = 8192
+    blocks: Dict[int, BlockAddress] = field(default_factory=dict)
+
+    def block_count(self) -> int:
+        """Number of file blocks the current size implies."""
+        if self.size == 0:
+            return 0
+        return (self.size + self.block_size - 1) // self.block_size
+
+    @property
+    def is_dir(self) -> bool:
+        """True for directories."""
+        return self.ftype == FileType.DIRECTORY
+
+    def encode(self) -> bytes:
+        """Serialize for storage as a log block."""
+        out = [_HEAD.pack(self.ino, int(self.ftype), self.block_size,
+                          self.size, self.mtime, len(self.blocks))]
+        for index in sorted(self.blocks):
+            addr = self.blocks[index]
+            out.append(_BLOCK_PTR.pack(index, addr.fid, addr.offset,
+                                       addr.length))
+        return b"".join(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Inode":
+        """Parse an inode block."""
+        try:
+            ino, ftype, block_size, size, mtime, count = _HEAD.unpack_from(data, 0)
+        except struct.error as exc:
+            raise FileSystemError("corrupt inode block") from exc
+        blocks: Dict[int, BlockAddress] = {}
+        pos = _HEAD.size
+        for _ in range(count):
+            index, fid, offset, length = _BLOCK_PTR.unpack_from(data, pos)
+            blocks[index] = BlockAddress(fid, offset, length)
+            pos += _BLOCK_PTR.size
+        return cls(ino=ino, ftype=FileType(ftype), size=size, mtime=mtime,
+                   block_size=block_size, blocks=blocks)

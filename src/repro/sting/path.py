@@ -1,0 +1,54 @@
+"""Path manipulation for Sting (UNIX-style, always absolute)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import FileNotFoundFsError
+
+
+def normalize(path: str) -> str:
+    """Normalize ``path`` to a canonical absolute form.
+
+    Collapses repeated slashes and resolves ``.`` and ``..`` lexically
+    (Sting has no symlinks, so lexical resolution is exact).
+    """
+    if not path.startswith("/"):
+        raise FileNotFoundFsError("paths must be absolute: %r" % path)
+    parts: List[str] = []
+    for part in path.split("/"):
+        if part in ("", "."):
+            continue
+        if part == "..":
+            if parts:
+                parts.pop()
+            continue
+        parts.append(part)
+    return "/" + "/".join(parts)
+
+
+def split_path(path: str) -> List[str]:
+    """Component list of a normalized path (empty for the root)."""
+    normalized = normalize(path)
+    if normalized == "/":
+        return []
+    return normalized[1:].split("/")
+
+
+def dirname(path: str) -> str:
+    """Parent directory of ``path``."""
+    parts = split_path(path)
+    if not parts:
+        return "/"
+    return "/" + "/".join(parts[:-1])
+
+
+def basename(path: str) -> str:
+    """Final component of ``path`` (empty for the root)."""
+    parts = split_path(path)
+    return parts[-1] if parts else ""
+
+
+def split_parent(path: str) -> Tuple[str, str]:
+    """Return ``(parent, name)``; name is empty for the root."""
+    return dirname(path), basename(path)

@@ -1,0 +1,14 @@
+"""Operational tools: log verification (fsck) and cluster repair.
+
+Not described in the paper, but what an operator of the paper's system
+would need on day two: a scrubber that walks a client's log verifying
+fragment checksums and stripe-parity consistency, reports damage, and
+re-materializes missing fragments onto replacement servers.
+"""
+
+from repro.tools.fsck import FsckReport, StripeFinding, check_client_log, repair_client_log
+from repro.tools.status import ClusterStatus, ServerStatus, collect_status, format_status
+
+__all__ = ["FsckReport", "StripeFinding", "check_client_log",
+           "repair_client_log", "ClusterStatus", "ServerStatus",
+           "collect_status", "format_status"]

@@ -1,0 +1,191 @@
+"""swarm-fsck: verify and repair one client's striped log.
+
+The scrubber asks every reachable server for the client's FIDs
+(a diagnostic ``ListFids`` operation), fetches each fragment, and
+checks three invariant families:
+
+* **Integrity** — every fragment image parses and its header checksum
+  matches (payload structure is walked item by item).
+* **Stripe consistency** — every member of a stripe agrees on the
+  stripe descriptor, and the parity fragment's payload equals the XOR
+  of its data siblings' images.
+* **Availability** — stripes with one missing member are *degraded*
+  (still recoverable); with two or more missing they are *lost*.
+
+``repair_client_log`` re-materializes missing-but-recoverable fragments
+onto a designated server, returning the log to full redundancy.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import SwarmError
+from repro.log.fragment import Fragment, FragmentHeader
+from repro.log.reconstruct import Reconstructor
+from repro.log.stripe import parity_of_fast
+from repro.rpc import messages as m
+
+
+@dataclass
+class StripeFinding:
+    """Health of one stripe."""
+
+    base_fid: int
+    width: int
+    present: List[int] = field(default_factory=list)
+    missing: List[int] = field(default_factory=list)
+    corrupt: List[int] = field(default_factory=list)
+    parity_valid: Optional[bool] = None
+
+    @property
+    def status(self) -> str:
+        """``healthy`` / ``degraded`` (recoverable) / ``lost``."""
+        bad = len(self.missing) + len(self.corrupt)
+        if bad == 0 and self.parity_valid is not False:
+            return "healthy"
+        if bad <= 1 and self.width >= 2:
+            return "degraded"
+        return "lost"
+
+
+@dataclass
+class FsckReport:
+    """Everything the scrubber found for one client log."""
+
+    client_id: int
+    fragments_checked: int = 0
+    stripes: List[StripeFinding] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        """True when every stripe is fully intact."""
+        return all(s.status == "healthy" for s in self.stripes)
+
+    def by_status(self, status: str) -> List[StripeFinding]:
+        """Stripes with the given status."""
+        return [s for s in self.stripes if s.status == status]
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        return ("client %d: %d fragments, %d stripes "
+                "(%d healthy, %d degraded, %d lost)"
+                % (self.client_id, self.fragments_checked,
+                   len(self.stripes), len(self.by_status("healthy")),
+                   len(self.by_status("degraded")),
+                   len(self.by_status("lost"))))
+
+
+def _list_client_fids(transport, client_id: int,
+                      principal: str) -> Dict[int, str]:
+    """All of the client's FIDs, mapped to a server that holds each."""
+    locations: Dict[int, str] = {}
+    for server_id in transport.server_ids():
+        try:
+            response = transport.call(server_id, m.ListFidsRequest(
+                client_id=client_id, principal=principal))
+        except SwarmError:
+            continue
+        count = response.value
+        for index in range(count):
+            (fid,) = struct.unpack_from(">Q", response.payload, index * 8)
+            locations[fid] = server_id
+    return locations
+
+
+def _fetch(transport, server_id: str, fid: int,
+           principal: str) -> Optional[bytes]:
+    try:
+        response = transport.call(server_id, m.RetrieveRequest(
+            fid=fid, principal=principal))
+        return response.payload
+    except SwarmError:
+        return None
+
+
+def check_client_log(transport, client_id: int,
+                     principal: str = "") -> FsckReport:
+    """Scrub every stripe of one client's log."""
+    report = FsckReport(client_id=client_id)
+    locations = _list_client_fids(transport, client_id, principal)
+    # Parse what is present; learn stripe shapes from headers.
+    images: Dict[int, bytes] = {}
+    headers: Dict[int, FragmentHeader] = {}
+    corrupt: Set[int] = set()
+    for fid, server_id in sorted(locations.items()):
+        image = _fetch(transport, server_id, fid, principal)
+        if image is None:
+            continue
+        report.fragments_checked += 1
+        try:
+            fragment = Fragment.decode(image, verify_payload=True)
+        except SwarmError:
+            corrupt.add(fid)
+            continue
+        images[fid] = image
+        headers[fid] = fragment.header
+
+    # Group into stripes by descriptor. A corrupt fragment cannot name
+    # its own stripe, but a surviving sibling's descriptor covers it
+    # (consecutive FIDs), so known stripes absorb corrupt members below.
+    stripe_shapes: Dict[int, int] = {}
+    for header in headers.values():
+        stripe_shapes[header.stripe_base_fid] = header.stripe_width
+
+    for base, width in sorted(stripe_shapes.items()):
+        finding = StripeFinding(base_fid=base, width=width)
+        member_images: Dict[int, bytes] = {}
+        parity_index = None
+        for offset in range(width):
+            fid = base + offset
+            if fid in corrupt:
+                finding.corrupt.append(fid)
+            elif fid in images:
+                finding.present.append(fid)
+                member_images[offset] = images[fid]
+                if headers[fid].is_parity:
+                    parity_index = offset
+            else:
+                finding.missing.append(fid)
+        if not finding.missing and not finding.corrupt \
+                and parity_index is not None:
+            data_images = [img for off, img in sorted(member_images.items())
+                           if off != parity_index]
+            parity_payload = Fragment.decode(
+                member_images[parity_index]).payload
+            finding.parity_valid = (
+                parity_of_fast(data_images) == parity_payload)
+        report.stripes.append(finding)
+    return report
+
+
+def repair_client_log(transport, client_id: int, target_server: str,
+                      principal: str = "") -> int:
+    """Re-materialize every recoverable missing/corrupt fragment.
+
+    Returns the number of fragments restored. Corrupt fragments are
+    deleted from their servers first, then rebuilt like missing ones.
+    """
+    report = check_client_log(transport, client_id, principal)
+    rebuilder = Reconstructor(transport, principal)
+    restored = 0
+    for finding in report.by_status("degraded"):
+        for fid in finding.corrupt:
+            found = transport.broadcast_holds([fid])
+            server_id = found.get(fid)
+            if server_id is not None:
+                try:
+                    transport.call(server_id, m.DeleteRequest(
+                        fid=fid, principal=principal))
+                except SwarmError:
+                    pass
+        for fid in finding.corrupt + finding.missing:
+            image = rebuilder.fetch(fid)
+            header = Fragment.decode(image).header
+            transport.call(target_server, m.StoreRequest(
+                fid=fid, data=image, principal=principal,
+                marked=header.marked))
+            restored += 1
+    return restored

@@ -1,0 +1,19 @@
+"""Small shared utilities: checksums, binary packing, id generation."""
+
+from repro.util.checksums import crc32_of
+from repro.util.idgen import IdGenerator
+from repro.util.packing import (
+    pack_bytes,
+    pack_str,
+    unpack_bytes,
+    unpack_str,
+)
+
+__all__ = [
+    "crc32_of",
+    "IdGenerator",
+    "pack_bytes",
+    "pack_str",
+    "unpack_bytes",
+    "unpack_str",
+]

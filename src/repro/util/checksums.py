@@ -1,0 +1,18 @@
+"""Checksum helpers used by the fragment format and storage backends."""
+
+from __future__ import annotations
+
+import zlib
+
+
+def crc32_of(*chunks: bytes) -> int:
+    """Return the CRC-32 of the concatenation of ``chunks``.
+
+    The chunks are folded into a running CRC, so no intermediate copy of
+    the concatenated data is made. The result is an unsigned 32-bit int,
+    suitable for packing with ``struct`` format ``I``.
+    """
+    crc = 0
+    for chunk in chunks:
+        crc = zlib.crc32(chunk, crc)
+    return crc & 0xFFFFFFFF

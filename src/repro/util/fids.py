@@ -1,0 +1,40 @@
+"""FID bit layout — shared by the log layer and the storage server.
+
+Lives in ``util`` (not in :mod:`repro.log`) because storage servers also
+need to read the client-id bits out of FIDs (for per-client last-marked
+queries) without importing the whole client-side log package.
+
+The high 24 bits of a FID carry the writing client's id; the low 40
+bits carry that client's fragment sequence number. Clients therefore
+allocate globally unique FIDs with zero coordination, and fragments of
+one stripe get *consecutive* FIDs — the property reconstruction's
+neighbor search relies on.
+"""
+
+from __future__ import annotations
+
+CLIENT_BITS = 24
+SEQ_BITS = 40
+SEQ_MASK = (1 << SEQ_BITS) - 1
+
+FID_NONE = 0
+"""Reserved FID meaning "no fragment"."""
+
+
+def make_fid(client_id: int, seq: int) -> int:
+    """Compose a FID from a client id and a per-client sequence number."""
+    if not 0 <= client_id < (1 << CLIENT_BITS):
+        raise ValueError("client_id out of range: %r" % client_id)
+    if not 0 <= seq <= SEQ_MASK:
+        raise ValueError("fragment sequence out of range: %r" % seq)
+    return (client_id << SEQ_BITS) | seq
+
+
+def fid_client(fid: int) -> int:
+    """Extract the client id from a FID."""
+    return fid >> SEQ_BITS
+
+
+def fid_seq(fid: int) -> int:
+    """Extract the per-client sequence number from a FID."""
+    return fid & SEQ_MASK

@@ -1,0 +1,45 @@
+"""Length-prefixed binary packing helpers.
+
+The fragment format and the RPC codec both need to serialize
+variable-length byte strings and text. These helpers implement a single
+convention — a 4-byte big-endian length prefix — so the two formats stay
+consistent and the parsing code stays obvious.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+_LEN = struct.Struct(">I")
+
+
+def pack_bytes(data: bytes) -> bytes:
+    """Serialize ``data`` as a 4-byte length prefix followed by the bytes."""
+    return _LEN.pack(len(data)) + data
+
+
+def unpack_bytes(buf: bytes, offset: int) -> Tuple[bytes, int]:
+    """Read a length-prefixed byte string from ``buf`` at ``offset``.
+
+    Returns the bytes and the offset just past them. Raises ``ValueError``
+    if the buffer is truncated.
+    """
+    if offset + _LEN.size > len(buf):
+        raise ValueError("truncated length prefix")
+    (length,) = _LEN.unpack_from(buf, offset)
+    offset += _LEN.size
+    if offset + length > len(buf):
+        raise ValueError("truncated payload")
+    return bytes(buf[offset:offset + length]), offset + length
+
+
+def pack_str(text: str) -> bytes:
+    """Serialize ``text`` as length-prefixed UTF-8."""
+    return pack_bytes(text.encode("utf-8"))
+
+
+def unpack_str(buf: bytes, offset: int) -> Tuple[str, int]:
+    """Read a length-prefixed UTF-8 string from ``buf`` at ``offset``."""
+    raw, offset = unpack_bytes(buf, offset)
+    return raw.decode("utf-8"), offset

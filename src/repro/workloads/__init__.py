@@ -1,0 +1,21 @@
+"""Workloads: the paper's benchmarks plus synthetic generators."""
+
+from repro.workloads.generators import (
+    SyntheticTree,
+    make_andrew_tree,
+    make_churn_trace,
+)
+from repro.workloads.microbench import WriteBenchResult, run_write_bench
+from repro.workloads.mab import MabCosts, MabResult, run_mab_on_ext2, run_mab_on_sting
+
+__all__ = [
+    "SyntheticTree",
+    "make_andrew_tree",
+    "make_churn_trace",
+    "WriteBenchResult",
+    "run_write_bench",
+    "MabCosts",
+    "MabResult",
+    "run_mab_on_ext2",
+    "run_mab_on_sting",
+]

@@ -1,0 +1,91 @@
+"""Synthetic workload generators.
+
+The Andrew benchmark's input is a real source tree; offline we build a
+deterministic synthetic equivalent with the same shape (≈70 files,
+≈200 KB across a small directory hierarchy, file sizes following the
+original's skew). A churn-trace generator produces overwrite/delete
+sequences for cleaner experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+
+@dataclass
+class SyntheticTree:
+    """A deterministic file tree: directories plus (path, contents)."""
+
+    directories: List[str] = field(default_factory=list)
+    files: List[Tuple[str, bytes]] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of file sizes."""
+        return sum(len(data) for _path, data in self.files)
+
+    @property
+    def source_files(self) -> List[Tuple[str, bytes]]:
+        """The compilable subset (``.c`` files)."""
+        return [(path, data) for path, data in self.files
+                if path.endswith(".c")]
+
+
+def _file_body(rng: random.Random, size: int) -> bytes:
+    """Text-like bytes (compressible, like source code)."""
+    words = (b"static ", b"int ", b"struct ", b"return ", b"/* swarm */ ",
+             b"for (;;) ", b"void ", b"#include ", b"\n")
+    out = bytearray()
+    while len(out) < size:
+        out += rng.choice(words)
+    return bytes(out[:size])
+
+
+def make_andrew_tree(seed: int = 1999, n_dirs: int = 20, n_files: int = 70,
+                     total_bytes: int = 200_000) -> SyntheticTree:
+    """The Modified Andrew Benchmark's input tree, synthesized.
+
+    ~70 files over ~20 directories totalling ~200 KB, with the heavy
+    tail real source trees have (a few large files, many small ones).
+    17 of the files are ``.c`` sources for the compile phase, matching
+    the original benchmark's make phase.
+    """
+    rng = random.Random(seed)
+    tree = SyntheticTree()
+    tree.directories = ["/src"] + ["/src/dir%02d" % i for i in range(n_dirs - 1)]
+    # Pareto-flavoured sizes normalized to the target total.
+    weights = [rng.paretovariate(1.3) for _ in range(n_files)]
+    scale = total_bytes / sum(weights)
+    sizes = [max(64, int(w * scale)) for w in weights]
+    for index, size in enumerate(sizes):
+        directory = tree.directories[index % len(tree.directories)]
+        suffix = ".c" if index < 17 else (".h" if index % 3 == 0 else ".txt")
+        path = "%s/file%03d%s" % (directory, index, suffix)
+        tree.files.append((path, _file_body(rng, size)))
+    return tree
+
+
+def make_churn_trace(seed: int, n_files: int, rounds: int,
+                     min_size: int = 1000, max_size: int = 20000,
+                     delete_fraction: float = 0.1,
+                     ) -> Iterator[Tuple[str, str, bytes]]:
+    """Yield ``(op, path, data)`` churn operations for cleaner tests.
+
+    Ops are ``"write"`` (create or overwrite) and ``"delete"``; paths
+    cycle through a fixed population so overwrites dominate, creating
+    the mostly-dead stripes the cleaner exists to reclaim.
+    """
+    rng = random.Random(seed)
+    live = set()
+    for _round in range(rounds):
+        for index in range(n_files):
+            path = "/churn/f%04d" % index
+            if path in live and rng.random() < delete_fraction:
+                live.discard(path)
+                yield ("delete", path, b"")
+            else:
+                size = rng.randrange(min_size, max_size)
+                live.add(path)
+                yield ("write", path, bytes([rng.randrange(256)]) * size)

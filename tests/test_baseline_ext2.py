@@ -1,0 +1,98 @@
+"""Tests for the ext2 baseline: functional behaviour and timing shape."""
+
+import pytest
+
+from repro import errors
+from repro.baselines.ext2 import Ext2Fs, Ext2Params
+
+
+@pytest.fixture
+def fs():
+    return Ext2Fs()
+
+
+class TestFunctional:
+    def test_mkdir_create_read(self, fs):
+        fs.mkdir("/d")
+        fs.create("/d/f", b"hello")
+        assert fs.read_file("/d/f") == b"hello"
+        assert fs.listdir("/d") == ["f"]
+
+    def test_write_file_replaces(self, fs):
+        fs.write_file("/f", b"one")
+        fs.write_file("/f", b"two-longer")
+        assert fs.read_file("/f") == b"two-longer"
+
+    def test_multi_block_file(self, fs):
+        blob = bytes(range(256)) * 100
+        fs.write_file("/big", blob)
+        assert fs.read_file("/big") == blob
+
+    def test_unlink_and_rmdir(self, fs):
+        fs.mkdir("/d")
+        fs.create("/d/f", b"x")
+        with pytest.raises(errors.DirectoryNotEmptyFsError):
+            fs.rmdir("/d")
+        fs.unlink("/d/f")
+        fs.rmdir("/d")
+        assert not fs.exists("/d")
+
+    def test_errors(self, fs):
+        with pytest.raises(errors.FileNotFoundFsError):
+            fs.read_file("/ghost")
+        fs.create("/f", b"")
+        with pytest.raises(errors.FileExistsFsError):
+            fs.create("/f", b"")
+        with pytest.raises(errors.IsADirectoryFsError):
+            fs.read_file("/")
+
+    def test_freed_blocks_reused(self, fs):
+        fs.write_file("/a", b"z" * 20000)
+        blocks_high = fs._next_block
+        fs.unlink("/a")
+        fs.write_file("/b", b"z" * 20000)
+        assert fs._next_block == blocks_high  # allocator reused frees
+
+
+class TestTiming:
+    def test_metadata_writes_charge_disk_time(self):
+        fs = Ext2Fs()
+        t0 = fs.disk_seconds
+        fs.mkdir("/d")
+        assert fs.disk_seconds > t0
+
+    def test_scattered_creates_cost_more_than_one_big_write(self):
+        many = Ext2Fs()
+        for index in range(50):
+            many.create("/f%d" % index, b"x" * 1000)
+        one = Ext2Fs()
+        one.create("/big", b"x" * 50 * 1000)
+        assert many.disk_seconds > 3 * one.disk_seconds
+
+    def test_atime_updates_charged_on_reads(self):
+        on = Ext2Fs(Ext2Params(atime_updates=True))
+        off = Ext2Fs(Ext2Params(atime_updates=False))
+        for fs in (on, off):
+            fs.create("/f", b"data")
+        baseline_on, baseline_off = on.disk_seconds, off.disk_seconds
+        on.read_file("/f")
+        off.read_file("/f")
+        assert (on.disk_seconds - baseline_on) > (off.disk_seconds
+                                                  - baseline_off)
+
+    def test_unmount_flushes_writeback(self):
+        fs = Ext2Fs(Ext2Params(eager_writeback=False))
+        fs.write_file("/f", b"q" * 40000)
+        before = fs.disk_seconds
+        fs.unmount()
+        assert fs.disk_seconds > before
+
+    def test_clustering_reduces_seeks(self):
+        tight = Ext2Fs(Ext2Params(allocator_clustering=16,
+                                  eager_writeback=False))
+        loose = Ext2Fs(Ext2Params(allocator_clustering=1,
+                                  eager_writeback=False))
+        for fs in (tight, loose):
+            fs.write_file("/f", b"d" * 200000)
+            fs.unmount()
+        assert loose.disk_seconds > tight.disk_seconds

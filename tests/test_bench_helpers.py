@@ -1,0 +1,140 @@
+"""Tests for the measurement helpers and report formatting."""
+
+import pytest
+
+from repro.bench.figures import (
+    Fig5Result,
+    FigureSweep,
+    ReadBenchResult,
+    ServerSustainedResult,
+)
+from repro.bench.report import (
+    format_figure_table,
+    format_mab_table,
+    format_read_result,
+    format_server_result,
+)
+from repro.sim.stats import BandwidthSample, SweepResult, UtilizationTracker
+from repro.workloads.mab import MabResult
+from repro.workloads.microbench import WriteBenchResult
+
+
+class TestUtilizationTracker:
+    def test_accumulates_by_name(self):
+        tracker = UtilizationTracker()
+        tracker.add("cpu", 2.0)
+        tracker.add("cpu", 1.0)
+        tracker.add("disk", 0.5)
+        assert tracker.busy("cpu") == 3.0
+        assert tracker.utilization("cpu", 6.0) == 0.5
+        assert tracker.utilization("disk", 1.0) == 0.5
+
+    def test_capped_at_one(self):
+        tracker = UtilizationTracker()
+        tracker.add("cpu", 10.0)
+        assert tracker.utilization("cpu", 5.0) == 1.0
+
+    def test_zero_elapsed(self):
+        assert UtilizationTracker().utilization("cpu", 0.0) == 0.0
+
+
+class TestBandwidthSample:
+    def test_mb_per_s(self):
+        sample = BandwidthSample(clients=1, servers=2,
+                                 bytes_moved=10_000_000, elapsed_s=2.0)
+        assert sample.mb_per_s == pytest.approx(5.0)
+
+    def test_zero_elapsed_is_zero(self):
+        sample = BandwidthSample(1, 2, 100, 0.0)
+        assert sample.mb_per_s == 0.0
+
+    def test_sweep_series_sorted(self):
+        sweep = SweepResult("one client")
+        sweep.add(BandwidthSample(1, 4, 4_000_000, 1.0))
+        sweep.add(BandwidthSample(1, 2, 2_000_000, 1.0))
+        assert sweep.series() == [(2, 2.0), (4, 4.0)]
+
+
+def _result(clients, servers, useful, raw, elapsed=1.0):
+    return WriteBenchResult(clients=clients, servers=servers,
+                            blocks_per_client=100, block_size=4096,
+                            elapsed_s=elapsed,
+                            useful_bytes=int(useful * 1e6 * elapsed),
+                            raw_bytes=int(raw * 1e6 * elapsed))
+
+
+class TestWriteBenchResult:
+    def test_rates(self):
+        result = _result(1, 2, useful=3.0, raw=6.0, elapsed=2.0)
+        assert result.useful_mb_per_s == pytest.approx(3.0)
+        assert result.raw_mb_per_s == pytest.approx(6.0)
+
+
+class TestFigureTable:
+    def test_rows_and_columns(self):
+        sweep = FigureSweep("fig3")
+        sweep.curves[1] = [_result(1, 2, 3.0, 6.0), _result(1, 4, 4.5, 6.2)]
+        sweep.curves[4] = [_result(4, 2, 6.7, 13.4)]
+        table = format_figure_table(sweep, raw=False)
+        lines = table.splitlines()
+        assert "1 client (MB/s)" in lines[0]
+        assert "4 clients (MB/s)" in lines[0]
+        assert any(line.startswith("| 2 |") for line in lines)
+        assert any(line.startswith("| 4 |") for line in lines)
+        assert "3.0" in table and "6.7" in table
+
+    def test_raw_mode_switches_metric(self):
+        sweep = FigureSweep("fig3")
+        sweep.curves[1] = [_result(1, 2, 3.0, 6.0)]
+        assert "6.0" in format_figure_table(sweep, raw=True)
+        assert "6.0" not in format_figure_table(sweep, raw=False)
+
+    def test_series_helper(self):
+        sweep = FigureSweep("fig4")
+        sweep.curves[1] = [_result(1, 4, 4.5, 6.2), _result(1, 2, 3.0, 6.0)]
+        series = sweep.series(1, raw=False)
+        assert series == [(4, pytest.approx(4.5)), (2, pytest.approx(3.0))]
+
+
+class TestMabTable:
+    def test_contains_both_systems_and_speedup(self):
+        result = Fig5Result(
+            sting=MabResult("sting", elapsed_s=9.0, cpu_busy_s=8.5,
+                            io_busy_s=0.5),
+            ext2=MabResult("ext2fs", elapsed_s=17.0, cpu_busy_s=9.0,
+                           io_busy_s=8.0))
+        table = format_mab_table(result)
+        assert "Sting" in table and "ext2fs" in table
+        assert "1.89x" in table
+        assert "94%" in table  # 8.5/9.0
+
+    def test_speedup_property(self):
+        result = Fig5Result(
+            sting=MabResult("sting", 10.0, 9.0, 1.0),
+            ext2=MabResult("ext2fs", 20.0, 10.0, 10.0))
+        assert result.speedup == pytest.approx(2.0)
+
+
+class TestInTextFormatting:
+    def test_read_result(self):
+        text = format_read_result(ReadBenchResult(
+            blocks=100, block_size=4096, elapsed_s=1.0,
+            bytes_read=1_200_000, prefetch=False))
+        assert "1.20 MB/s" in text
+        assert "1.7" in text  # paper value alongside
+
+    def test_server_result(self):
+        text = format_server_result(ServerSustainedResult(
+            clients=4, raw_mb_per_s=8.0,
+            disk_upper_bound_mb_per_s=10.6))
+        assert "8.0" in text and "7.7" in text and "10.3" in text
+
+
+class TestMabResult:
+    def test_utilization(self):
+        result = MabResult("x", elapsed_s=10.0, cpu_busy_s=9.3,
+                           io_busy_s=0.7)
+        assert result.cpu_utilization == pytest.approx(0.93)
+
+    def test_zero_elapsed(self):
+        assert MabResult("x", 0.0, 0.0, 0.0).cpu_utilization == 0.0

@@ -1,0 +1,115 @@
+"""Tests for client-side fragment reconstruction (§2.4.3)."""
+
+import pytest
+
+from repro import errors
+from repro.log.fragment import Fragment
+from repro.log.reconstruct import Reconstructor
+
+SVC = 3
+
+
+def written_cluster(cluster, blocks=12, size=25000):
+    log = cluster.make_log(client_id=1)
+    payloads = [bytes([i + 1]) * size for i in range(blocks)]
+    addresses = [log.write_block(SVC, payload) for payload in payloads]
+    log.flush().wait()
+    return log, payloads, addresses
+
+
+class TestReconstruction:
+    def test_missing_data_fragment_rebuilt(self, cluster4):
+        log, payloads, addresses = written_cluster(cluster4)
+        victim = cluster4.servers["s1"]
+        lost = victim.list_fids()
+        victim.crash()
+        rec = Reconstructor(cluster4.transport, "client-1")
+        for fid in lost:
+            image = rec.fetch(fid)
+            fragment = Fragment.decode(image)
+            assert fragment.fid == fid
+
+    def test_reconstructed_blocks_byte_identical(self, cluster4):
+        log, payloads, addresses = written_cluster(cluster4)
+        direct = [log.read(addr) for addr in addresses]
+        cluster4.servers["s0"].crash()
+        fresh = cluster4.make_log(client_id=1)
+        via_parity = [fresh.read(addr) for addr in addresses]
+        assert via_parity == direct == payloads
+
+    def test_missing_parity_fragment_recomputed(self, cluster4):
+        log, _payloads, _addresses = written_cluster(cluster4)
+        # Find a parity fragment and its host.
+        parity_fid, host = None, None
+        for sid, server in cluster4.servers.items():
+            for fid in server.list_fids():
+                fragment = Fragment.decode(server.retrieve(fid))
+                if fragment.header.is_parity:
+                    parity_fid, host = fid, sid
+                    original = server.retrieve(fid)
+        assert parity_fid is not None
+        cluster4.servers[host].crash()
+        rec = Reconstructor(cluster4.transport, "client-1")
+        rebuilt = rec.fetch(parity_fid)
+        rebuilt_fragment = Fragment.decode(rebuilt)
+        original_fragment = Fragment.decode(original)
+        assert rebuilt_fragment.header.is_parity
+        assert rebuilt_fragment.payload == original_fragment.payload
+
+    def test_two_failures_in_group_unrecoverable(self, cluster4):
+        log, _payloads, _addresses = written_cluster(cluster4)
+        lost = cluster4.servers["s1"].list_fids()
+        cluster4.servers["s1"].crash()
+        cluster4.servers["s2"].crash()
+        rec = Reconstructor(cluster4.transport, "client-1")
+        with pytest.raises(errors.ReconstructionError):
+            rec.fetch(lost[0])
+
+    def test_nonexistent_fragment_unreconstructable(self, cluster4):
+        written_cluster(cluster4)
+        rec = Reconstructor(cluster4.transport, "client-1")
+        from repro.util.fids import make_fid
+
+        with pytest.raises(errors.ReconstructionError):
+            rec.fetch(make_fid(1, 4000))
+
+    def test_reconstruction_counts_and_cache(self, cluster4):
+        log, _payloads, _addresses = written_cluster(cluster4)
+        lost = cluster4.servers["s1"].list_fids()
+        cluster4.servers["s1"].crash()
+        rec = Reconstructor(cluster4.transport, "client-1")
+        rec.fetch(lost[0])
+        rec.fetch(lost[0])  # second fetch served from the image cache
+        assert rec.reconstructions == 1
+
+    def test_rebuild_to_replacement_server(self, cluster4):
+        from repro.server import ServerConfig, StorageServer
+
+        log, payloads, addresses = written_cluster(cluster4)
+        lost = sorted(cluster4.servers["s3"].list_fids())
+        cluster4.servers["s3"].crash()
+        spare = StorageServer(ServerConfig("spare", fragment_size=1 << 16))
+        cluster4.transport.add_server(spare)
+        rec = Reconstructor(cluster4.transport, "client-1")
+        for fid in lost:
+            rec.rebuild_to_server(fid, "spare")
+        assert sorted(spare.list_fids()) == lost
+        # A fresh reader finds the fragments on the spare via broadcast.
+        fresh = cluster4.make_log(client_id=1)
+        for i, addr in enumerate(addresses):
+            assert fresh.read(addr) == payloads[i]
+
+    def test_transparent_to_servers(self, cluster4):
+        """Servers never see reconstruction traffic beyond ordinary
+        retrieves: no special ops, no server-to-server calls."""
+        log, _payloads, addresses = written_cluster(cluster4)
+        before = {sid: server.retrieve_ops
+                  for sid, server in cluster4.servers.items()}
+        cluster4.servers["s1"].crash()
+        log.read(addresses[0])
+        # Only retrieve counters moved on the survivors.
+        for sid, server in cluster4.servers.items():
+            if sid == "s1":
+                continue
+            assert server.retrieve_ops >= before[sid]
+            assert server.store_ops <= 20  # unchanged by reads

@@ -1,0 +1,195 @@
+"""Tests for checkpoint discovery, rollforward, and the log reader."""
+
+import pytest
+
+from repro.log.reader import LogReader
+from repro.log.records import RecordType
+from repro.log.recovery import (
+    find_newest_marked_fid,
+    recover_service_state,
+)
+from repro.util.fids import make_fid
+
+SVC_A, SVC_B = 11, 12
+
+
+class TestLogReader:
+    def test_fragments_in_fid_order(self, cluster4):
+        log = cluster4.make_log(client_id=1)
+        for i in range(10):
+            log.write_block(SVC_A, bytes([i]) * 30000)
+        log.flush().wait()
+        reader = LogReader(cluster4.transport, "client-1")
+        fids = [f.fid for f in reader.fragments_from(make_fid(1, 1))]
+        assert fids == sorted(fids)
+        assert len(fids) >= 5
+
+    def test_stops_at_end_of_log(self, cluster4):
+        log = cluster4.make_log(client_id=1)
+        log.write_block(SVC_A, b"only")
+        log.flush().wait()
+        reader = LogReader(cluster4.transport, "client-1")
+        fragments = list(reader.fragments_from(make_fid(1, 1)))
+        assert 1 <= len(fragments) <= 2
+
+    def test_reads_through_failed_server(self, cluster4):
+        log = cluster4.make_log(client_id=1)
+        for i in range(10):
+            log.write_block(SVC_A, bytes([i]) * 30000)
+        log.flush().wait()
+        cluster4.servers["s0"].crash()
+        reader = LogReader(cluster4.transport, "client-1")
+        fragments = list(reader.fragments_from(make_fid(1, 1)))
+        data_fragments = [f for f in fragments if not f.header.is_parity]
+        blocks = sum(1 for f in data_fragments for item in f.items()
+                     if item.record is None)
+        assert blocks == 10
+
+    def test_records_from_filters_lsn(self, cluster4):
+        log = cluster4.make_log(client_id=1)
+        log.write_record(SVC_A, RecordType.USER_BASE, b"one")
+        cut = log.write_record(SVC_A, RecordType.USER_BASE, b"two").lsn
+        log.write_record(SVC_A, RecordType.USER_BASE, b"three")
+        log.flush().wait()
+        reader = LogReader(cluster4.transport, "client-1")
+        records = reader.records_from(make_fid(1, 1), min_lsn=cut)
+        assert [r.payload for r in records
+                if r.rtype == RecordType.USER_BASE] == [b"three"]
+
+
+class TestCheckpointDiscovery:
+    def test_find_newest_marked(self, cluster4):
+        log = cluster4.make_log(client_id=1)
+        log.checkpoint(SVC_A, b"first").wait()
+        log.write_block(SVC_A, b"pad" * 1000)
+        log.checkpoint(SVC_A, b"second").wait()
+        newest = find_newest_marked_fid(cluster4.transport, 1)
+        assert newest > 0
+        reader = LogReader(cluster4.transport, "client-1")
+        fragment = reader.read_fragment(newest)
+        payloads = [r.payload for r in fragment.records()
+                    if r.rtype == RecordType.CHECKPOINT]
+        assert b"second" in payloads
+
+    def test_no_checkpoints_returns_zero(self, cluster4):
+        log = cluster4.make_log(client_id=1)
+        log.write_block(SVC_A, b"data")
+        log.flush().wait()
+        assert find_newest_marked_fid(cluster4.transport, 1) == 0
+
+    def test_per_client_isolation(self, cluster4):
+        log1 = cluster4.make_log(client_id=1)
+        log2 = cluster4.make_log(client_id=2)
+        log1.checkpoint(SVC_A, b"c1").wait()
+        log2.checkpoint(SVC_A, b"c2").wait()
+        fid1 = find_newest_marked_fid(cluster4.transport, 1)
+        fid2 = find_newest_marked_fid(cluster4.transport, 2)
+        from repro.util.fids import fid_client
+
+        assert fid_client(fid1) == 1
+        assert fid_client(fid2) == 2
+
+
+class TestRecovery:
+    def test_checkpoint_plus_tail_records(self, cluster4):
+        log = cluster4.make_log(client_id=1)
+        log.write_block(SVC_A, b"before")           # obsoleted by ckpt
+        log.checkpoint(SVC_A, b"the-state").wait()
+        log.write_block(SVC_A, b"after-1")
+        log.write_block(SVC_A, b"after-2")
+        log.flush().wait()
+        recovered = recover_service_state(cluster4.transport, 1, SVC_A)
+        assert recovered.checkpoint_state == b"the-state"
+        creates = [r for r in recovered.records
+                   if r.rtype == RecordType.CREATE]
+        assert len(creates) == 2
+
+    def test_no_checkpoint_replays_from_head(self, cluster4):
+        log = cluster4.make_log(client_id=1)
+        log.write_block(SVC_A, b"one")
+        log.write_block(SVC_A, b"two")
+        log.flush().wait()
+        recovered = recover_service_state(cluster4.transport, 1, SVC_A)
+        assert recovered.checkpoint_state is None
+        assert len([r for r in recovered.records
+                    if r.rtype == RecordType.CREATE]) == 2
+
+    def test_records_in_lsn_order(self, cluster4):
+        log = cluster4.make_log(client_id=1)
+        for i in range(40):
+            log.write_record(SVC_A, RecordType.USER_BASE, b"%d" % i)
+        log.flush().wait()
+        recovered = recover_service_state(cluster4.transport, 1, SVC_A)
+        lsns = [r.lsn for r in recovered.records]
+        assert lsns == sorted(lsns)
+
+    def test_services_recover_independently(self, cluster4):
+        log = cluster4.make_log(client_id=1)
+        log.checkpoint(SVC_A, b"A").wait()
+        log.write_record(SVC_B, RecordType.USER_BASE, b"b-rec")
+        log.checkpoint(SVC_B, b"B").wait()
+        log.write_record(SVC_A, RecordType.USER_BASE, b"a-rec")
+        log.flush().wait()
+        rec_a = recover_service_state(cluster4.transport, 1, SVC_A)
+        rec_b = recover_service_state(cluster4.transport, 1, SVC_B)
+        assert rec_a.checkpoint_state == b"A"
+        assert rec_b.checkpoint_state == b"B"
+        assert [r.payload for r in rec_a.records
+                if r.rtype == RecordType.USER_BASE] == [b"a-rec"]
+        # B's record predates B's checkpoint, so it must NOT replay.
+        assert [r.payload for r in rec_b.records
+                if r.rtype == RecordType.USER_BASE] == []
+
+    def test_old_service_checkpoint_still_found_via_table(self, cluster4):
+        """SVC_A checkpoints once, then only SVC_B checkpoints; A's
+        checkpoint must still be reachable from the newest marked
+        fragment's checkpoint table."""
+        log = cluster4.make_log(client_id=1)
+        log.checkpoint(SVC_A, b"a-old").wait()
+        for i in range(5):
+            log.write_block(SVC_B, bytes([i]) * 20000)
+            log.checkpoint(SVC_B, b"b-%d" % i).wait()
+        recovered = recover_service_state(cluster4.transport, 1, SVC_A)
+        assert recovered.checkpoint_state == b"a-old"
+
+    def test_highest_fid_and_lsn_reported(self, cluster4):
+        log = cluster4.make_log(client_id=1)
+        log.checkpoint(SVC_A, b"x").wait()
+        record = log.write_record(SVC_A, RecordType.USER_BASE, b"tail")
+        log.flush().wait()
+        recovered = recover_service_state(cluster4.transport, 1, SVC_A)
+        assert recovered.highest_lsn >= record.lsn
+        assert recovered.highest_fid > 0
+
+    def test_adopted_state_prevents_fid_collisions(self, cluster4):
+        log = cluster4.make_log(client_id=1)
+        log.write_block(SVC_A, b"first-life")
+        log.checkpoint(SVC_A, b"cp").wait()
+        recovered = recover_service_state(cluster4.transport, 1, SVC_A)
+        fresh = cluster4.make_log(client_id=1)
+        fresh.adopt_recovered_state(recovered.highest_fid,
+                                    recovered.highest_lsn,
+                                    recovered.checkpoint_table)
+        addr = fresh.write_block(SVC_A, b"second-life")
+        fresh.flush().wait()  # would FragmentExists on collision
+        assert fresh.read(addr) == b"second-life"
+
+    def test_recovery_with_server_down_uses_parity(self, cluster4):
+        log = cluster4.make_log(client_id=1)
+        for i in range(8):
+            log.write_block(SVC_A, bytes([i]) * 25000)
+        log.checkpoint(SVC_A, b"cp").wait()
+        log.write_block(SVC_A, b"tail-block")
+        log.flush().wait()
+        cluster4.servers["s2"].crash()
+        recovered = recover_service_state(cluster4.transport, 1, SVC_A)
+        assert recovered.checkpoint_state == b"cp"
+
+    def test_unflushed_tail_lost_after_crash(self, cluster4):
+        log = cluster4.make_log(client_id=1)
+        log.checkpoint(SVC_A, b"cp").wait()
+        log.write_block(SVC_A, b"never-flushed")  # client crashes here
+        recovered = recover_service_state(cluster4.transport, 1, SVC_A)
+        creates = [r for r in recovered.records
+                   if r.rtype == RecordType.CREATE]
+        assert creates == []

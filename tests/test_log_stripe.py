@@ -1,0 +1,108 @@
+"""Unit tests for striping, parity algebra, and placement rotation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.log.stripe import (
+    StripeGroup,
+    StripeLayout,
+    parity_of,
+    parity_of_fast,
+    recover_data_image,
+)
+
+
+class TestParityAlgebra:
+    def test_simple_xor(self):
+        assert parity_of([b"\x0f\x0f", b"\xf0\xf0"]) == b"\xff\xff"
+
+    def test_padding_with_unequal_lengths(self):
+        parity = parity_of([b"\xff", b"\x0f\xf0"])
+        assert parity == b"\xf0\xf0"
+
+    def test_empty(self):
+        assert parity_of([]) == b""
+
+    @given(st.lists(st.binary(max_size=500), min_size=1, max_size=6))
+    def test_fast_equals_reference(self, images):
+        assert parity_of_fast(images) == parity_of(images)
+
+    @given(st.lists(st.binary(min_size=1, max_size=500), min_size=2,
+                    max_size=6),
+           st.data())
+    def test_any_member_recoverable(self, images, data):
+        """Core RAID invariant: parity ^ survivors == missing image."""
+        parity = parity_of_fast(images)
+        missing = data.draw(st.integers(min_value=0,
+                                        max_value=len(images) - 1))
+        survivors = [img for i, img in enumerate(images) if i != missing]
+        recovered = recover_data_image(parity, survivors)
+        original = images[missing]
+        assert recovered[:len(original)] == original
+        # Only zero padding beyond the original length.
+        assert not any(recovered[len(original):])
+
+    @given(st.lists(st.binary(min_size=1, max_size=300), min_size=1,
+                    max_size=5))
+    def test_xor_of_everything_is_zero(self, images):
+        parity = parity_of_fast(images)
+        assert not any(parity_of_fast(images + [parity]))
+
+
+class TestStripeGroup:
+    def test_size_and_parity_support(self):
+        assert StripeGroup(("a",)).size == 1
+        assert not StripeGroup(("a",)).supports_parity
+        assert StripeGroup(("a", "b")).supports_parity
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            StripeGroup(())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigError):
+            StripeGroup(("a", "a"))
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ConfigError):
+            StripeGroup(tuple("s%d" % i for i in range(17)))
+
+
+class TestStripeLayout:
+    def test_width_adds_parity_member(self):
+        layout = StripeLayout(StripeGroup(("a", "b", "c")))
+        assert layout.width_for(2) == 3
+        assert layout.max_data_fragments() == 2
+
+    def test_single_server_group_has_no_parity(self):
+        layout = StripeLayout(StripeGroup(("a",)))
+        assert layout.width_for(1) == 1
+        assert layout.max_data_fragments() == 1
+
+    def test_rotation_moves_parity_server(self):
+        layout = StripeLayout(StripeGroup(("a", "b", "c", "d")))
+        parity_servers = [layout.servers_for_stripe(k, 4)[3]
+                          for k in range(4)]
+        assert sorted(parity_servers) == ["a", "b", "c", "d"]
+
+    def test_each_stripe_uses_distinct_servers(self):
+        layout = StripeLayout(StripeGroup(("a", "b", "c", "d")))
+        for stripe in range(8):
+            servers = layout.servers_for_stripe(stripe, 4)
+            assert len(set(servers)) == 4
+
+    def test_short_stripe_placement(self):
+        layout = StripeLayout(StripeGroup(("a", "b", "c", "d")))
+        servers = layout.servers_for_stripe(1, 2)
+        assert servers == ("b", "c")
+
+    def test_too_wide_rejected(self):
+        layout = StripeLayout(StripeGroup(("a", "b")))
+        with pytest.raises(ValueError):
+            layout.servers_for_stripe(0, 3)
+
+    def test_width_for_requires_positive(self):
+        layout = StripeLayout(StripeGroup(("a", "b")))
+        with pytest.raises(ValueError):
+            layout.width_for(0)

@@ -1,0 +1,139 @@
+"""Unit tests for the RPC codec and transports."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import errors
+from repro.rpc import messages as m
+from repro.rpc.codec import decode_message, encode_message, wire_size
+from repro.rpc.transport import (
+    CompletedFuture,
+    LocalTransport,
+    dispatch,
+    raise_error_response,
+)
+from repro.server.config import ServerConfig
+from repro.server.server import StorageServer
+
+
+def all_message_examples():
+    return [
+        m.StoreRequest(fid=7, data=b"payload", principal="c1", marked=True,
+                       acl_ranges=((0, 4, 1), (4, 7, 2))),
+        m.StoreRequest(fid=0, data=b""),
+        m.RetrieveRequest(fid=9, offset=12, length=-1, principal="c2"),
+        m.DeleteRequest(fid=3, principal="x"),
+        m.PreallocateRequest(fid=44),
+        m.LastMarkedRequest(client_id=5, principal="p"),
+        m.LastMarkedRequest(),
+        m.HoldsRequest(fid=123456789),
+        m.CreateAclRequest(readers=("a", "b"), writers=("c",)),
+        m.ModifyAclRequest(aid=2, readers=("x",), writers=None),
+        m.ModifyAclRequest(aid=3, readers=None, writers=()),
+        m.DeleteAclRequest(aid=8),
+        m.EvalScriptRequest(script="puts hi", principal="root"),
+        m.Response(value=-1, payload=b"\x00\xff", text="ok"),
+        m.ErrorResponse(error_class="FragmentNotFoundError", message="gone"),
+    ]
+
+
+class TestCodec:
+    @pytest.mark.parametrize("message", all_message_examples(),
+                             ids=lambda msg: type(msg).__name__ + str(hash(repr(msg)) % 97))
+    def test_round_trip(self, message):
+        assert decode_message(encode_message(message)) == message
+
+    def test_wire_size_tracks_encoding_for_bulk_messages(self):
+        for message in all_message_examples():
+            encoded = len(encode_message(message))
+            estimated = wire_size(message)
+            # The arithmetic estimate must be within a small constant of
+            # the real encoding (it skips only fixed framing details).
+            assert abs(estimated - encoded) <= 32
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            decode_message(b"\xfe")
+
+    def test_non_message_rejected(self):
+        with pytest.raises(TypeError):
+            encode_message("not a message")
+
+    @given(st.binary(max_size=4096), st.text(max_size=20),
+           st.booleans(), st.integers(min_value=0, max_value=2**63 - 1))
+    def test_store_round_trip_property(self, data, principal, marked, fid):
+        message = m.StoreRequest(fid=fid, data=data, principal=principal,
+                                 marked=marked)
+        assert decode_message(encode_message(message)) == message
+
+
+class TestDispatch:
+    def test_store_and_retrieve(self, server):
+        response = dispatch(server, m.StoreRequest(fid=5, data=b"abcdef"))
+        assert isinstance(response, m.Response)
+        got = dispatch(server, m.RetrieveRequest(fid=5, offset=2, length=3))
+        assert got.payload == b"cde"
+
+    def test_error_becomes_error_response(self, server):
+        response = dispatch(server, m.RetrieveRequest(fid=404))
+        assert isinstance(response, m.ErrorResponse)
+        assert response.error_class == "FragmentNotFoundError"
+
+    def test_error_response_reraises_matching_class(self):
+        with pytest.raises(errors.FragmentNotFoundError):
+            raise_error_response(m.ErrorResponse("FragmentNotFoundError", "x"))
+
+    def test_unknown_error_class_maps_to_server_error(self):
+        with pytest.raises(errors.ServerError):
+            raise_error_response(m.ErrorResponse("WeirdError", "x"))
+
+    def test_eval_script_through_dispatch(self, server):
+        response = dispatch(server, m.EvalScriptRequest(script="puts [expr 2*3]"))
+        assert response.text == "6"
+
+
+class TestLocalTransport:
+    def _transport(self, verify_codec):
+        servers = {name: StorageServer(ServerConfig(name, fragment_size=1 << 16))
+                   for name in ("s0", "s1")}
+        return LocalTransport(servers, verify_codec=verify_codec), servers
+
+    @pytest.mark.parametrize("verify_codec", [False, True])
+    def test_call_round_trip(self, verify_codec):
+        transport, _servers = self._transport(verify_codec)
+        transport.call("s0", m.StoreRequest(fid=1, data=b"zz"))
+        response = transport.call("s0", m.RetrieveRequest(fid=1))
+        assert response.payload == b"zz"
+
+    def test_call_unknown_server(self):
+        transport, _ = self._transport(False)
+        with pytest.raises(errors.ServerUnavailableError):
+            transport.call("nope", m.HoldsRequest(fid=1))
+
+    def test_submit_returns_completed_future(self):
+        transport, _ = self._transport(False)
+        future = transport.submit("s0", m.StoreRequest(fid=1, data=b"a"))
+        assert future.triggered and future.ok
+        assert future.result().value == 0  # slot 0
+
+    def test_submit_failure_captured_in_future(self):
+        transport, _ = self._transport(False)
+        future = transport.submit("s0", m.DeleteRequest(fid=99))
+        assert future.triggered and not future.ok
+        with pytest.raises(errors.FragmentNotFoundError):
+            future.result()
+
+    def test_broadcast_holds_finds_right_server(self):
+        transport, servers = self._transport(False)
+        transport.call("s1", m.StoreRequest(fid=77, data=b"x"))
+        assert transport.broadcast_holds([77, 78]) == {77: "s1"}
+
+    def test_broadcast_skips_crashed_servers(self):
+        transport, servers = self._transport(False)
+        transport.call("s1", m.StoreRequest(fid=77, data=b"x"))
+        servers["s0"].crash()
+        assert transport.broadcast_holds([77]) == {77: "s1"}
+
+    def test_completed_future_ok_semantics(self):
+        assert CompletedFuture(value=1).ok
+        assert not CompletedFuture(exception=ValueError()).ok

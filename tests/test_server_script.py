@@ -1,0 +1,176 @@
+"""Unit tests for the SwarmScript interpreter."""
+
+import pytest
+
+from repro import errors
+from repro.server.script import (
+    SwarmScriptInterpreter,
+    split_commands,
+    tokenize_command,
+)
+
+
+@pytest.fixture
+def interp(server):
+    return SwarmScriptInterpreter(server)
+
+
+class TestTokenizer:
+    def test_plain_words(self):
+        assert tokenize_command("store 1 abc") == ["store", "1", "abc"]
+
+    def test_braces_group(self):
+        assert tokenize_command("foreach x {1 2 3} {puts $x}") == \
+            ["foreach", "x", "{1 2 3}", "{puts $x}"]
+
+    def test_nested_braces(self):
+        assert tokenize_command("if {1} {if {2} {puts x}}") == \
+            ["if", "{1}", "{if {2} {puts x}}"]
+
+    def test_brackets_group(self):
+        assert tokenize_command("puts [expr 1 + 2]") == ["puts", "[expr 1 + 2]"]
+
+    def test_quotes_group(self):
+        assert tokenize_command('puts "two words"') == ["puts", '"two words"']
+
+    def test_unbalanced_brace(self):
+        with pytest.raises(errors.ScriptError):
+            tokenize_command("puts {oops")
+
+    def test_unterminated_string(self):
+        with pytest.raises(errors.ScriptError):
+            tokenize_command('puts "oops')
+
+
+class TestSplitCommands:
+    def test_newlines_and_semicolons(self):
+        assert split_commands("a 1\nb 2; c 3") == ["a 1", "b 2", "c 3"]
+
+    def test_comments_and_blanks_dropped(self):
+        assert split_commands("# hi\n\nputs x\n  # more\n") == ["puts x"]
+
+    def test_semicolon_inside_braces_kept(self):
+        assert split_commands("if {1} {a; b}") == ["if {1} {a; b}"]
+
+
+class TestCore:
+    def test_set_and_substitute(self, interp):
+        assert interp.run("set x 5\nputs $x") == "5"
+
+    def test_undefined_variable(self, interp):
+        with pytest.raises(errors.ScriptError):
+            interp.run("puts $nope")
+
+    def test_command_substitution(self, interp):
+        assert interp.run("puts [expr 6 * 7]") == "42"
+
+    def test_nested_substitution(self, interp):
+        assert interp.run("set a 2\nputs [expr [expr $a * $a] + 1]") == "5"
+
+    def test_expr_comparisons(self, interp):
+        assert interp.run("puts [expr 3 < 4]") == "1"
+        assert interp.run("puts [expr 3 == 4]") == "0"
+
+    def test_expr_rejects_code(self, interp):
+        with pytest.raises(errors.ScriptError):
+            interp.run("puts [expr __import__ ]")
+
+    def test_if_else(self, interp):
+        assert interp.run("if {1 > 2} {puts yes} else {puts no}") == "no"
+
+    def test_if_with_substitution_in_condition(self, interp):
+        assert interp.run("set x 9\nif {$x > 5} {puts big}") == "big"
+
+    def test_foreach(self, interp):
+        assert interp.run("foreach i {1 2 3} {puts [expr $i * 10]}") \
+            == "10\n20\n30"
+
+    def test_unknown_command(self, interp):
+        with pytest.raises(errors.ScriptError):
+            interp.run("frobnicate 1")
+
+    def test_quotes_interpolate(self, interp):
+        assert interp.run('set n 3\nputs "n is $n"') == "n is 3"
+
+    def test_braces_suppress_interpolation(self, interp):
+        assert interp.run("set n 3\nputs {n is $n}") == "n is $n"
+
+
+class TestServerCommands:
+    def test_store_retrieve_cycle(self, interp):
+        out = interp.run("store 10 %s\nputs [retrieve 10]" % b"hey".hex())
+        assert out == b"hey".hex()
+
+    def test_store_marked_and_query(self, interp):
+        interp.run("store 5 00 marked\nstore 6 00")
+        assert interp.run("puts [last-marked]") == "5"
+
+    def test_holds_and_delete(self, interp):
+        interp.run("store 3 00")
+        assert interp.run("puts [holds 3]") == "1"
+        interp.run("delete 3")
+        assert interp.run("puts [holds 3]") == "0"
+
+    def test_preallocate(self, interp, server):
+        interp.run("preallocate 9")
+        server.store(9, b"later")
+        assert server.retrieve(9) == b"later"
+
+    def test_bad_hex_rejected(self, interp):
+        with pytest.raises(errors.ScriptError):
+            interp.run("store 1 nothex!")
+
+    def test_server_errors_surface(self, interp):
+        with pytest.raises(errors.FragmentNotFoundError):
+            interp.run("retrieve 404")
+
+    def test_integer_parsing_with_base(self, interp):
+        interp.run("store 0x10 00")
+        assert interp.run("puts [holds 16]") == "1"
+
+    def test_acl_commands(self):
+        from repro.server.config import ServerConfig
+        from repro.server.server import StorageServer
+
+        server = StorageServer(ServerConfig("sec", fragment_size=1 << 16,
+                                            enforce_acls=True))
+        interp = SwarmScriptInterpreter(server, principal="alice")
+        aid = interp.run("puts [acl-create {alice} {alice}]")
+        interp.variables["aid"] = aid
+        interp.run("acl-modify $aid {alice bob} {alice}")
+        assert server.acls.get(int(aid)).readers == {"alice", "bob"}
+        interp.run("acl-delete $aid")
+        with pytest.raises(errors.AclNotFoundError):
+            server.acls.get(int(aid))
+
+
+class TestActiveDisk:
+    def test_count_byte_at_server(self, interp, server):
+        server.store(1, b"abca")
+        assert interp.run("puts [count-byte 1 0x61]") == "2"
+
+    def test_checksum_matches_client_side(self, interp, server):
+        from repro.util.checksums import crc32_of
+
+        server.store(1, b"fragment-bytes")
+        assert interp.run("puts [checksum 1]") == str(crc32_of(b"fragment-bytes"))
+
+    def test_script_with_loop_over_fragments(self, interp, server):
+        server.store(1, b"aa")
+        server.store(2, b"aaa")
+        out = interp.run("foreach f {1 2} {puts [count-byte $f 0x61]}")
+        assert out == "2\n3"
+
+    def test_principal_enforced_through_scripts(self):
+        from repro.server.config import ServerConfig
+        from repro.server.server import StorageServer
+
+        server = StorageServer(ServerConfig("sec", fragment_size=1 << 16,
+                                            enforce_acls=True))
+        aid = server.create_acl(readers={"alice"}, writers={"alice"})
+        server.store(1, b"top-secret", acl_ranges=[(0, 10, aid)])
+        eve = SwarmScriptInterpreter(server, principal="eve")
+        with pytest.raises(errors.AccessDeniedError):
+            eve.run("puts [count-byte 1 0x74]")
+        alice = SwarmScriptInterpreter(server, principal="alice")
+        assert alice.run("puts [count-byte 1 0x74]") == "2"

@@ -1,0 +1,199 @@
+"""Tests for atomic recovery units."""
+
+import pytest
+
+from repro import errors
+from repro.log.records import RecordType
+from repro.services.aru import AruService
+from repro.services.base import Service
+from repro.services.logical_disk import LogicalDiskService
+from repro.services.stack import ServiceStack
+
+
+class AppService(Service):
+    """Minimal record-writing service for replay assertions."""
+
+    RT = RecordType.USER_BASE + 9
+
+    def __init__(self, service_id):
+        super().__init__(service_id)
+        self.replayed = []
+
+    def log_op(self, payload):
+        self.stack.write_record(self, self.RT, payload)
+
+    def restore(self, state, records):
+        self.replayed = [r.payload for r in records if r.rtype == self.RT]
+
+
+def fresh_stack(cluster):
+    stack = cluster.make_stack(client_id=1)
+    aru = stack.push(AruService(1))
+    app = stack.push(AppService(2))
+    return stack, aru, app
+
+
+class TestAruLifecycle:
+    def test_begin_assigns_increasing_ids(self, cluster4):
+        _stack, aru, _app = fresh_stack(cluster4)
+        first = aru.begin()
+        aru.commit()
+        second = aru.begin()
+        aru.commit()
+        assert second == first + 1
+
+    def test_nested_begin_rejected(self, cluster4):
+        _stack, aru, _app = fresh_stack(cluster4)
+        aru.begin()
+        with pytest.raises(errors.AruError):
+            aru.begin()
+
+    def test_commit_without_begin_rejected(self, cluster4):
+        _stack, aru, _app = fresh_stack(cluster4)
+        with pytest.raises(errors.AruError):
+            aru.commit()
+
+    def test_abort_clears_current(self, cluster4):
+        _stack, aru, _app = fresh_stack(cluster4)
+        aru.begin()
+        aru.abort()
+        assert aru.current_aru is None
+
+
+class TestAtomicity:
+    def test_committed_records_replay(self, cluster4):
+        stack, aru, app = fresh_stack(cluster4)
+        aru.begin()
+        app.log_op(b"op-1")
+        app.log_op(b"op-2")
+        aru.commit()
+
+        stack2, aru2, app2 = fresh_stack(cluster4)
+        stack2.recover_all()
+        assert app2.replayed == [b"op-1", b"op-2"]
+
+    def test_uncommitted_records_dropped(self, cluster4):
+        stack, aru, app = fresh_stack(cluster4)
+        aru.begin()
+        app.log_op(b"committed")
+        aru.commit()
+        aru.begin()
+        app.log_op(b"phantom-1")
+        app.log_op(b"phantom-2")
+        stack.flush().wait()   # durable, but the ARU never committed
+
+        stack2, aru2, app2 = fresh_stack(cluster4)
+        stack2.recover_all()
+        assert app2.replayed == [b"committed"]
+
+    def test_records_outside_any_aru_replay_normally(self, cluster4):
+        stack, aru, app = fresh_stack(cluster4)
+        app.log_op(b"bare")
+        stack.flush().wait()
+        stack2, _aru2, app2 = fresh_stack(cluster4)
+        stack2.recover_all()
+        assert app2.replayed == [b"bare"]
+
+    def test_blocks_in_uncommitted_aru_invisible(self, cluster4):
+        """Block creations inside an aborted ARU must not resurface."""
+        stack = cluster4.make_stack(client_id=1)
+        aru = stack.push(AruService(1))
+        disk = stack.push(LogicalDiskService(2))
+        disk.write(1, b"stable")
+        aru.begin()
+        disk.write(2, b"tentative")
+        stack.flush().wait()   # crash before commit
+
+        stack2 = cluster4.make_stack(client_id=1)
+        stack2.push(AruService(1))
+        disk2 = stack2.push(LogicalDiskService(2))
+        stack2.recover_all()
+        assert disk2.read(1) == b"stable"
+        assert not disk2.exists(2)
+
+    def test_blocks_in_committed_aru_visible(self, cluster4):
+        stack = cluster4.make_stack(client_id=1)
+        aru = stack.push(AruService(1))
+        disk = stack.push(LogicalDiskService(2))
+        aru.begin()
+        disk.write(5, b"atomically-written")
+        aru.commit()
+
+        stack2 = cluster4.make_stack(client_id=1)
+        stack2.push(AruService(1))
+        disk2 = stack2.push(LogicalDiskService(2))
+        stack2.recover_all()
+        assert disk2.read(5) == b"atomically-written"
+
+    def test_commit_survives_crash_via_own_records(self, cluster4):
+        """The committed-set is recoverable from BEGIN/COMMIT records
+        even without an ARU checkpoint."""
+        stack, aru, app = fresh_stack(cluster4)
+        aru.begin()
+        app.log_op(b"x")
+        aru.commit()
+        # No checkpoint anywhere; recover purely by rollforward.
+        stack2, aru2, app2 = fresh_stack(cluster4)
+        stack2.recover_all()
+        assert app2.replayed == [b"x"]
+        # And the id counter advanced past the used one.
+        assert aru2.begin() > 1
+
+
+class TestCheckpointedAru:
+    def test_committed_set_survives_checkpoint_roundtrip(self, cluster4):
+        stack, aru, app = fresh_stack(cluster4)
+        aru.begin()
+        app.log_op(b"early")
+        aru.commit()
+        stack.checkpoint(aru).wait()
+        stack.checkpoint(app).wait()
+
+        stack2, aru2, app2 = fresh_stack(cluster4)
+        stack2.recover_all()
+        # app's record predates app's checkpoint -> not replayed, but
+        # the ARU state must still load cleanly from its checkpoint.
+        assert aru2._committed  # includes the early ARU
+        aid = aru2.begin()
+        app2.log_op(b"later")
+        aru2.commit()
+        stack3, aru3, app3 = fresh_stack(cluster4)
+        stack3.recover_all()
+        assert app3.replayed == [b"later"]
+
+
+class TestAruDeleteAtomicity:
+    def test_uncommitted_delete_does_not_replay(self, cluster4):
+        """Regression: an overwrite inside an uncommitted ARU must not
+        destroy the old value at replay — the DELETE record is tagged
+        (and filtered) exactly like the CREATE."""
+        stack = cluster4.make_stack(client_id=1)
+        aru = stack.push(AruService(1))
+        disk = stack.push(LogicalDiskService(2))
+        disk.write(0, b"original")
+        stack.checkpoint_all()
+        aru.begin()
+        disk.write(0, b"replacement")   # CREATE new + DELETE old, both tagged
+        stack.flush().wait()            # durable, never committed
+
+        stack2 = cluster4.make_stack(client_id=1)
+        stack2.push(AruService(1))
+        disk2 = stack2.push(LogicalDiskService(2))
+        stack2.recover_all()
+        assert disk2.read(0) == b"original"
+
+    def test_committed_delete_replays(self, cluster4):
+        stack = cluster4.make_stack(client_id=1)
+        aru = stack.push(AruService(1))
+        disk = stack.push(LogicalDiskService(2))
+        disk.write(0, b"original")
+        stack.checkpoint_all()
+        aru.begin()
+        disk.write(0, b"replacement")
+        aru.commit()
+
+        stack2 = cluster4.make_stack(client_id=1)
+        stack2.push(AruService(1))
+        disk2 = stack2.push(LogicalDiskService(2))
+        stack2.recover_all()
+        assert disk2.read(0) == b"replacement"

@@ -1,0 +1,113 @@
+"""Tests for hint-based cooperative caching."""
+
+import pytest
+
+from repro.services.coopcache import CooperativeCacheService, HintDirectory
+from repro.services.logical_disk import LogicalDiskService
+from repro.shared.client import SharedDataService, SharedSwarmClient
+from repro.shared.lease import LeaseManager
+from repro.shared.manager import NamespaceManager
+
+
+def coop_world(cluster, n_clients=3, capacity=1 << 20):
+    """Shared namespace + one cooperative cache per client."""
+    hints = HintDirectory()
+    leases = LeaseManager()
+    stacks, caches, clients = {}, {}, {}
+    manager = None
+    for client_id in range(1, n_clients + 1):
+        stack = cluster.make_stack(client_id)
+        stacks[client_id] = stack
+        if manager is None:
+            manager = stack.push(NamespaceManager(10))
+    for client_id in range(1, n_clients + 1):
+        stack = stacks[client_id]
+        caches[client_id] = stack.push(CooperativeCacheService(
+            12, hints, capacity_bytes=capacity))
+        data = stack.push(SharedDataService(11))
+        clients[client_id] = SharedSwarmClient(client_id, stack, data,
+                                               manager, leases,
+                                               block_size=4096)
+        # Shared reads must bypass the whole-file client cache so the
+        # block-level cooperative cache is exercised.
+        clients[client_id]._cache = _NoCache()
+    return hints, stacks, caches, clients
+
+
+class _NoCache(dict):
+    def __setitem__(self, key, value):
+        pass
+
+
+class TestHintDirectory:
+    def test_lookup_excludes_asker(self):
+        from repro.log.address import BlockAddress
+
+        hints = HintDirectory()
+        cache = CooperativeCacheService(1, hints)
+        addr = BlockAddress(1, 0, 10)
+        hints.suggest(addr, cache)
+        assert hints.lookup(addr, cache) is None
+        other = CooperativeCacheService(1, hints)
+        assert hints.lookup(addr, other) is cache
+
+    def test_forget_only_removes_matching_holder(self):
+        from repro.log.address import BlockAddress
+
+        hints = HintDirectory()
+        a = CooperativeCacheService(1, hints)
+        b = CooperativeCacheService(1, hints)
+        addr = BlockAddress(1, 0, 10)
+        hints.suggest(addr, a)
+        hints.forget(addr, b)   # wrong holder: no-op
+        assert hints.lookup(addr, b) is a
+
+
+class TestCooperation:
+    def test_peer_hit_avoids_servers(self, cluster4):
+        hints, stacks, caches, clients = coop_world(cluster4)
+        blob = bytes(range(256)) * 32   # two 4 KB blocks
+        clients[1].write_file("/hot", blob)
+        clients[2].read_file("/hot")        # server fetch, now cached at 2
+        before = {sid: server.retrieve_ops
+                  for sid, server in cluster4.servers.items()}
+        assert clients[3].read_file("/hot") == blob   # peer hit from 2
+        after = {sid: server.retrieve_ops
+                 for sid, server in cluster4.servers.items()}
+        assert caches[3].peer_hits > 0
+        assert before == after   # not a single server retrieve
+
+    def test_wrong_hint_corrected_and_falls_back(self, cluster4):
+        hints, stacks, caches, clients = coop_world(cluster4)
+        blob = b"x" * 6000
+        clients[1].write_file("/f", blob)
+        clients[2].read_file("/f")
+        caches[2].clear()                    # peer silently dropped it
+        assert clients[3].read_file("/f") == blob   # falls back to log
+        assert caches[3].wrong_hints > 0
+
+    def test_writer_cache_seeds_hints(self, cluster4):
+        hints, stacks, caches, clients = coop_world(cluster4)
+        clients[1].write_file("/f", b"y" * 5000)
+        clients[1].read_file("/f")   # writer caches its own blocks
+        assert clients[2].read_file("/f") == b"y" * 5000
+        assert caches[2].peer_hits > 0
+
+    def test_peer_probe_does_no_io(self, cluster4):
+        hints, stacks, caches, clients = coop_world(cluster4)
+        clients[1].write_file("/f", b"z" * 4000)
+        clients[2].read_file("/f")
+        # Crash every server: peer hits must still work (memory only).
+        for server in cluster4.servers.values():
+            server.crash()
+        assert clients[3].read_file("/f") == b"z" * 4000
+
+    def test_stats_expose_hit_classes(self, cluster4):
+        hints, stacks, caches, clients = coop_world(cluster4)
+        clients[1].write_file("/f", b"w" * 4000)
+        clients[2].read_file("/f")      # server fetch
+        clients[2].read_file("/f")      # local hit
+        clients[3].read_file("/f")      # peer hit
+        assert caches[2].hits >= 1
+        assert caches[3].peer_hits >= 1
+        assert hints.updates > 0

@@ -1,0 +1,318 @@
+"""Tests for the logical disk, cache, and compression services."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import errors
+from repro.cluster import build_local_cluster
+from repro.services.cache import CacheService
+from repro.services.compress import CompressionService
+from repro.services.logical_disk import LogicalDiskService
+
+
+@pytest.fixture
+def disk_stack(cluster4):
+    stack = cluster4.make_stack(client_id=1)
+    disk = stack.push(LogicalDiskService(1))
+    return stack, disk
+
+
+class TestLogicalDisk:
+    def test_write_read(self, disk_stack):
+        _stack, disk = disk_stack
+        disk.write(0, b"zero")
+        assert disk.read(0) == b"zero"
+
+    def test_overwrite_returns_new_data(self, disk_stack):
+        _stack, disk = disk_stack
+        disk.write(3, b"old")
+        disk.write(3, b"new")
+        assert disk.read(3) == b"new"
+
+    def test_trim_removes(self, disk_stack):
+        _stack, disk = disk_stack
+        disk.write(1, b"x")
+        disk.trim(1)
+        assert not disk.exists(1)
+        with pytest.raises(errors.ServiceError):
+            disk.read(1)
+
+    def test_read_unwritten_block(self, disk_stack):
+        _stack, disk = disk_stack
+        with pytest.raises(errors.ServiceError):
+            disk.read(42)
+
+    def test_negative_block_rejected(self, disk_stack):
+        _stack, disk = disk_stack
+        with pytest.raises(errors.ServiceError):
+            disk.write(-1, b"x")
+
+    def test_block_numbers_sorted(self, disk_stack):
+        _stack, disk = disk_stack
+        for block in (5, 1, 9):
+            disk.write(block, b"d")
+        assert disk.block_numbers() == [1, 5, 9]
+
+    def test_recovery_from_checkpoint(self, cluster4, disk_stack):
+        stack, disk = disk_stack
+        disk.write(1, b"one")
+        disk.write(2, b"two")
+        stack.checkpoint_all()
+        disk.write(2, b"two-v2")
+        disk.write(3, b"three")
+        stack.flush().wait()
+
+        stack2 = cluster4.make_stack(client_id=1)
+        disk2 = stack2.push(LogicalDiskService(1))
+        stack2.recover_all()
+        assert disk2.read(1) == b"one"
+        assert disk2.read(2) == b"two-v2"
+        assert disk2.read(3) == b"three"
+
+    def test_recovery_of_trim(self, cluster4, disk_stack):
+        stack, disk = disk_stack
+        disk.write(7, b"doomed")
+        stack.checkpoint_all()
+        disk.trim(7)
+        stack.flush().wait()
+        stack2 = cluster4.make_stack(client_id=1)
+        disk2 = stack2.push(LogicalDiskService(1))
+        stack2.recover_all()
+        assert not disk2.exists(7)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=st.lists(st.tuples(
+        st.sampled_from(["write", "trim", "read"]),
+        st.integers(min_value=0, max_value=8),
+        st.binary(min_size=1, max_size=200)), max_size=40))
+    def test_matches_dict_oracle(self, ops):
+        cluster = build_local_cluster(num_servers=3,
+                                      fragment_size=1 << 16)
+        stack = cluster.make_stack(client_id=1)
+        disk = stack.push(LogicalDiskService(1))
+        oracle = {}
+        for op, block, data in ops:
+            if op == "write":
+                disk.write(block, data)
+                oracle[block] = data
+            elif op == "trim":
+                disk.trim(block)
+                oracle.pop(block, None)
+            else:
+                if block in oracle:
+                    assert disk.read(block) == oracle[block]
+                else:
+                    assert not disk.exists(block)
+        assert disk.block_numbers() == sorted(oracle)
+        for block, data in oracle.items():
+            assert disk.read(block) == data
+
+
+class TestCache:
+    def test_lru_eviction(self, cluster4):
+        stack = cluster4.make_stack(client_id=1)
+        cache = stack.push(CacheService(1, capacity_bytes=3000))
+        disk = stack.push(LogicalDiskService(2))
+        for block in range(4):
+            disk.write(block, bytes([block]) * 1000)
+        stack.flush().wait()
+        for block in range(4):
+            disk.read(block)
+        assert cache.cached_bytes <= 3000
+        # Oldest entries were evicted; newest are present.
+        from repro.log.address import BlockAddress
+
+        assert cache.hits + cache.misses >= 4
+
+    def test_hit_rate_improves_on_reread(self, cluster4):
+        stack = cluster4.make_stack(client_id=1)
+        cache = stack.push(CacheService(1, capacity_bytes=1 << 20))
+        disk = stack.push(LogicalDiskService(2))
+        disk.write(0, b"hot" * 100)
+        stack.flush().wait()
+        disk.read(0)
+        misses_after_first = cache.misses
+        for _ in range(5):
+            disk.read(0)
+        assert cache.misses == misses_after_first
+        assert cache.hits >= 5
+
+    def test_oversized_entry_not_cached(self, cluster4):
+        stack = cluster4.make_stack(client_id=1)
+        cache = stack.push(CacheService(1, capacity_bytes=100))
+        disk = stack.push(LogicalDiskService(2))
+        disk.write(0, b"z" * 500)
+        stack.flush().wait()
+        disk.read(0)
+        assert cache.cached_bytes == 0
+
+    def test_clear_keeps_stats(self, cluster4):
+        stack = cluster4.make_stack(client_id=1)
+        cache = stack.push(CacheService(1))
+        disk = stack.push(LogicalDiskService(2))
+        disk.write(0, b"x")
+        stack.flush().wait()
+        disk.read(0)
+        disk.read(0)
+        hits = cache.hits
+        cache.clear()
+        assert cache.cached_bytes == 0
+        assert cache.hits == hits
+
+    def test_prefetch_caches_fragment_siblings(self, cluster4):
+        stack = cluster4.make_stack(client_id=1)
+        cache = stack.push(CacheService(1, capacity_bytes=1 << 20,
+                                        prefetch_fragments=True))
+        disk = stack.push(LogicalDiskService(2))
+        for block in range(20):
+            disk.write(block, bytes([block]) * 500)
+        stack.flush().wait()
+        disk.read(0)  # miss -> prefetches the whole fragment
+        assert cache.prefetched_blocks > 1
+        before = cache.misses
+        disk.read(1)  # sibling in the same fragment: a hit now
+        assert cache.misses == before
+
+
+class TestCompression:
+    def test_round_trip_through_stack(self, cluster4):
+        stack = cluster4.make_stack(client_id=1)
+        comp = stack.push(CompressionService(1))
+        disk = stack.push(LogicalDiskService(2))
+        disk.write(0, b"A" * 5000)
+        stack.flush().wait()
+        assert disk.read(0) == b"A" * 5000
+        assert comp.ratio < 0.2
+
+    def test_incompressible_stored_raw(self):
+        import os
+
+        comp = CompressionService(1)
+        noise = os.urandom(1000)
+        stored = comp.transform_block_down(2, noise)
+        assert stored[0:1] == b"\x00"
+        assert comp.transform_block_up(2, stored) == noise
+
+    def test_empty_block_fails_loudly(self):
+        comp = CompressionService(1)
+        with pytest.raises(errors.ServiceError):
+            comp.transform_block_up(2, b"")
+
+    def test_unknown_header_rejected(self):
+        comp = CompressionService(1)
+        with pytest.raises(errors.ServiceError):
+            comp.transform_block_up(2, b"\x07junk")
+
+    @given(st.binary(max_size=5000))
+    def test_round_trip_property(self, data):
+        comp = CompressionService(1)
+        assert comp.transform_block_up(2, comp.transform_block_down(2, data)) == data
+
+    def test_compressed_data_survives_striping_and_failure(self, cluster4):
+        stack = cluster4.make_stack(client_id=1)
+        stack.push(CompressionService(1))
+        disk = stack.push(LogicalDiskService(2))
+        blob = (b"swarm " * 5000)  # compressible, multi-fragment scale
+        disk.write(0, blob[:30000])
+        disk.write(1, blob[30000:60000])
+        stack.flush().wait()
+        cluster4.servers["s1"].crash()
+        assert disk.read(0) == blob[:30000]
+        assert disk.read(1) == blob[30000:60000]
+
+
+class TestEncryption:
+    def _stack(self, cluster, nonce_source=None):
+        import os
+
+        from repro.services.encrypt import EncryptionService
+
+        stack = cluster.make_stack(client_id=1)
+        enc = stack.push(EncryptionService(
+            1, key=b"0123456789abcdef",
+            nonce_source=nonce_source or os.urandom))
+        disk = stack.push(LogicalDiskService(2))
+        return stack, enc, disk
+
+    def test_round_trip(self, cluster4):
+        _stack, enc, disk = self._stack(cluster4)
+        disk.write(0, b"top secret payload")
+        assert disk.read(0) == b"top secret payload"
+        assert enc.blocks_encrypted >= 1
+
+    def test_servers_only_see_ciphertext(self, cluster4):
+        stack, _enc, disk = self._stack(cluster4)
+        secret = b"the-plaintext-marker" * 10
+        disk.write(0, secret)
+        stack.flush().wait()
+        for server in cluster4.servers.values():
+            for fid in server.list_fids():
+                assert secret not in server.retrieve(fid)
+
+    def test_same_plaintext_distinct_ciphertext(self, cluster4):
+        stack, _enc, disk = self._stack(cluster4)
+        disk.write(0, b"same-data")
+        disk.write(1, b"same-data")
+        addr0, addr1 = disk._map[0], disk._map[1]
+        assert stack.log.read(addr0) != stack.log.read(addr1)
+
+    def test_tamper_detected(self, cluster4):
+        stack, _enc, disk = self._stack(cluster4)
+        disk.write(0, b"integrity matters")
+        stack.flush().wait()
+        # Flip one ciphertext byte at the server.
+        server = next(s for s in cluster4.servers.values()
+                      if s.list_fids())
+        fid = server.list_fids()[0]
+        slot = server.slots.slot_of(fid)
+        image = bytearray(server.backend.read_slot(slot))
+        addr = disk._map[0]
+        image[addr.offset + 25] ^= 0x01
+        server.backend.write_slot(slot, bytes(image))
+        with pytest.raises(errors.ServiceError):
+            disk.read(0)
+
+    def test_short_key_rejected(self):
+        from repro.services.encrypt import EncryptionService
+
+        with pytest.raises(errors.ServiceError):
+            EncryptionService(1, key=b"short")
+
+    def test_wrong_key_cannot_read(self, cluster4):
+        from repro.services.encrypt import EncryptionService
+
+        stack, _enc, disk = self._stack(cluster4)
+        disk.write(0, b"locked")
+        stack.flush().wait()
+        addr = disk._map[0]
+        wrong = EncryptionService(9, key=b"another-16-bytes")
+        stored = stack.log.read(addr)
+        with pytest.raises(errors.ServiceError):
+            wrong.transform_block_up(2, stored)
+
+    def test_recovery_with_encryption(self, cluster4):
+        from repro.services.encrypt import EncryptionService
+
+        stack, _enc, disk = self._stack(cluster4)
+        disk.write(5, b"survives-crash")
+        stack.checkpoint_all()
+
+        stack2 = cluster4.make_stack(client_id=1)
+        stack2.push(EncryptionService(1, key=b"0123456789abcdef"))
+        disk2 = stack2.push(LogicalDiskService(2))
+        stack2.recover_all()
+        assert disk2.read(5) == b"survives-crash"
+
+    def test_stacks_with_compression(self, cluster4):
+        """Compress-then-encrypt: order matters and both undo cleanly."""
+        from repro.services.encrypt import EncryptionService
+
+        stack = cluster4.make_stack(client_id=2)
+        stack.push(EncryptionService(1, key=b"0123456789abcdef"))
+        comp = stack.push(CompressionService(2))
+        disk = stack.push(LogicalDiskService(3))
+        disk.write(0, b"A" * 20000)
+        stack.flush().wait()
+        assert disk.read(0) == b"A" * 20000
+        assert comp.ratio < 0.2   # compression ran before encryption

@@ -1,0 +1,201 @@
+"""Tests for the distributed file service layered on Swarm."""
+
+import pytest
+
+from repro import errors
+from repro.services.cleaner import CleanerService
+from repro.shared.client import SharedDataService, SharedSwarmClient
+from repro.shared.lease import LeaseManager
+from repro.shared.manager import FileMap, NamespaceManager
+
+
+def build_world(cluster, participants=(1, 2, 3), manager_client=1):
+    """Manager on one client's stack; every participant gets a client."""
+    leases = LeaseManager()
+    stacks = {}
+    clients = {}
+    manager = None
+    for client_id in participants:
+        stack = cluster.make_stack(client_id)
+        stacks[client_id] = stack
+        if client_id == manager_client:
+            manager = stack.push(NamespaceManager(10))
+    for client_id in participants:
+        stack = stacks[client_id]
+        data = stack.push(SharedDataService(11))
+        clients[client_id] = SharedSwarmClient(client_id, stack, data,
+                                               manager, leases,
+                                               block_size=4096)
+    return leases, manager, stacks, clients
+
+
+@pytest.fixture
+def world(cluster4):
+    return build_world(cluster4)
+
+
+class TestNamespace:
+    def test_mkdir_visible_to_all(self, world):
+        _leases, _manager, _stacks, clients = world
+        clients[1].mkdir("/shared")
+        assert clients[2].listdir("/") == ["shared"]
+        assert clients[3].exists("/shared")
+
+    def test_duplicate_create_rejected(self, world):
+        _l, manager, _s, clients = world
+        clients[1].write_file("/f", b"x")
+        with pytest.raises(errors.FileExistsFsError):
+            manager.create("/f")
+
+    def test_unlink_and_rmdir(self, world):
+        _l, _m, _s, clients = world
+        clients[1].mkdir("/d")
+        clients[2].write_file("/d/f", b"bytes")
+        with pytest.raises(errors.DirectoryNotEmptyFsError):
+            clients[3].rmdir("/d")
+        clients[2].unlink("/d/f")
+        clients[3].rmdir("/d")
+        assert not clients[1].exists("/d")
+
+
+class TestCrossClientData:
+    def test_write_by_one_read_by_all(self, world):
+        _l, _m, _s, clients = world
+        blob = bytes(range(256)) * 60   # multi-block
+        clients[1].write_file("/data.bin", blob)
+        assert clients[2].read_file("/data.bin") == blob
+        assert clients[3].read_file("/data.bin") == blob
+        assert clients[2].remote_block_reads > 0
+
+    def test_overwrite_bumps_version_and_invalidates_caches(self, world):
+        _l, _m, _s, clients = world
+        clients[1].write_file("/f", b"v1")
+        assert clients[2].read_file("/f") == b"v1"
+        clients[3].write_file("/f", b"v2-from-client-3")
+        assert clients[2].read_file("/f") == b"v2-from-client-3"
+        assert clients[2].version("/f") == 2
+
+    def test_cache_hit_on_unchanged_version(self, world):
+        _l, _m, _s, clients = world
+        clients[1].write_file("/f", b"stable")
+        clients[2].read_file("/f")
+        hits_before = clients[2].cache_hits
+        clients[2].read_file("/f")
+        assert clients[2].cache_hits == hits_before + 1
+
+    def test_blocks_live_in_writers_own_log(self, world, cluster4):
+        _l, manager, _s, clients = world
+        clients[2].write_file("/mine", b"who-wrote-this")
+        owners = {ref[0] for ref in manager.file_map("/mine").blocks.values()}
+        assert owners == {2}
+
+    def test_reads_survive_server_failure(self, world, cluster4):
+        _l, _m, _s, clients = world
+        blob = bytes(range(256)) * 100
+        clients[1].write_file("/big", blob)
+        cluster4.servers["s1"].crash()
+        assert clients[3].read_file("/big") == blob
+
+    def test_empty_file(self, world):
+        _l, _m, _s, clients = world
+        clients[1].write_file("/empty", b"")
+        assert clients[2].read_file("/empty") == b""
+
+
+class TestLeases:
+    def test_concurrent_writers_conflict(self, world):
+        leases, _m, _s, clients = world
+        clients[1].write_file("/f", b"x")
+        leases.acquire("/f", "client-2")
+        with pytest.raises(errors.ServiceError):
+            clients[3].write_file("/f", b"y")
+        leases.release("/f", "client-2")
+        clients[3].write_file("/f", b"y")  # now fine
+
+    def test_release_by_non_holder_rejected(self):
+        leases = LeaseManager()
+        leases.acquire("/f", "a")
+        with pytest.raises(errors.ServiceError):
+            leases.release("/f", "b")
+
+    def test_revoke_crashed_client(self):
+        leases = LeaseManager()
+        leases.acquire("/f", "a")
+        leases.acquire("/g", "a")
+        leases.acquire("/h", "b")
+        assert leases.revoke_client("a") == 2
+        assert leases.holder("/h") == "b"
+
+    def test_reacquire_by_holder_is_fine(self):
+        leases = LeaseManager()
+        leases.acquire("/f", "a")
+        leases.acquire("/f", "a")
+        leases.release("/f", "a")
+        assert leases.holder("/f") is None
+
+
+class TestManagerRecovery:
+    def test_manager_recovers_from_checkpoint_and_records(self, cluster4):
+        leases, manager, stacks, clients = build_world(cluster4)
+        clients[1].mkdir("/proj")
+        clients[2].write_file("/proj/a", b"alpha-data" * 50)
+        stacks[1].checkpoint_all()                 # manager checkpoint
+        clients[3].write_file("/proj/b", b"beta-data" * 80)
+        stacks[1].flush().wait()                   # records durable
+
+        # Manager host crashes; rebuild it on a fresh stack.
+        stack_m = cluster4.make_stack(1)
+        manager2 = stack_m.push(NamespaceManager(10))
+        data_m = stack_m.push(SharedDataService(11))
+        stack_m.recover_all()
+        client_m = SharedSwarmClient(1, stack_m, data_m, manager2, leases,
+                                     block_size=4096)
+        assert sorted(manager2.listdir("/proj")) == ["a", "b"]
+        assert client_m.read_file("/proj/a") == b"alpha-data" * 50
+        assert client_m.read_file("/proj/b") == b"beta-data" * 80
+
+    def test_unflushed_metadata_lost_but_consistent(self, cluster4):
+        leases, manager, stacks, clients = build_world(cluster4)
+        clients[2].write_file("/kept", b"kept")
+        stacks[1].checkpoint_all()
+        # Manager acknowledges an op but crashes before flushing it.
+        manager.create("/phantom")
+        stack_m = cluster4.make_stack(1)
+        manager2 = stack_m.push(NamespaceManager(10))
+        stack_m.push(SharedDataService(11))
+        stack_m.recover_all()
+        assert manager2.exists("/kept")
+        assert not manager2.exists("/phantom")
+
+
+class TestCleanerRepublishing:
+    def test_cleaner_move_updates_manager_map(self, cluster4):
+        """If the cleaner relocates a published block in the owner's
+        log, the owner re-publishes the new address and readers keep
+        working."""
+        leases = LeaseManager()
+        stack1 = cluster4.make_stack(1)
+        manager = stack1.push(NamespaceManager(10))
+        stack2 = cluster4.make_stack(2)
+        cleaner2 = stack2.push(CleanerService(5, utilization_threshold=0.95))
+        data2 = stack2.push(SharedDataService(11))
+        writer = SharedSwarmClient(2, stack2, data2, manager, leases,
+                                   block_size=4096)
+        stack1.push(SharedDataService(11))
+        # Churn in the writer's log so its stripes become cleanable.
+        contents = {}
+        for round_no in range(5):
+            for index in range(12):
+                path = "/f%d" % index
+                data = bytes([round_no * 13 + index]) * 5000
+                writer.write_file(path, data)
+                contents[path] = data
+        stack2.checkpoint_all()
+        before = dict(manager._files)
+        cleaner2.clean(target_stripes=100)
+        # Every file still reads correctly through the manager map.
+        reader_stack = cluster4.make_stack(3)
+        data3 = reader_stack.push(SharedDataService(11))
+        reader = SharedSwarmClient(3, reader_stack, data3, manager, leases)
+        for path, data in contents.items():
+            assert reader.read_file(path) == data

@@ -1,0 +1,195 @@
+"""Unit tests for the network, disk, and CPU models."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+from repro.sim.cpu import CpuModel, CpuParams, SimCpu
+from repro.sim.disk import DiskModel, DiskParams, SimDisk
+from repro.sim.network import Message, NetworkParams, Switch
+
+
+class TestNetworkModel:
+    def test_wire_time_includes_frame_overhead(self):
+        params = NetworkParams()
+        expected = 1e6 * 1.06 / (100e6 / 8)
+        assert params.wire_time(1_000_000) == pytest.approx(expected)
+
+    def test_transfer_delivers_to_inbox(self):
+        sim = Simulator()
+        switch = Switch(sim)
+        switch.attach("a")
+        nic_b = switch.attach("b")
+        message = Message("a", "b", payload={"op": "x"}, size_bytes=1000)
+
+        def proc():
+            yield switch.send(message)
+            item = yield nic_b.inbox.get()
+            return item
+
+        delivered = sim.run_process(proc())
+        assert delivered.payload == {"op": "x"}
+        assert sim.now > 0
+
+    def test_transfer_time_scales_with_size(self):
+        def elapsed(size):
+            sim = Simulator()
+            switch = Switch(sim)
+            switch.attach("a")
+            switch.attach("b")
+
+            def proc():
+                yield switch.send(Message("a", "b", None, size))
+
+            sim.run_process(proc())
+            return sim.now
+
+        assert elapsed(2_000_000) > 1.8 * elapsed(1_000_000)
+
+    def test_sender_nic_serializes_two_flows(self):
+        sim = Simulator()
+        switch = Switch(sim)
+        switch.attach("a")
+        switch.attach("b")
+        switch.attach("c")
+
+        def proc():
+            one = switch.send(Message("a", "b", None, 1_000_000))
+            two = switch.send(Message("a", "c", None, 1_000_000))
+            yield sim.all_of([one, two])
+
+        sim.run_process(proc())
+        # Two 1 MB sends through one NIC take ~2x one send.
+        assert sim.now > 2 * NetworkParams().wire_time(1_000_000)
+
+    def test_crashed_destination_drops_message(self):
+        sim = Simulator()
+        switch = Switch(sim)
+        switch.attach("a")
+        nic_b = switch.attach("b")
+
+        def proc():
+            event = switch.send(Message("a", "b", None, 100))
+            switch.detach("b")
+            yield event
+
+        sim.run_process(proc())
+        assert len(nic_b.inbox) == 0
+
+    def test_duplicate_attach_rejected(self):
+        switch = Switch(Simulator())
+        switch.attach("a")
+        with pytest.raises(SimulationError):
+            switch.attach("a")
+
+    def test_broadcast_reaches_everyone_but_sender(self):
+        sim = Simulator()
+        switch = Switch(sim)
+        nics = {name: switch.attach(name) for name in ("a", "b", "c", "d")}
+
+        def proc():
+            yield switch.broadcast("a", "probe", 64)
+
+        sim.run_process(proc())
+        assert len(nics["a"].inbox) == 0
+        for name in "bcd":
+            assert len(nics[name].inbox) == 1
+
+
+class TestDiskModel:
+    def test_sequential_1mb_near_paper_bound(self):
+        """The paper's stated server upper bound: 10.3 MB/s on 1 MB writes."""
+        model = DiskModel()
+        bandwidth = model.sequential_bandwidth(1 << 20) / 1e6
+        assert 10.0 <= bandwidth <= 11.0
+
+    def test_seek_costs_more_than_sequential(self):
+        model = DiskModel()
+        assert (model.access_time(4096, sequential=False)
+                > 10 * model.access_time(4096, sequential=True))
+
+    def test_nearby_cheaper_than_far(self):
+        model = DiskModel()
+        assert (model.access_time(4096, sequential=False, nearby=True)
+                < model.access_time(4096, sequential=False, nearby=False))
+
+    def test_simdisk_classifies_consecutive_as_sequential(self):
+        sim = Simulator()
+        disk = SimDisk(sim)
+
+        def one_seek_then_sequential():
+            yield from disk.access(1 << 20, position=5.0)
+            yield from disk.access(1 << 20, position=6.0)
+
+        sim.run_process(one_seek_then_sequential())
+        sequential_pair = sim.now
+
+        sim2 = Simulator()
+        disk2 = SimDisk(sim2)
+
+        def two_seeks():
+            yield from disk2.access(1 << 20, position=5.0)
+            yield from disk2.access(1 << 20, position=50.0)
+
+        sim2.run_process(two_seeks())
+        assert sim2.now > sequential_pair
+
+    def test_simdisk_serializes_on_arm(self):
+        sim = Simulator()
+        disk = SimDisk(sim)
+
+        def both():
+            one = sim.process(disk.access(1 << 20, 0.0))
+            two = sim.process(disk.access(1 << 20, 1.0))
+            yield sim.all_of([one, two])
+
+        sim.run_process(both())
+        assert sim.now >= 2 * (1 << 20) / DiskParams().media_bandwidth_bytes_per_s
+
+    def test_byte_accounting(self):
+        sim = Simulator()
+        disk = SimDisk(sim)
+
+        def proc():
+            yield from disk.access(1000, 0.0, write=True)
+            yield from disk.access(500, 1.0, write=False)
+
+        sim.run_process(proc())
+        assert disk.bytes_written == 1000
+        assert disk.bytes_read == 500
+        assert disk.requests == 2
+
+
+class TestCpuModel:
+    def test_costs_scale_linearly(self):
+        model = CpuModel()
+        assert model.copy_cost(2000) == pytest.approx(2 * model.copy_cost(1000))
+        assert model.xor_cost(4096) > 0
+
+    def test_send_cost_has_fixed_part(self):
+        model = CpuModel()
+        assert model.send_cost(0) == pytest.approx(
+            CpuParams().per_rpc_overhead_s)
+
+    def test_simcpu_serializes_and_tracks_utilization(self):
+        sim = Simulator()
+        cpu = SimCpu(sim)
+
+        def worker():
+            yield from cpu.compute(1.0)
+            yield sim.timeout(1.0)
+            yield from cpu.compute(1.0)
+
+        sim.run_process(worker())
+        assert sim.now == pytest.approx(3.0)
+        assert cpu.utilization() == pytest.approx(2.0 / 3.0)
+
+    def test_zero_compute_is_free(self):
+        sim = Simulator()
+        cpu = SimCpu(sim)
+
+        def worker():
+            yield from cpu.compute(0.0)
+            return sim.now
+
+        assert sim.run_process(worker()) == 0.0

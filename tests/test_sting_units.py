@@ -1,0 +1,118 @@
+"""Unit tests for Sting's building blocks: paths, inodes, directories."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FileNotFoundFsError, FileSystemError
+from repro.log.address import BlockAddress
+from repro.sting import directory as dircodec
+from repro.sting.inode import (
+    FileType,
+    INODE_BLOCK_INDEX,
+    Inode,
+    decode_create_info,
+    encode_create_info,
+)
+from repro.sting.path import basename, dirname, normalize, split_parent, split_path
+
+
+class TestPaths:
+    @pytest.mark.parametrize("raw,expected", [
+        ("/", "/"),
+        ("/a/b", "/a/b"),
+        ("//a///b/", "/a/b"),
+        ("/a/./b", "/a/b"),
+        ("/a/../b", "/b"),
+        ("/../..", "/"),
+        ("/a/b/..", "/a"),
+    ])
+    def test_normalize(self, raw, expected):
+        assert normalize(raw) == expected
+
+    def test_relative_rejected(self):
+        with pytest.raises(FileNotFoundFsError):
+            normalize("relative/path")
+
+    def test_split_path(self):
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+        assert split_path("/") == []
+
+    def test_dirname_basename(self):
+        assert dirname("/a/b/c") == "/a/b"
+        assert basename("/a/b/c") == "c"
+        assert dirname("/top") == "/"
+        assert basename("/") == ""
+
+    def test_split_parent(self):
+        assert split_parent("/x/y") == ("/x", "y")
+
+
+class TestInode:
+    def test_round_trip(self):
+        inode = Inode(ino=9, ftype=FileType.FILE, size=12345, mtime=77,
+                      block_size=4096,
+                      blocks={0: BlockAddress(5, 100, 4096),
+                              2: BlockAddress(6, 200, 153)})
+        decoded = Inode.decode(inode.encode())
+        assert decoded == inode
+
+    def test_block_count(self):
+        inode = Inode(ino=1, ftype=FileType.FILE, size=8193, block_size=4096)
+        assert inode.block_count() == 3
+        inode.size = 0
+        assert inode.block_count() == 0
+
+    def test_corrupt_rejected(self):
+        with pytest.raises(FileSystemError):
+            Inode.decode(b"xx")
+
+    def test_is_dir(self):
+        assert Inode(1, FileType.DIRECTORY).is_dir
+        assert not Inode(1, FileType.FILE).is_dir
+
+    @given(st.integers(min_value=1, max_value=2**40),
+           st.integers(min_value=0, max_value=2**31))
+    def test_create_info_round_trip(self, ino, index):
+        decoded = decode_create_info(encode_create_info(ino, index))
+        assert decoded == (ino, index)
+
+    def test_create_info_rejects_foreign_bytes(self):
+        assert decode_create_info(b"short") is None
+        assert decode_create_info(b"") is None
+
+    def test_inode_sentinel_distinct_from_data_indexes(self):
+        info = encode_create_info(5, INODE_BLOCK_INDEX)
+        ino, index = decode_create_info(info)
+        assert index == INODE_BLOCK_INDEX
+
+
+class TestDirectoryCodec:
+    def test_round_trip(self):
+        entries = {"alpha": 3, "beta": 9, "üñïçødé": 12}
+        assert dircodec.decode_entries(dircodec.encode_entries(entries)) \
+            == entries
+
+    def test_empty(self):
+        assert dircodec.decode_entries(b"") == {}
+        assert dircodec.decode_entries(dircodec.encode_entries({})) == {}
+
+    def test_corrupt_rejected(self):
+        with pytest.raises(FileSystemError):
+            dircodec.decode_entries(b"\x00\x00\x00\x05trunc")
+
+    @pytest.mark.parametrize("bad", ["", ".", "..", "a/b", "x" * 256])
+    def test_invalid_names(self, bad):
+        with pytest.raises(FileSystemError):
+            dircodec.validate_name(bad)
+
+    def test_valid_names(self):
+        for name in ("a", "file.txt", "x" * 255, "ünïcode"):
+            dircodec.validate_name(name)
+
+    @given(st.dictionaries(
+        st.text(min_size=1, max_size=30).filter(
+            lambda s: s not in (".", "..") and "/" not in s),
+        st.integers(min_value=1, max_value=2**62), max_size=50))
+    def test_round_trip_property(self, entries):
+        assert dircodec.decode_entries(dircodec.encode_entries(entries)) \
+            == entries

@@ -1,0 +1,137 @@
+"""Workload generators plus the paper's qualitative result shapes.
+
+These are the cheap guardians of the reproduction: small-scale runs of
+every experiment asserting the *relationships* the paper reports (who
+wins, what rises, what saturates), so a regression in any model or in
+the Swarm stack itself shows up as a test failure. The full-scale
+numbers live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.workloads.generators import make_andrew_tree, make_churn_trace
+from repro.workloads.mab import run_mab_on_ext2, run_mab_on_sting
+from repro.workloads.microbench import run_write_bench
+
+
+class TestGenerators:
+    def test_andrew_tree_shape(self):
+        tree = make_andrew_tree()
+        assert len(tree.files) == 70
+        assert len(tree.directories) == 20
+        assert 150_000 <= tree.total_bytes <= 300_000
+        assert len(tree.source_files) == 17
+
+    def test_andrew_tree_deterministic(self):
+        first = make_andrew_tree(seed=5)
+        second = make_andrew_tree(seed=5)
+        assert first.files == second.files
+
+    def test_churn_trace_overwrites_dominate(self):
+        ops = list(make_churn_trace(seed=3, n_files=20, rounds=4))
+        writes = [op for op in ops if op[0] == "write"]
+        paths = {op[1] for op in writes}
+        assert len(writes) > 2 * len(paths)  # same paths rewritten
+
+    def test_churn_trace_deterministic(self):
+        assert (list(make_churn_trace(1, 5, 2))
+                == list(make_churn_trace(1, 5, 2)))
+
+
+BLOCKS = 2500  # reduced scale: shapes hold, wall time stays low
+
+
+class TestWriteBandwidthShapes:
+    def test_raw_includes_parity_overhead(self):
+        result = run_write_bench(1, 2, blocks=BLOCKS)
+        assert result.raw_mb_per_s > 1.7 * result.useful_mb_per_s
+
+    def test_useful_rises_with_stripe_width(self):
+        narrow = run_write_bench(1, 2, blocks=BLOCKS)
+        wide = run_write_bench(1, 8, blocks=BLOCKS)
+        assert wide.useful_mb_per_s > 1.2 * narrow.useful_mb_per_s
+
+    def test_single_client_raw_roughly_flat(self):
+        """Figure 3's 1-client curve: 6.1 -> 6.4 MB/s, nearly flat."""
+        rates = [run_write_bench(1, servers, blocks=BLOCKS).raw_mb_per_s
+                 for servers in (1, 4, 8)]
+        assert max(rates) / min(rates) < 1.35
+
+    def test_single_client_in_paper_band(self):
+        result = run_write_bench(1, 2, blocks=10_000)
+        assert 5.0 <= result.raw_mb_per_s <= 7.5     # paper: ~6.1
+        assert 2.5 <= result.useful_mb_per_s <= 4.0  # paper: 3.0
+
+    def test_multi_client_scales_with_servers(self):
+        """Figure 3/4: with 4 clients, more servers = more bandwidth."""
+        two = run_write_bench(4, 2, blocks=BLOCKS)
+        eight = run_write_bench(4, 8, blocks=BLOCKS)
+        assert eight.useful_mb_per_s > 1.3 * two.useful_mb_per_s
+
+    def test_one_server_saturates_below_disk_bound(self):
+        """Two clients on one server: the server, not the clients, is
+        the bottleneck — near the paper's 7.7 MB/s, under the 10.3
+        disk bound."""
+        result = run_write_bench(2, 1, blocks=BLOCKS)
+        assert 6.0 <= result.raw_mb_per_s <= 10.3
+
+    def test_aggregate_exceeds_single_client(self):
+        one = run_write_bench(1, 8, blocks=BLOCKS)
+        four = run_write_bench(4, 8, blocks=BLOCKS)
+        assert four.raw_mb_per_s > 2 * one.raw_mb_per_s
+
+
+class TestMabShape:
+    def test_sting_beats_ext2_by_paper_factor(self):
+        sting = run_mab_on_sting()
+        ext2 = run_mab_on_ext2()
+        ratio = ext2.elapsed_s / sting.elapsed_s
+        assert 1.5 <= ratio <= 2.3   # paper: 1.90
+
+    def test_cpu_utilization_contrast(self):
+        sting = run_mab_on_sting()
+        ext2 = run_mab_on_ext2()
+        assert sting.cpu_utilization > 0.85   # paper: 93 %
+        assert ext2.cpu_utilization < 0.70    # paper: 57 %
+
+    def test_absolute_times_near_paper(self):
+        sting = run_mab_on_sting()
+        ext2 = run_mab_on_ext2()
+        assert 7.0 <= sting.elapsed_s <= 12.0   # paper: 9.4
+        assert 13.0 <= ext2.elapsed_s <= 22.0   # paper: 17.9
+
+    def test_compile_dominates_both(self):
+        sting = run_mab_on_sting()
+        assert sting.phase_seconds["compile"] > 0.5 * sting.elapsed_s
+
+    def test_ext2_pays_in_copy_phase(self):
+        """The FS-intensive copy phase shows the largest relative gap."""
+        sting = run_mab_on_sting()
+        ext2 = run_mab_on_ext2()
+        assert (ext2.phase_seconds["copy"]
+                > 3 * sting.phase_seconds["copy"])
+
+
+class TestReadShape:
+    def test_uncached_reads_much_slower_than_writes(self):
+        from repro.bench.figures import run_read_bandwidth
+
+        reads = run_read_bandwidth(blocks=600)
+        writes = run_write_bench(1, 2, blocks=BLOCKS)
+        assert reads.mb_per_s < 0.5 * writes.useful_mb_per_s
+        assert 0.8 <= reads.mb_per_s <= 2.5  # paper: 1.7
+
+    def test_prefetch_ablation_improves_reads(self):
+        from repro.bench.ablations import ablate_read_prefetch
+
+        results = ablate_read_prefetch(blocks=400)
+        assert results["prefetch"] > 1.4 * results["per_block"]
+
+
+class TestDisjointGroupsShape:
+    def test_contention_vs_parity_tradeoff(self):
+        from repro.bench.ablations import ablate_disjoint_groups
+
+        results = ablate_disjoint_groups(blocks=2500)
+        assert results["disjoint_raw"] >= 0.9 * results["shared_raw"]
+        assert results["disjoint_useful"] < results["shared_useful"]
