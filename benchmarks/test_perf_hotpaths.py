@@ -1,0 +1,58 @@
+"""Wall-clock hot-path benchmarks (``repro.bench.perf``).
+
+These are *real-time* measurements of the reproduction's own Python hot
+paths, unlike the simulated paper figures. Each test runs the harness's
+smoke-sized workload once and records the derived metric; the last test
+validates the full BENCH_PERF document shape end to end.
+"""
+
+from __future__ import annotations
+
+from repro.bench.perf import (
+    bench_broadcast_holds,
+    bench_codec,
+    bench_log_append,
+    bench_parity,
+    bench_reconstruction,
+    run_all,
+    validate_bench_schema,
+)
+
+
+def test_parity_throughput(benchmark, record):
+    mb_s = benchmark.pedantic(
+        lambda: bench_parity(fragment_size=1 << 18, repeats=8), rounds=1)
+    record(parity_mb_s=mb_s)
+    assert mb_s > 50  # zero-copy word-wise XOR, not per-byte Python
+
+def test_log_append_throughput(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: bench_log_append(total_bytes=4 << 20,
+                                 fragment_size=1 << 18), rounds=1)
+    record(**result)
+    assert result["log_append_mb_s"] > 5
+    assert result["stripe_close_ms"] >= 0
+
+def test_codec_message_rate(benchmark, record):
+    msgs_s = benchmark.pedantic(
+        lambda: bench_codec(messages_per_kind=2_000), rounds=1)
+    record(codec_msgs_s=msgs_s)
+    assert msgs_s > 1_000
+
+def test_reconstruction_latency(benchmark, record):
+    ms = benchmark.pedantic(
+        lambda: bench_reconstruction(stripes=2, fragment_size=1 << 18),
+        rounds=1)
+    record(reconstruction_ms=ms)
+    assert ms < 10_000
+
+def test_broadcast_holds_rpc_cost(benchmark, record):
+    result = benchmark.pedantic(bench_broadcast_holds, rounds=1)
+    record(**result)
+    # Batched protocol: one RPC per server, never one per (fid, server).
+    assert result["broadcast_holds_rpcs"] <= result["broadcast_holds_servers"]
+
+def test_smoke_document_schema(benchmark, record):
+    doc = benchmark.pedantic(lambda: run_all(smoke=True), rounds=1)
+    validate_bench_schema(doc)
+    record(**doc["metrics"])

@@ -1,0 +1,279 @@
+"""Wall-clock performance harness for the functional hot paths.
+
+Unlike :mod:`repro.bench.figures` (which replays the paper's *simulated*
+1999 testbed), this module measures the reproduction's own Python hot
+paths in real time: log append throughput, parity XOR throughput, codec
+message rate, stripe-close and reconstruction latency, and the RPC cost
+of locating fragments by broadcast. It exists to keep the zero-copy
+write path and the batched ``holds`` protocol honest — regressions show
+up as real milliseconds, not simulated ones.
+
+Usage::
+
+    python -m repro.bench.perf            # full run, writes BENCH_PERF.json
+    python -m repro.bench.perf --smoke    # seconds-long sanity run (CI)
+    python -m repro.bench.perf --out x.json
+
+Output schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "smoke": bool,
+      "config": {"fragment_size": int, "num_servers": int, ...},
+      "metrics": {
+        "log_append_mb_s": float,        # useful MB/s through LogLayer
+        "parity_mb_s": float,            # parity_of_fast data MB/s
+        "codec_msgs_s": float,           # encode+decode round trips/s
+        "stripe_close_ms": float,        # mean _close_stripe latency
+        "reconstruction_ms": float,      # mean lost-fragment rebuild
+        "broadcast_holds_rpcs": int,     # RPCs to locate the fid batch
+        "broadcast_holds_fids": int,
+        "broadcast_holds_servers": int
+      }
+    }
+
+``validate_bench_schema`` checks exactly this shape (no external JSON
+schema dependency), and CI runs it against the smoke output.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.cluster import build_local_cluster
+from repro.log.reconstruct import Reconstructor
+from repro.log.stripe import parity_of_fast
+from repro.rpc import messages as m
+from repro.rpc.codec import decode_message, encode_message
+from repro.rpc.transport import LocalTransport
+from repro.server.config import ServerConfig
+from repro.server.server import StorageServer
+
+SCHEMA_VERSION = 1
+
+REQUIRED_METRICS = (
+    "log_append_mb_s",
+    "parity_mb_s",
+    "codec_msgs_s",
+    "stripe_close_ms",
+    "reconstruction_ms",
+    "broadcast_holds_rpcs",
+    "broadcast_holds_fids",
+    "broadcast_holds_servers",
+)
+
+
+class _CountingTransport(LocalTransport):
+    """LocalTransport that counts RPCs issued through :meth:`call`."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.calls = 0
+
+    def call(self, server_id, message):
+        self.calls += 1
+        return super().call(server_id, message)
+
+
+# ----------------------------------------------------------------------
+# Individual measurements
+# ----------------------------------------------------------------------
+
+def bench_parity(fragment_size: int = 1 << 20, width: int = 4,
+                 repeats: int = 32) -> float:
+    """Data MB/s through ``parity_of_fast`` (a stripe's data members)."""
+    images = [bytes([i + 1]) * fragment_size for i in range(width - 1)]
+    parity_of_fast(images)  # warm up
+    start = time.perf_counter()
+    for _ in range(repeats):
+        parity_of_fast(images)
+    elapsed = time.perf_counter() - start
+    total = fragment_size * (width - 1) * repeats
+    return total / elapsed / 1e6
+
+
+def bench_log_append(total_bytes: int = 32 << 20, block_size: int = 4096,
+                     num_servers: int = 4,
+                     fragment_size: int = 1 << 20) -> Dict[str, float]:
+    """Useful MB/s through a real LogLayer, plus stripe-close latency."""
+    cluster = build_local_cluster(num_servers=num_servers,
+                                  fragment_size=fragment_size,
+                                  server_slots=4096)
+    log = cluster.make_log(client_id=1)
+    close_times: List[float] = []
+    original_close = log._close_stripe
+
+    def timed_close():
+        t0 = time.perf_counter()
+        original_close()
+        close_times.append(time.perf_counter() - t0)
+
+    log._close_stripe = timed_close
+    payload = b"\xa5" * block_size
+    count = total_bytes // block_size
+    start = time.perf_counter()
+    for _ in range(count):
+        log.write_block(1, payload)
+    log.flush().wait()
+    elapsed = time.perf_counter() - start
+    return {
+        "log_append_mb_s": log.useful_bytes_written / elapsed / 1e6,
+        "stripe_close_ms": (sum(close_times) / len(close_times) * 1e3
+                            if close_times else 0.0),
+    }
+
+
+def bench_codec(messages_per_kind: int = 20_000) -> float:
+    """Encode+decode round trips per second over a representative mix."""
+    mix = [
+        m.StoreRequest(fid=7, data=b"x" * 4096, principal="c1"),
+        m.RetrieveRequest(fid=9, offset=12, length=4096, principal="c2"),
+        m.HoldsRequest(fids=tuple(range(100, 132)), principal="c1"),
+        m.Response(value=3, payload=b"y" * 256),
+    ]
+    for message in mix:  # warm up
+        decode_message(encode_message(message))
+    start = time.perf_counter()
+    for _ in range(messages_per_kind):
+        for message in mix:
+            decode_message(encode_message(message))
+    elapsed = time.perf_counter() - start
+    return messages_per_kind * len(mix) / elapsed
+
+
+def bench_reconstruction(stripes: int = 8, num_servers: int = 4,
+                         fragment_size: int = 1 << 20) -> float:
+    """Mean milliseconds to rebuild one lost fragment from its stripe."""
+    cluster = build_local_cluster(num_servers=num_servers,
+                                  fragment_size=fragment_size,
+                                  server_slots=1024)
+    log = cluster.make_log(client_id=1)
+    block_size = 4096
+    blocks_per_stripe = ((num_servers - 1)
+                         * (fragment_size // (block_size + 64)))
+    payload = b"\x5a" * block_size
+    addresses = []
+    for _ in range(stripes * blocks_per_stripe):
+        addresses.append(log.write_block(1, payload))
+    log.flush().wait()
+    # Fail one server; every fragment it held must be rebuilt via XOR.
+    victim = next(iter(cluster.servers))
+    lost = [fid for fid, sid in log.locations.locate_many(
+        sorted({a.fid for a in addresses})).items() if sid == victim]
+    cluster.servers[victim].crash()
+    log.locations.evict_server(victim)
+    rebuilder = Reconstructor(cluster.transport,
+                              principal=log.config.principal,
+                              locations=log.locations)
+    start = time.perf_counter()
+    for fid in lost:
+        rebuilder.fetch(fid)
+    elapsed = time.perf_counter() - start
+    return elapsed / max(1, len(lost)) * 1e3
+
+
+def bench_broadcast_holds(num_servers: int = 8,
+                          num_fids: int = 32) -> Dict[str, int]:
+    """RPCs needed to locate ``num_fids`` fragments over the cluster."""
+    servers = {"s%d" % i: StorageServer(ServerConfig(
+        "s%d" % i, fragment_size=1 << 16)) for i in range(num_servers)}
+    transport = _CountingTransport(servers)
+    fids = list(range(1000, 1000 + num_fids))
+    for i, fid in enumerate(fids):
+        transport.call("s%d" % (i % num_servers),
+                       m.StoreRequest(fid=fid, data=b"x"))
+    transport.calls = 0
+    found = transport.broadcast_holds(fids)
+    assert len(found) == num_fids
+    return {
+        "broadcast_holds_rpcs": transport.calls,
+        "broadcast_holds_fids": num_fids,
+        "broadcast_holds_servers": num_servers,
+    }
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+def run_all(smoke: bool = False) -> Dict:
+    """Run every measurement; returns the BENCH_PERF document."""
+    fragment_size = 1 << 16 if smoke else 1 << 20
+    append_bytes = 2 << 20 if smoke else 32 << 20
+    config = {
+        "fragment_size": fragment_size,
+        "num_servers": 4,
+        "block_size": 4096,
+        "append_bytes": append_bytes,
+    }
+    metrics: Dict[str, float] = {}
+    metrics["parity_mb_s"] = round(bench_parity(
+        fragment_size=fragment_size, repeats=4 if smoke else 32), 3)
+    metrics.update({key: round(value, 3) for key, value in bench_log_append(
+        total_bytes=append_bytes, fragment_size=fragment_size).items()})
+    metrics["codec_msgs_s"] = round(bench_codec(
+        messages_per_kind=1_000 if smoke else 20_000), 1)
+    metrics["reconstruction_ms"] = round(bench_reconstruction(
+        stripes=2 if smoke else 8, fragment_size=fragment_size), 3)
+    metrics.update(bench_broadcast_holds())
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "smoke": smoke,
+        "config": config,
+        "metrics": metrics,
+    }
+
+
+def validate_bench_schema(doc: Dict) -> None:
+    """Raise ``ValueError`` unless ``doc`` matches the documented shape."""
+    if not isinstance(doc, dict):
+        raise ValueError("BENCH_PERF document must be an object")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError("schema_version must be %d, got %r"
+                         % (SCHEMA_VERSION, doc.get("schema_version")))
+    if not isinstance(doc.get("smoke"), bool):
+        raise ValueError("smoke must be a boolean")
+    if not isinstance(doc.get("config"), dict):
+        raise ValueError("config must be an object")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError("metrics must be an object")
+    for key in REQUIRED_METRICS:
+        value = metrics.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError("metric %r missing or non-numeric: %r"
+                             % (key, value))
+        if value < 0:
+            raise ValueError("metric %r is negative: %r" % (key, value))
+    for key in ("log_append_mb_s", "parity_mb_s", "codec_msgs_s"):
+        if metrics[key] <= 0:
+            raise ValueError("throughput metric %r must be positive" % key)
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro.bench.perf``."""
+    argv = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in argv
+    out = "BENCH_PERF.json"
+    if "--out" in argv:
+        index = argv.index("--out") + 1
+        if index >= len(argv):
+            print("error: --out requires a file path", file=sys.stderr)
+            return 2
+        out = argv[index]
+    doc = run_all(smoke=smoke)
+    validate_bench_schema(doc)
+    with open(out, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for key in REQUIRED_METRICS:
+        print("%-26s %s" % (key, doc["metrics"][key]))
+    print("wrote %s" % out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

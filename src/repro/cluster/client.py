@@ -100,11 +100,12 @@ class SimClientDriver:
         """
         transport = self.log.transport
         total = 0
+        # Batch the location lookups for every address we do not already
+        # know: at most one broadcast (one RPC per server) up front.
+        self.log.locations.locate_many(
+            [addr.fid for addr in addresses])
         for addr in addresses:
-            server_id = self.log.known_location(addr.fid)
-            if server_id is None:
-                found = transport.broadcast_holds([addr.fid])
-                server_id = found[addr.fid]
+            server_id = self.log.locations.locate(addr.fid)
             request = m.RetrieveRequest(fid=addr.fid, offset=addr.offset,
                                         length=addr.length,
                                         principal=self.log.config.principal)

@@ -14,6 +14,22 @@ descriptor fields are patched in when the stripe closes. Parity
 fragments carry the XOR of their siblings' entire images (zero-padded to
 equal length) as payload, so reconstruction yields a complete, parseable
 fragment image.
+
+Zero-copy invariants (who owns what):
+
+* A :class:`FragmentBuilder` accumulates items directly into one
+  preallocated buffer with the header region in place, so sealing
+  patches the header in with a ``memoryview`` and materializes the
+  complete image **exactly once**. No ``header + payload``
+  concatenation happens on the write path.
+* :meth:`Fragment.decode` keeps the caller's image and serves
+  ``payload`` (and block item data) as ``memoryview`` slices of it —
+  readers that only parse, XOR, or re-store images never copy them.
+  Record payloads are always materialized as owned ``bytes`` (records
+  cross into service replay logic and must outlive the image).
+* Anything holding a ``memoryview`` must treat it as read-only and may
+  call ``bytes()`` to take ownership; trust boundaries (the storage
+  server's backend and cache) always do.
 """
 
 from __future__ import annotations
@@ -96,17 +112,22 @@ class FragmentHeader:
         return body + struct.pack(">I", crc32_of(body))
 
     @classmethod
-    def decode(cls, image: bytes) -> "FragmentHeader":
-        """Parse and validate a header from the start of ``image``."""
+    def decode(cls, image) -> "FragmentHeader":
+        """Parse and validate a header from the start of ``image``.
+
+        Accepts any bytes-like object (``bytes``, ``bytearray``,
+        ``memoryview``) without copying it.
+        """
         if len(image) < HEADER_SIZE:
             raise CorruptFragmentError("image shorter than fragment header")
-        body = image[:HEADER_SIZE - 4]
-        (stored_crc,) = struct.unpack_from(">I", image, HEADER_SIZE - 4)
+        view = image if isinstance(image, memoryview) else memoryview(image)
+        body = view[:HEADER_SIZE - 4]
+        (stored_crc,) = struct.unpack_from(">I", view, HEADER_SIZE - 4)
         if crc32_of(body) != stored_crc:
             raise CorruptFragmentError("fragment header checksum mismatch")
         (magic, version, flags, fid, client_id, base, width, index,
          parity_index, payload_len, item_count, first_lsn, last_lsn,
-         _reserved) = _FIXED.unpack_from(image, 0)
+         _reserved) = _FIXED.unpack_from(view, 0)
         if magic != MAGIC:
             raise CorruptFragmentError("bad fragment magic %r" % magic)
         if version != VERSION:
@@ -114,8 +135,8 @@ class FragmentHeader:
         servers: List[str] = []
         pos = _FIXED.size
         for i in range(width):
-            raw = image[pos + i * _SERVER_NAME_LEN:
-                        pos + (i + 1) * _SERVER_NAME_LEN]
+            raw = bytes(view[pos + i * _SERVER_NAME_LEN:
+                             pos + (i + 1) * _SERVER_NAME_LEN])
             servers.append(raw.rstrip(b"\x00").decode("utf-8"))
         return cls(
             fid=fid, client_id=client_id,
@@ -133,7 +154,10 @@ class LogItem:
 
     For blocks, ``data_offset`` is the absolute offset of the block data
     within the fragment image — i.e. the ``offset`` field of the block's
-    :class:`~repro.log.address.BlockAddress`.
+    :class:`~repro.log.address.BlockAddress`. ``data`` is a read-only
+    slice of the fragment image (a ``memoryview`` on the zero-copy
+    decode path); callers keeping it past the image's lifetime take
+    ``bytes()`` ownership.
     """
 
     kind: int
@@ -144,13 +168,21 @@ class LogItem:
 
 
 class Fragment:
-    """An immutable, sealed fragment: header plus payload bytes."""
+    """An immutable, sealed fragment: header plus payload bytes.
 
-    def __init__(self, header: FragmentHeader, payload: bytes) -> None:
+    ``payload`` may be owned ``bytes`` or a read-only ``memoryview``
+    into a complete image (the zero-copy decode path). When the full
+    image is already materialized it is passed as ``image`` so
+    :meth:`encode` can return it without re-assembling anything.
+    """
+
+    def __init__(self, header: FragmentHeader, payload,
+                 image: Optional[bytes] = None) -> None:
         if header.payload_len != len(payload):
             raise ValueError("header payload_len disagrees with payload")
         self.header = header
         self.payload = payload
+        self._image = image
 
     @property
     def fid(self) -> int:
@@ -158,21 +190,31 @@ class Fragment:
         return self.header.fid
 
     def encode(self) -> bytes:
-        """Serialize the complete fragment image (header + payload)."""
-        return self.header.encode() + self.payload
+        """The complete fragment image (header + payload).
+
+        Free when the fragment was sealed or decoded from an image;
+        assembled (once, then cached) otherwise.
+        """
+        if self._image is None:
+            self._image = self.header.encode() + bytes(self.payload)
+        return self._image
 
     @classmethod
-    def decode(cls, image: bytes, verify_payload: bool = False) -> "Fragment":
-        """Parse a fragment image.
+    def decode(cls, image, verify_payload: bool = False) -> "Fragment":
+        """Parse a fragment image (any bytes-like object).
 
         ``verify_payload`` walks the items to validate structure; headers
-        are always checksum-verified.
+        are always checksum-verified. The payload is served as a
+        ``memoryview`` of ``image`` — no copy is taken.
         """
         header = FragmentHeader.decode(image)
         if len(image) < HEADER_SIZE + header.payload_len:
             raise CorruptFragmentError("image truncated before payload end")
-        payload = bytes(image[HEADER_SIZE:HEADER_SIZE + header.payload_len])
-        fragment = cls(header, payload)
+        view = image if isinstance(image, memoryview) else memoryview(image)
+        end = HEADER_SIZE + header.payload_len
+        payload = view[HEADER_SIZE:end]
+        fragment = cls(header, payload, image=image if len(image) == end
+                       else view[:end])
         if verify_payload and not header.is_parity:
             count = sum(1 for _ in fragment.items())
             if count != header.item_count:
@@ -226,6 +268,12 @@ class FragmentBuilder:
     the server's slot size. Stripe descriptor fields are supplied later
     via :meth:`seal`, but block addresses are final as soon as
     :meth:`add_block` returns — the header size is constant.
+
+    The builder preallocates the whole image buffer up front, header
+    region included, and writes every item at its final image offset.
+    :meth:`seal` therefore only patches the header bytes in place and
+    materializes the immutable image in a single copy — the zero-copy
+    write path the paper's client-bound bandwidth numbers assume.
     """
 
     def __init__(self, fid: int, client_id: int, capacity: int) -> None:
@@ -235,7 +283,11 @@ class FragmentBuilder:
         self.client_id = client_id
         self.capacity = capacity
         self.marked = False
-        self._payload = bytearray()
+        # Complete image buffer: header region (patched at seal) plus
+        # payload. ``_end`` is the absolute image offset of the next
+        # item; bytes at [HEADER_SIZE, _end) never change once written.
+        self._buf = bytearray(capacity)
+        self._end = HEADER_SIZE
         self._item_count = 0
         self._first_lsn = 0
         self._last_lsn = 0
@@ -245,7 +297,7 @@ class FragmentBuilder:
     @property
     def payload_used(self) -> int:
         """Bytes of payload appended so far."""
-        return len(self._payload)
+        return self._end - HEADER_SIZE
 
     @property
     def item_count(self) -> int:
@@ -254,7 +306,7 @@ class FragmentBuilder:
 
     def free_payload(self) -> int:
         """Payload bytes still available."""
-        return self.capacity - HEADER_SIZE - len(self._payload)
+        return self.capacity - self._end
 
     def fits_block(self, data_len: int) -> bool:
         """Whether a block with ``data_len`` bytes of data fits."""
@@ -271,15 +323,23 @@ class FragmentBuilder:
 
     # -- appends -----------------------------------------------------------
 
-    def add_block(self, owner_service: int, data: bytes) -> int:
-        """Append a block; return the absolute offset of its data."""
+    def add_block(self, owner_service: int, data) -> int:
+        """Append a block; return the absolute offset of its data.
+
+        ``data`` may be any bytes-like object; its bytes are copied into
+        the image buffer (the one copy every append implies).
+        """
         body_len = _BLOCK_OWNER.size + len(data)
         if BLOCK_ITEM_OVERHEAD + len(data) > self.free_payload():
             raise ValueError("block does not fit in fragment")
-        self._payload += _ITEM_HEAD.pack(ITEM_BLOCK, body_len)
-        self._payload += _BLOCK_OWNER.pack(owner_service)
-        data_offset = HEADER_SIZE + len(self._payload)
-        self._payload += data
+        buf, pos = self._buf, self._end
+        _ITEM_HEAD.pack_into(buf, pos, ITEM_BLOCK, body_len)
+        pos += _ITEM_HEAD.size
+        _BLOCK_OWNER.pack_into(buf, pos, owner_service)
+        pos += _BLOCK_OWNER.size
+        data_offset = pos
+        buf[pos:pos + len(data)] = data
+        self._end = pos + len(data)
         self._item_count += 1
         return data_offset
 
@@ -288,42 +348,53 @@ class FragmentBuilder:
         body = record.encode()
         if _ITEM_HEAD.size + len(body) > self.free_payload():
             raise ValueError("record does not fit in fragment")
-        self._payload += _ITEM_HEAD.pack(ITEM_RECORD, len(body))
-        offset = HEADER_SIZE + len(self._payload)
-        self._payload += body
+        buf, pos = self._buf, self._end
+        _ITEM_HEAD.pack_into(buf, pos, ITEM_RECORD, len(body))
+        pos += _ITEM_HEAD.size
+        offset = pos
+        buf[pos:pos + len(body)] = body
+        self._end = pos + len(body)
         self._item_count += 1
         if self._first_lsn == 0:
             self._first_lsn = record.lsn
         self._last_lsn = record.lsn
         return offset
 
-    def peek_range(self, offset: int, length: int) -> bytes:
+    def peek_range(self, offset: int, length: int):
         """Read buffered bytes at image offset ``offset`` (pre-seal).
 
         Lets the log layer serve reads of not-yet-flushed blocks from
         memory, the way a log-structured file system serves reads from
-        its write buffer.
+        its write buffer. Returns a read-only ``memoryview`` of the
+        buffer — already-written payload bytes never change, so the
+        view stays valid (callers needing ownership take ``bytes()``).
         """
-        start = offset - HEADER_SIZE
-        if start < 0 or start + length > len(self._payload):
+        if offset < HEADER_SIZE or offset + length > self._end:
             raise ValueError("peek outside buffered payload")
-        return bytes(self._payload[start:start + length])
+        return memoryview(self._buf).toreadonly()[offset:offset + length]
 
     # -- sealing -----------------------------------------------------------
 
     def seal(self, stripe_base_fid: int, stripe_width: int, stripe_index: int,
              parity_index: int, servers: Tuple[str, ...]) -> Fragment:
-        """Finalize the fragment with its stripe descriptor."""
+        """Finalize the fragment with its stripe descriptor.
+
+        Patches the header into the preallocated buffer and materializes
+        the complete image in one copy.
+        """
         if len(servers) != stripe_width:
             raise ValueError("stripe descriptor width mismatch")
         header = FragmentHeader(
             fid=self.fid, client_id=self.client_id, is_parity=False,
             marked=self.marked, stripe_base_fid=stripe_base_fid,
             stripe_width=stripe_width, stripe_index=stripe_index,
-            parity_index=parity_index, payload_len=len(self._payload),
+            parity_index=parity_index, payload_len=self.payload_used,
             item_count=self._item_count, first_lsn=self._first_lsn,
             last_lsn=self._last_lsn, servers=tuple(servers))
-        return Fragment(header, bytes(self._payload))
+        with memoryview(self._buf) as view:
+            view[:HEADER_SIZE] = header.encode()
+            image = bytes(view[:self._end])
+        return Fragment(header, memoryview(image)[HEADER_SIZE:], image=image)
 
 
 def make_parity_fragment(fid: int, client_id: int, data_images: List[bytes],
@@ -334,15 +405,16 @@ def make_parity_fragment(fid: int, client_id: int, data_images: List[bytes],
     The payload is the byte-wise XOR of the data fragments' complete
     images, zero-padded to the longest image, so any single missing data
     fragment's full image can be recovered by XOR-ing the parity payload
-    with the surviving images.
+    with the surviving images. XOR runs through the fast word-wise
+    implementation; ``parity_of`` remains only as the reference oracle.
     """
-    from repro.log.stripe import parity_of  # local import to avoid a cycle
+    from repro.log.stripe import parity_of_fast  # local import to avoid a cycle
 
-    payload = parity_of(data_images)
+    payload = parity_of_fast(data_images)
     header = FragmentHeader(
         fid=fid, client_id=client_id, is_parity=True, marked=False,
         stripe_base_fid=stripe_base_fid, stripe_width=stripe_width,
         stripe_index=stripe_index, parity_index=stripe_index,
         payload_len=len(payload), item_count=0, first_lsn=0, last_lsn=0,
         servers=tuple(servers))
-    return Fragment(header, payload)
+    return Fragment(header, payload, image=header.encode() + payload)

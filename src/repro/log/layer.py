@@ -34,6 +34,7 @@ from repro.log.fragment import (
     NO_PARITY,
     make_parity_fragment,
 )
+from repro.log.location import LocationCache
 from repro.log.records import (
     Record,
     RecordType,
@@ -93,7 +94,8 @@ class LogLayer:
     """One client's striped log."""
 
     def __init__(self, transport, group: StripeGroup, config: LogConfig,
-                 cost_hook: Optional[CostHook] = None) -> None:
+                 cost_hook: Optional[CostHook] = None,
+                 locations: Optional[LocationCache] = None) -> None:
         self.transport = transport
         self.group = group
         self.config = config
@@ -110,7 +112,10 @@ class LogLayer:
         # (their stripe descriptor is patched at stripe close).
         self._building: List[FragmentBuilder] = []
         self._pending: List = []
-        self._locations: Dict[int, str] = {}
+        # Fragment placements: shared with the reconstructor (and, when
+        # the caller passes one in, with readers/recovery/fsck too).
+        self.locations = locations if locations is not None else \
+            LocationCache(transport, config.principal)
         self._checkpoint_table: Dict[int, Tuple[BlockAddress, int]] = {}
         self._usage_listeners: List[UsageListener] = []
         # Statistics.
@@ -138,8 +143,8 @@ class LogLayer:
         return list(self._pending)
 
     def known_location(self, fid: int) -> Optional[str]:
-        """Server believed to hold ``fid`` (from this client's writes)."""
-        return self._locations.get(fid)
+        """Server believed to hold ``fid`` (no network traffic)."""
+        return self.locations.get(fid)
 
     def add_usage_listener(self, listener: UsageListener) -> None:
         """Subscribe to block lifecycle events.
@@ -287,7 +292,7 @@ class LogLayer:
         marked_flags = [b.marked for b in builders] + [False] * (width - ndata)
         for fragment, image, marked in zip(fragments, images, marked_flags):
             server_id = servers[fragment.header.stripe_index]
-            self._locations[fragment.fid] = server_id
+            self.locations.record(fragment.fid, server_id)
             acl_ranges = ()
             if self.config.fragment_aid:
                 acl_ranges = ((0, len(image), self.config.fragment_aid),)
@@ -335,8 +340,12 @@ class LogLayer:
         The escape hatch for a failed server: already-written stripes
         keep their embedded descriptors (reads reconstruct through
         parity); new stripes simply avoid the dead member. Buffered
-        data is unaffected — only placement changes.
+        data is unaffected — only placement changes. Cached placements
+        on departed servers are invalidated so reads stop trying them.
         """
+        departed = set(self.group.servers) - set(group.servers)
+        for server_id in departed:
+            self.locations.evict_server(server_id)
         self.group = group
         self.layout = StripeLayout(group)
         self._stripe_number = self.config.client_id % max(1, group.size)
@@ -378,11 +387,17 @@ class LogLayer:
     # ------------------------------------------------------------------
 
     def read(self, addr: BlockAddress) -> bytes:
-        """Read a block's data, reconstructing its fragment if needed."""
+        """Read a block's data, reconstructing its fragment if needed.
+
+        Always returns owned ``bytes``: block reads cross into service
+        code, which may keep, hash, or concatenate the result. The
+        zero-copy views stay below this boundary (:meth:`read_range`,
+        :meth:`read_fragment`).
+        """
         data = self.read_range(addr.fid, addr.offset, addr.length)
         if len(data) != addr.length:
             raise BlockNotFoundError("short read at %s" % (addr,))
-        return data
+        return data if isinstance(data, bytes) else bytes(data)
 
     def read_range(self, fid: int, offset: int, length: int) -> bytes:
         """Read an arbitrary byte range of a fragment.
@@ -396,7 +411,7 @@ class LogLayer:
         for builder in self._building:
             if builder.fid == fid:
                 return builder.peek_range(offset, length)
-        server_id = self._locate(fid)
+        server_id = self.locations.locate(fid)
         if server_id is not None:
             try:
                 response = self.transport.call(
@@ -407,15 +422,19 @@ class LogLayer:
             except LogError:
                 raise
             except Exception:
-                pass  # fall through to reconstruction
-        image = Reconstructor(self.transport, self.config.principal).fetch(fid)
+                # Stale placement or downed server: forget it so later
+                # reads do not keep retrying the dead location, and
+                # fall through to reconstruction.
+                self.locations.evict(fid)
+        image = Reconstructor(self.transport, self.config.principal,
+                              locations=self.locations).fetch(fid)
         return image[offset:offset + length]
 
     def read_fragment(self, fid: int) -> bytes:
         """Read a whole fragment image (cleaner / recovery paths)."""
         from repro.log.reconstruct import Reconstructor
 
-        server_id = self._locate(fid)
+        server_id = self.locations.locate(fid)
         if server_id is not None:
             try:
                 response = self.transport.call(
@@ -423,18 +442,9 @@ class LogLayer:
                         fid=fid, principal=self.config.principal))
                 return response.payload
             except Exception:
-                pass
-        return Reconstructor(self.transport, self.config.principal).fetch(fid)
-
-    def _locate(self, fid: int) -> Optional[str]:
-        server_id = self._locations.get(fid)
-        if server_id is not None:
-            return server_id
-        found = self.transport.broadcast_holds([fid])
-        server_id = found.get(fid)
-        if server_id is not None:
-            self._locations[fid] = server_id
-        return server_id
+                self.locations.evict(fid)
+        return Reconstructor(self.transport, self.config.principal,
+                             locations=self.locations).fetch(fid)
 
     # ------------------------------------------------------------------
     # Deletion of whole stripes (cleaner back-end)
@@ -442,9 +452,10 @@ class LogLayer:
 
     def delete_stripe(self, base_fid: int, width: int) -> None:
         """Delete every fragment of a stripe from its servers."""
-        for i in range(width):
-            fid = base_fid + i
-            server_id = self._locate(fid)
+        fids = [base_fid + i for i in range(width)]
+        located = self.locations.locate_many(fids)
+        for fid in fids:
+            server_id = located.get(fid)
             if server_id is None:
                 continue
             try:
@@ -452,7 +463,7 @@ class LogLayer:
                     fid=fid, principal=self.config.principal))
             except Exception:
                 pass
-            self._locations.pop(fid, None)
+            self.locations.evict(fid)
 
     # ------------------------------------------------------------------
     # Recovery hand-off

@@ -1,0 +1,123 @@
+"""Shared client-side fragment-location cache.
+
+Swarm has no directory service: the cluster itself answers "who holds
+fragment N" through the broadcast ``holds`` query (§2.4.3). That makes
+every location lookup a full sweep of the stripe group, so the client
+caches everything it learns — from its own writes, from stripe
+descriptors embedded in fetched fragment headers, and from broadcast
+answers — and batches the lookups it still has to make into one RPC per
+server.
+
+One cache is meant to be *shared* across everything a client runs: the
+log layer, the reconstructor, the sequential log reader, recovery, and
+fsck all accept a ``LocationCache`` so a placement learned on any path
+is reused by all of them.
+
+Invalidation: entries are dropped when a retrieve against the cached
+server fails (the placement is stale or the server is down), when a
+stripe is deleted, and when the client reforms its stripe group away
+from a departed server.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+
+class LocationCache:
+    """fid → server-id map with batched broadcast fill."""
+
+    def __init__(self, transport, principal: str = "") -> None:
+        self.transport = transport
+        self.principal = principal
+        self._map: Dict[int, str] = {}
+        # Statistics (read by the perf harness and tests).
+        self.hits = 0
+        self.misses = 0
+        self.broadcasts = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, fid: int) -> bool:
+        return fid in self._map
+
+    # -- local (no network) --------------------------------------------------
+
+    def get(self, fid: int) -> Optional[str]:
+        """Cached server for ``fid``; never touches the network."""
+        return self._map.get(fid)
+
+    def record(self, fid: int, server_id: str) -> None:
+        """Remember that ``server_id`` holds ``fid``."""
+        self._map[fid] = server_id
+
+    def learn(self, header) -> None:
+        """Absorb a fragment header's whole stripe descriptor.
+
+        One fetched fragment names the server of every stripe sibling,
+        so a single read can save ``width - 1`` future broadcasts.
+        """
+        for index, server_id in enumerate(header.servers):
+            self._map[header.stripe_base_fid + index] = server_id
+
+    def evict(self, fid: int) -> None:
+        """Drop a placement (observed to be stale or deleted)."""
+        if self._map.pop(fid, None) is not None:
+            self.evictions += 1
+
+    def evict_server(self, server_id: str) -> None:
+        """Drop every placement pointing at ``server_id``."""
+        stale = [fid for fid, sid in self._map.items() if sid == server_id]
+        for fid in stale:
+            del self._map[fid]
+        self.evictions += len(stale)
+
+    def retain_servers(self, server_ids: Iterable[str]) -> None:
+        """Drop placements on servers outside ``server_ids``.
+
+        Used when a stripe group is reformed away from a failed server:
+        everything believed to live on departed members must be looked
+        up (or reconstructed) fresh.
+        """
+        keep = set(server_ids)
+        stale = [fid for fid, sid in self._map.items() if sid not in keep]
+        for fid in stale:
+            del self._map[fid]
+        self.evictions += len(stale)
+
+    def clear(self) -> None:
+        """Forget everything (keeps statistics)."""
+        self._map.clear()
+
+    # -- filling (batched broadcast) -----------------------------------------
+
+    def locate(self, fid: int) -> Optional[str]:
+        """Server holding ``fid``; broadcasts on a cache miss."""
+        return self.locate_many((fid,)).get(fid)
+
+    def locate_many(self, fids: Sequence[int]) -> Dict[int, str]:
+        """Locate many fragments with at most one broadcast.
+
+        Cache hits are answered locally; all misses go out together in
+        a single :meth:`~repro.rpc.transport.Transport.broadcast_holds`
+        (itself one RPC per server). Unlocatable fids are absent from
+        the result.
+        """
+        found: Dict[int, str] = {}
+        missing = []
+        for fid in fids:
+            server_id = self._map.get(fid)
+            if server_id is None:
+                missing.append(fid)
+            else:
+                found[fid] = server_id
+                self.hits += 1
+        if missing:
+            self.misses += len(missing)
+            self.broadcasts += 1
+            located = self.transport.broadcast_holds(missing)
+            self._map.update(located)
+            found.update(located)
+        return found

@@ -12,53 +12,56 @@ stream).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Iterator, List, Optional
 
 from repro.errors import ReconstructionError, SwarmError
 from repro.log.fragment import Fragment
+from repro.log.location import LocationCache
 from repro.log.records import Record
 from repro.log.reconstruct import Reconstructor
 from repro.rpc import messages as m
 
 
 class FragmentLocator:
-    """Caches fragment→server placements, learned from headers."""
+    """Caches fragment→server placements, learned from headers.
 
-    def __init__(self, transport, principal: str = "") -> None:
+    A thin wrapper (kept for API stability) around the shared
+    :class:`LocationCache`; pass ``locations`` to share placements with
+    a log layer or reconstructor.
+    """
+
+    def __init__(self, transport, principal: str = "",
+                 locations: Optional[LocationCache] = None) -> None:
         self.transport = transport
         self.principal = principal
-        self._cache: Dict[int, str] = {}
+        self.locations = locations if locations is not None else \
+            LocationCache(transport, principal)
 
     def locate(self, fid: int) -> Optional[str]:
         """Best-known server for ``fid``; broadcasts on a cache miss."""
-        server_id = self._cache.get(fid)
-        if server_id is not None:
-            return server_id
-        found = self.transport.broadcast_holds([fid])
-        server_id = found.get(fid)
-        if server_id is not None:
-            self._cache[fid] = server_id
-        return server_id
+        return self.locations.locate(fid)
 
     def learn(self, fragment: Fragment) -> None:
         """Absorb the stripe descriptor of a fetched fragment."""
-        header = fragment.header
-        for index, server_id in enumerate(header.servers):
-            self._cache[header.stripe_base_fid + index] = server_id
+        self.locations.learn(fragment.header)
 
     def forget(self, fid: int) -> None:
         """Drop a placement (e.g. after observing a failure)."""
-        self._cache.pop(fid, None)
+        self.locations.evict(fid)
 
 
 class LogReader:
     """Reads one client's log in FID order."""
 
-    def __init__(self, transport, principal: str = "") -> None:
+    def __init__(self, transport, principal: str = "",
+                 locations: Optional[LocationCache] = None) -> None:
         self.transport = transport
         self.principal = principal
-        self.locator = FragmentLocator(transport, principal)
-        self.reconstructor = Reconstructor(transport, principal)
+        self.locator = FragmentLocator(transport, principal, locations)
+        # Reconstruction shares the same placement cache, so stripe
+        # descriptors learned either way serve both paths.
+        self.reconstructor = Reconstructor(
+            transport, principal, locations=self.locator.locations)
 
     def read_fragment(self, fid: int) -> Optional[Fragment]:
         """Fetch and parse fragment ``fid``; None if it does not exist.

@@ -24,18 +24,28 @@ from typing import Dict, Optional
 
 from repro.errors import ReconstructionError, SwarmError
 from repro.log.fragment import Fragment, FragmentHeader, make_parity_fragment
+from repro.log.location import LocationCache
 from repro.log.stripe import recover_data_image
 from repro.rpc import messages as m
 
 
 class Reconstructor:
-    """Fetches fragments, reconstructing them from parity when needed."""
+    """Fetches fragments, reconstructing them from parity when needed.
+
+    Pass ``locations`` to share one :class:`LocationCache` with the log
+    layer / reader driving the reconstruction: placements learned here
+    (including whole stripe descriptors) then benefit every later read,
+    and placements that fail a retrieve are evicted for everyone.
+    """
 
     def __init__(self, transport, principal: str = "",
-                 cache: Optional[Dict[int, bytes]] = None) -> None:
+                 cache: Optional[Dict[int, bytes]] = None,
+                 locations: Optional[LocationCache] = None) -> None:
         self.transport = transport
         self.principal = principal
         self.cache = cache if cache is not None else {}
+        self.locations = locations if locations is not None else \
+            LocationCache(transport, principal)
         self.reconstructions = 0
 
     # ------------------------------------------------------------------
@@ -54,15 +64,16 @@ class Reconstructor:
 
     def _try_direct(self, fid: int, server_id: str = None) -> Optional[bytes]:
         if server_id is None:
-            found = self.transport.broadcast_holds([fid])
-            server_id = found.get(fid)
+            server_id = self.locations.locate(fid)
             if server_id is None:
                 return None
         try:
             response = self.transport.call(
                 server_id, m.RetrieveRequest(fid=fid, principal=self.principal))
         except SwarmError:
+            self.locations.evict(fid)
             return None
+        self.locations.record(fid, server_id)
         return response.payload
 
     # ------------------------------------------------------------------
@@ -99,7 +110,7 @@ class Reconstructor:
     def _find_stripe_descriptor(self, fid: int) -> Optional[FragmentHeader]:
         """Locate a same-stripe neighbor of ``fid`` and return its header."""
         neighbors = [n for n in (fid - 1, fid + 1) if n > 0]
-        found = self.transport.broadcast_holds(neighbors)
+        found = self.locations.locate_many(neighbors)
         for neighbor, server_id in sorted(found.items()):
             image = self._try_direct(neighbor, server_id=server_id)
             if image is None:
@@ -110,6 +121,11 @@ class Reconstructor:
                 continue
             if header.stripe_base_fid <= fid < (header.stripe_base_fid
                                                 + header.stripe_width):
+                self.locations.learn(header)
+                # The fragment being reconstructed just failed a direct
+                # fetch — do not resurrect its stale placement from the
+                # descriptor we learned.
+                self.locations.evict(fid)
                 return header
         return None
 

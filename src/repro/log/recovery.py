@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SwarmError
 from repro.log.address import BlockAddress, make_fid
+from repro.log.location import LocationCache
 from repro.log.reader import LogReader
 from repro.log.records import (
     Record,
@@ -90,7 +91,9 @@ def record_concerns_service(record: Record, service_id: int) -> bool:
 def recover_service_state(transport, client_id: int, service_id: int,
                           principal: str = "",
                           include_all_block_records: bool = False,
-                          reader: Optional[LogReader] = None) -> RecoveredState:
+                          reader: Optional[LogReader] = None,
+                          locations: Optional[LocationCache] = None,
+                          ) -> RecoveredState:
     """Recover one service's state from the log.
 
     Parameters
@@ -101,8 +104,12 @@ def recover_service_state(transport, client_id: int, service_id: int,
     reader:
         Share one :class:`LogReader` across several services' recoveries
         to reuse its placement cache.
+    locations:
+        When no ``reader`` is given, build one around this shared
+        :class:`LocationCache` (e.g. the restarting client's own cache)
+        instead of an empty one.
     """
-    reader = reader or LogReader(transport, principal)
+    reader = reader or LogReader(transport, principal, locations=locations)
     marked_fid = find_newest_marked_fid(transport, client_id, principal)
     table: Dict[int, Tuple[BlockAddress, int]] = {}
     checkpoint_state: Optional[bytes] = None

@@ -28,6 +28,11 @@ def parity_of(images: Sequence[bytes]) -> bytes:
     property: ``parity_of([parity] + survivors)`` returns the missing
     image (possibly with trailing zero padding, which the fragment
     header makes harmless).
+
+    This byte-at-a-time loop is the *reference oracle*: tests check the
+    fast implementation against it, but no hot path calls it —
+    :func:`parity_of_fast` is what the write, recovery, and scrub paths
+    use.
     """
     if not images:
         return b""
@@ -42,7 +47,10 @@ def parity_of(images: Sequence[bytes]) -> bytes:
 def parity_of_fast(images: Sequence[bytes]) -> bytes:
     """XOR using ``int.from_bytes`` arithmetic — much faster in CPython.
 
-    Functionally identical to :func:`parity_of`; used on the hot path.
+    Functionally identical to :func:`parity_of`; this is the
+    implementation every hot path (stripe close, reconstruction, fsck)
+    uses. Accepts any bytes-like inputs (including ``memoryview``
+    slices from the zero-copy pipeline) without copying them.
     """
     if not images:
         return b""

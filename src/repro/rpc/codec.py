@@ -16,7 +16,14 @@ import struct
 from typing import Tuple, Union
 
 from repro.rpc import messages as m
-from repro.util.packing import pack_bytes, pack_str, unpack_bytes, unpack_str
+from repro.util.packing import (
+    pack_bytes,
+    pack_fids,
+    pack_str,
+    unpack_bytes,
+    unpack_fids,
+    unpack_str,
+)
 
 _TAGS = {
     m.StoreRequest: 1,
@@ -85,8 +92,10 @@ def encode_message(msg: Message) -> bytes:
     if isinstance(msg, m.RetrieveRequest):
         return (head + struct.pack(">Qqq", msg.fid, msg.offset, msg.length)
                 + pack_str(msg.principal))
-    if isinstance(msg, (m.DeleteRequest, m.PreallocateRequest, m.HoldsRequest)):
+    if isinstance(msg, (m.DeleteRequest, m.PreallocateRequest)):
         return head + struct.pack(">Q", msg.fid) + pack_str(msg.principal)
+    if isinstance(msg, m.HoldsRequest):
+        return head + pack_fids(msg.fids) + pack_str(msg.principal)
     if isinstance(msg, m.LastMarkedRequest):
         return head + struct.pack(">q", msg.client_id) + pack_str(msg.principal)
     if isinstance(msg, m.CreateAclRequest):
@@ -136,11 +145,15 @@ def decode_message(buf: bytes) -> Message:
         principal, pos = unpack_str(buf, pos)
         return m.RetrieveRequest(fid=fid, offset=offset, length=length,
                                  principal=principal)
-    if cls in (m.DeleteRequest, m.PreallocateRequest, m.HoldsRequest):
+    if cls in (m.DeleteRequest, m.PreallocateRequest):
         (fid,) = struct.unpack_from(">Q", buf, pos)
         pos += 8
         principal, pos = unpack_str(buf, pos)
         return cls(fid=fid, principal=principal)
+    if cls is m.HoldsRequest:
+        fids, pos = unpack_fids(buf, pos)
+        principal, pos = unpack_str(buf, pos)
+        return m.HoldsRequest(fids=fids, principal=principal)
     if cls is m.LastMarkedRequest:
         (client_id,) = struct.unpack_from(">q", buf, pos)
         pos += 8
@@ -200,8 +213,10 @@ def wire_size(msg: Message) -> int:
         return 30 + len(msg.principal) + 16 * len(msg.acl_ranges) + len(msg.data)
     if isinstance(msg, m.RetrieveRequest):
         return 29 + len(msg.principal)
-    if isinstance(msg, (m.DeleteRequest, m.PreallocateRequest, m.HoldsRequest)):
+    if isinstance(msg, (m.DeleteRequest, m.PreallocateRequest)):
         return 13 + len(msg.principal)
+    if isinstance(msg, m.HoldsRequest):
+        return 9 + 8 * len(msg.fids) + len(msg.principal)
     if isinstance(msg, m.LastMarkedRequest):
         return 13 + len(msg.principal)
     if isinstance(msg, m.Response):

@@ -65,9 +65,15 @@ class LastMarkedRequest:
 
 @dataclass(frozen=True)
 class HoldsRequest:
-    """Ask whether the server stores fragment ``fid`` (broadcast probe)."""
+    """Ask which of ``fids`` the server stores (broadcast probe).
 
-    fid: int
+    Batched: one request carries every fragment the client is looking
+    for, so locating F fragments across S servers costs at most S round
+    trips, not F×S. The reply's payload lists the held fids
+    (count-prefixed, 8 bytes each) and its ``value`` is their number.
+    """
+
+    fids: Tuple[int, ...]
     principal: str = ""
 
 

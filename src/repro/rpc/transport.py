@@ -17,6 +17,7 @@ from typing import Any, Dict, Iterable, List, Optional
 from repro import errors
 from repro.rpc import messages as m
 from repro.rpc.codec import decode_message, encode_message, wire_size
+from repro.util.packing import pack_fids, unpack_fids
 
 
 def dispatch(server, request) -> Any:
@@ -47,7 +48,8 @@ def dispatch(server, request) -> Any:
         if isinstance(request, m.LastMarkedRequest):
             return m.Response(value=server.last_marked(request.client_id))
         if isinstance(request, m.HoldsRequest):
-            return m.Response(value=1 if server.holds(request.fid) else 0)
+            held = server.holds_many(request.fids)
+            return m.Response(value=len(held), payload=pack_fids(held))
         if isinstance(request, m.CreateAclRequest):
             aid = server.create_acl(set(request.readers), set(request.writers))
             return m.Response(value=aid)
@@ -66,10 +68,7 @@ def dispatch(server, request) -> Any:
 
                 fids = [fid for fid in fids
                         if fid_client(fid) == request.client_id]
-            import struct as _struct
-
-            payload = b"".join(_struct.pack(">Q", fid) for fid in fids)
-            return m.Response(value=len(fids), payload=payload)
+            return m.Response(value=len(fids), payload=pack_fids(fids))
         if isinstance(request, m.EvalScriptRequest):
             from repro.server.script import SwarmScriptInterpreter
 
@@ -131,22 +130,27 @@ class Transport(ABC):
         Returns ``{fid: server_id}`` for each fragment found. This is
         the self-hosting lookup used by reconstruction: no directory
         service exists, the cluster itself answers.
+
+        Batched: every server is asked about all still-missing fids in
+        a single RPC, so the whole broadcast costs at most one round
+        trip per server regardless of how many fragments it locates.
         """
         found: Dict[int, str] = {}
-        pending = set(fids)
+        # De-duplicate while preserving the caller's order.
+        pending = list(dict.fromkeys(fids))
         for server_id in self.server_ids():
             if not pending:
                 break
-            located = set()
-            for fid in pending:
-                try:
-                    response = self.call(server_id, m.HoldsRequest(fid=fid))
-                except errors.ServerUnavailableError:
-                    break
-                if response.value:
-                    found[fid] = server_id
-                    located.add(fid)
-            pending -= located
+            try:
+                response = self.call(
+                    server_id, m.HoldsRequest(fids=tuple(pending)))
+            except errors.ServerUnavailableError:
+                continue
+            held, _end = unpack_fids(response.payload)
+            for fid in held:
+                found[fid] = server_id
+            if held:
+                pending = [fid for fid in pending if fid not in found]
         return found
 
 

@@ -121,6 +121,12 @@ class StorageServer:
 
         ``length`` of −1 means "to the end of the fragment". The access
         must pass the ACL tags recorded when the fragment was stored.
+
+        Whole-fragment reads return the server's own immutable image;
+        partial reads return a read-only ``memoryview`` slice of it —
+        no per-request copy is taken. Callers that must own the bytes
+        (anything crossing a real wire does, via the codec) take
+        ``bytes()``.
         """
         self._require_available()
         info = self._info_or_raise(fid)
@@ -147,7 +153,9 @@ class StorageServer:
                                principal, "r")
         self.bytes_retrieved += length
         self.retrieve_ops += 1
-        return data[offset:offset + length]
+        if offset == 0 and length == len(data):
+            return data
+        return memoryview(data)[offset:offset + length]
 
     def delete(self, fid: int, principal: str = "") -> None:
         """Delete fragment ``fid``, freeing its slot."""
@@ -189,6 +197,22 @@ class StorageServer:
         self._require_available()
         info = self.slots.info_of(fid)
         return info is not None and not info.get("preallocated")
+
+    def holds_many(self, fids) -> List[int]:
+        """Subset of ``fids`` stored here, in request order.
+
+        The batched form of :meth:`holds`: one location broadcast asks
+        each server about *every* wanted fragment at once, so locating F
+        fragments across S servers costs at most S round trips instead
+        of F×S.
+        """
+        self._require_available()
+        held: List[int] = []
+        for fid in fids:
+            info = self.slots.info_of(fid)
+            if info is not None and not info.get("preallocated"):
+                held.append(fid)
+        return held
 
     def fragment_info(self, fid: int) -> FragmentInfo:
         """Metadata for one stored fragment."""

@@ -74,6 +74,10 @@ class EncryptionService(Service):
         return _MAGIC + nonce + ciphertext + self._tag(nonce, ciphertext)
 
     def transform_block_up(self, reader_id: int, data: bytes) -> bytes:
+        # The read path may hand us a zero-copy view; the header/tag
+        # arithmetic below concatenates, so take ownership here.
+        if not isinstance(data, bytes):
+            data = bytes(data)
         if len(data) < OVERHEAD or data[:len(_MAGIC)] != _MAGIC:
             raise ServiceError("not an encrypted block")
         nonce = data[len(_MAGIC):_HEADER]

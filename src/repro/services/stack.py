@@ -123,6 +123,10 @@ class ServiceStack:
             data = self.log.read(addr)
             for layer in below:
                 layer.cache_insert(addr, data)
+        # Caches may serve zero-copy views of a fragment image; service
+        # transforms own the block data, so hand them bytes.
+        if not isinstance(data, bytes):
+            data = bytes(data)
         for layer in reversed(below):
             data = layer.transform_block_up(service.service_id, data)
         return data

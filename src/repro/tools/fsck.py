@@ -18,15 +18,16 @@ onto a designated server, returning the log to full redundancy.
 
 from __future__ import annotations
 
-import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.errors import SwarmError
 from repro.log.fragment import Fragment, FragmentHeader
+from repro.log.location import LocationCache
 from repro.log.reconstruct import Reconstructor
 from repro.log.stripe import parity_of_fast
 from repro.rpc import messages as m
+from repro.util.packing import unpack_fids
 
 
 @dataclass
@@ -88,9 +89,8 @@ def _list_client_fids(transport, client_id: int,
                 client_id=client_id, principal=principal))
         except SwarmError:
             continue
-        count = response.value
-        for index in range(count):
-            (fid,) = struct.unpack_from(">Q", response.payload, index * 8)
+        fids, _end = unpack_fids(response.payload)
+        for fid in fids:
             locations[fid] = server_id
     return locations
 
@@ -169,18 +169,28 @@ def repair_client_log(transport, client_id: int, target_server: str,
     deleted from their servers first, then rebuilt like missing ones.
     """
     report = check_client_log(transport, client_id, principal)
-    rebuilder = Reconstructor(transport, principal)
+    # Seed a shared location cache from one listing sweep so the
+    # reconstructions below need no further broadcasts, and look up
+    # every corrupt fragment's holder in a single batch.
+    locations = LocationCache(transport, principal)
+    for fid, server_id in _list_client_fids(transport, client_id,
+                                            principal).items():
+        locations.record(fid, server_id)
+    rebuilder = Reconstructor(transport, principal, locations=locations)
     restored = 0
-    for finding in report.by_status("degraded"):
+    degraded = report.by_status("degraded")
+    corrupt_holders = locations.locate_many(
+        [fid for finding in degraded for fid in finding.corrupt])
+    for finding in degraded:
         for fid in finding.corrupt:
-            found = transport.broadcast_holds([fid])
-            server_id = found.get(fid)
+            server_id = corrupt_holders.get(fid)
             if server_id is not None:
                 try:
                     transport.call(server_id, m.DeleteRequest(
                         fid=fid, principal=principal))
                 except SwarmError:
                     pass
+                locations.evict(fid)
         for fid in finding.corrupt + finding.missing:
             image = rebuilder.fetch(fid)
             header = Fragment.decode(image).header

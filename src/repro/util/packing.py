@@ -15,8 +15,36 @@ _LEN = struct.Struct(">I")
 
 
 def pack_bytes(data: bytes) -> bytes:
-    """Serialize ``data`` as a 4-byte length prefix followed by the bytes."""
+    """Serialize ``data`` as a 4-byte length prefix followed by the bytes.
+
+    Accepts any bytes-like object (the zero-copy read path hands the
+    codec ``memoryview`` payloads).
+    """
+    if not isinstance(data, (bytes, bytearray)):
+        data = bytes(data)
     return _LEN.pack(len(data)) + data
+
+
+def pack_fids(fids) -> bytes:
+    """Serialize a sequence of FIDs: a 4-byte count then 8 bytes each.
+
+    Shared by the batched ``holds`` reply and the ``ListFids`` reply so
+    every fid-list payload on the wire has one format.
+    """
+    fids = tuple(fids)
+    return struct.pack(">I%dQ" % len(fids), len(fids), *fids)
+
+
+def unpack_fids(buf: bytes, offset: int = 0) -> Tuple[Tuple[int, ...], int]:
+    """Inverse of :func:`pack_fids`; returns the fids and the end offset."""
+    if offset + _LEN.size > len(buf):
+        raise ValueError("truncated fid-list count")
+    (count,) = _LEN.unpack_from(buf, offset)
+    offset += _LEN.size
+    end = offset + 8 * count
+    if end > len(buf):
+        raise ValueError("truncated fid list")
+    return struct.unpack_from(">%dQ" % count, buf, offset), end
 
 
 def unpack_bytes(buf: bytes, offset: int) -> Tuple[bytes, int]:

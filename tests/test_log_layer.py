@@ -207,6 +207,30 @@ class TestReads:
         bogus = BlockAddress(addr.fid, addr.offset, 2)
         assert log4.read(bogus) == b"ab"
 
+    def test_read_returns_owned_bytes(self, log4):
+        """Service boundary: callers get bytes, never borrowed views."""
+        addr = log4.write_block(SVC, b"own-me")
+        log4.flush().wait()
+        assert type(log4.read(addr)) is bytes
+
+    def test_failed_read_evicts_stale_location(self, cluster4):
+        log = cluster4.make_log(client_id=1)
+        addresses = [log.write_block(SVC, bytes([i]) * 25000)
+                     for i in range(12)]
+        log.flush().wait()
+        stale = [a for a in addresses if log.known_location(a.fid) == "s1"]
+        assert stale  # rotation places some data on every server
+        cluster4.servers["s1"].crash()
+        evictions_before = log.locations.evictions
+        for i, addr in enumerate(addresses):
+            assert log.read(addr) == bytes([i]) * 25000
+        # Every placement pointing at the dead server was dropped, so
+        # later reads go straight to reconstruction instead of retrying
+        # the stale mapping.
+        assert log.locations.evictions > evictions_before
+        for addr in stale:
+            assert log.known_location(addr.fid) != "s1"
+
 
 class TestFlowControlSurface:
     def test_pending_events_exposed(self, cluster4):

@@ -49,6 +49,25 @@ class TestParityAlgebra:
         parity = parity_of_fast(images)
         assert not any(parity_of_fast(images + [parity]))
 
+    def test_fast_empty(self):
+        assert parity_of_fast([]) == b""
+
+    def test_fast_unequal_lengths_pads_like_reference(self):
+        images = [b"\xff", b"\x0f\xf0", b"\x01\x02\x03"]
+        assert parity_of_fast(images) == parity_of(images)
+        assert parity_of_fast(images) == b"\xf1\xf2\x03"
+
+    def test_fast_equals_reference_at_fragment_scale(self):
+        """One megabyte per member — the real stripe-close shape."""
+        images = [bytes([17 * (i + 1) & 0xFF]) * (1 << 20) for i in range(3)]
+        assert parity_of_fast(images) == parity_of(images)
+
+    def test_fast_accepts_buffer_views(self):
+        """Zero-copy write path hands memoryviews, not owned bytes."""
+        images = [b"\x0f\x0f\x55", b"\xf0\xf0\xaa"]
+        views = [memoryview(img) for img in images]
+        assert parity_of_fast(views) == parity_of(images) == b"\xff\xff\xff"
+
 
 class TestStripeGroup:
     def test_size_and_parity_support(self):

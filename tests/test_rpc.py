@@ -26,7 +26,9 @@ def all_message_examples():
         m.PreallocateRequest(fid=44),
         m.LastMarkedRequest(client_id=5, principal="p"),
         m.LastMarkedRequest(),
-        m.HoldsRequest(fid=123456789),
+        m.HoldsRequest(fids=(123456789,)),
+        m.HoldsRequest(fids=(1, 2, 3, 2**63 - 1), principal="batch"),
+        m.HoldsRequest(fids=()),
         m.CreateAclRequest(readers=("a", "b"), writers=("c",)),
         m.ModifyAclRequest(aid=2, readers=("x",), writers=None),
         m.ModifyAclRequest(aid=3, readers=None, writers=()),
@@ -91,6 +93,15 @@ class TestDispatch:
         response = dispatch(server, m.EvalScriptRequest(script="puts [expr 2*3]"))
         assert response.text == "6"
 
+    def test_batched_holds_through_dispatch(self, server):
+        from repro.util.packing import unpack_fids
+        dispatch(server, m.StoreRequest(fid=5, data=b"a"))
+        dispatch(server, m.StoreRequest(fid=9, data=b"b"))
+        response = dispatch(server, m.HoldsRequest(fids=(4, 5, 6, 9, 10)))
+        held, _end = unpack_fids(response.payload)
+        assert held == (5, 9)
+        assert response.value == 2
+
 
 class TestLocalTransport:
     def _transport(self, verify_codec):
@@ -108,7 +119,7 @@ class TestLocalTransport:
     def test_call_unknown_server(self):
         transport, _ = self._transport(False)
         with pytest.raises(errors.ServerUnavailableError):
-            transport.call("nope", m.HoldsRequest(fid=1))
+            transport.call("nope", m.HoldsRequest(fids=(1,)))
 
     def test_submit_returns_completed_future(self):
         transport, _ = self._transport(False)
@@ -137,3 +148,55 @@ class TestLocalTransport:
     def test_completed_future_ok_semantics(self):
         assert CompletedFuture(value=1).ok
         assert not CompletedFuture(exception=ValueError()).ok
+
+
+class CountingTransport(LocalTransport):
+    """LocalTransport that counts every RPC issued through call()."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.calls = 0
+
+    def call(self, server_id, message):
+        self.calls += 1
+        return super().call(server_id, message)
+
+
+class TestBatchedBroadcastHolds:
+    """Locating F fragments over S servers must cost O(S) RPCs, not O(F*S)."""
+
+    def _cluster(self, n_servers, verify_codec=False):
+        servers = {"s%d" % i: StorageServer(
+            ServerConfig("s%d" % i, fragment_size=1 << 16))
+            for i in range(n_servers)}
+        return CountingTransport(servers, verify_codec=verify_codec), servers
+
+    @pytest.mark.parametrize("verify_codec", [False, True])
+    def test_32_fids_8_servers_at_most_8_rpcs(self, verify_codec):
+        transport, servers = self._cluster(8, verify_codec)
+        fids = list(range(100, 132))
+        for i, fid in enumerate(fids):
+            transport.call("s%d" % (i % 8), m.StoreRequest(fid=fid, data=b"x"))
+        transport.calls = 0
+        found = transport.broadcast_holds(fids)
+        assert found == {fid: "s%d" % (i % 8) for i, fid in enumerate(fids)}
+        assert transport.calls <= 8
+
+    def test_early_exit_when_all_found(self):
+        transport, _servers = self._cluster(8)
+        transport.call("s0", m.StoreRequest(fid=7, data=b"x"))
+        transport.call("s0", m.StoreRequest(fid=8, data=b"y"))
+        transport.calls = 0
+        assert transport.broadcast_holds([7, 8]) == {7: "s0", 8: "s0"}
+        assert transport.calls == 1
+
+    def test_unfound_fids_sweep_every_server_once(self):
+        transport, _servers = self._cluster(5)
+        transport.calls = 0
+        assert transport.broadcast_holds([1, 2, 3]) == {}
+        assert transport.calls == 5
+
+    def test_duplicate_fids_deduplicated(self):
+        transport, _servers = self._cluster(3)
+        transport.call("s2", m.StoreRequest(fid=4, data=b"z"))
+        assert transport.broadcast_holds([4, 4, 4]) == {4: "s2"}
