@@ -46,7 +46,7 @@ from typing import Dict, List
 from repro.cluster import build_local_cluster
 from repro.log.reconstruct import Reconstructor
 from repro.log.stripe import parity_of_fast
-from repro.rpc import messages as m
+from repro.rpc import RetryPolicy, messages as m
 from repro.rpc.codec import decode_message, encode_message
 from repro.rpc.transport import LocalTransport
 from repro.server.config import ServerConfig
@@ -102,7 +102,9 @@ def bench_log_append(total_bytes: int = 32 << 20, block_size: int = 4096,
     cluster = build_local_cluster(num_servers=num_servers,
                                   fragment_size=fragment_size,
                                   server_slots=4096)
-    log = cluster.make_log(client_id=1)
+    # Measured with the retry layer installed, as deployed: its
+    # fault-free overhead must stay in the noise.
+    log = cluster.make_log(client_id=1, retry_policy=RetryPolicy())
     close_times: List[float] = []
     original_close = log._close_stripe
 
@@ -167,7 +169,8 @@ def bench_reconstruction(stripes: int = 8, num_servers: int = 4,
     log.locations.evict_server(victim)
     rebuilder = Reconstructor(cluster.transport,
                               principal=log.config.principal,
-                              locations=log.locations)
+                              locations=log.locations,
+                              retry_policy=RetryPolicy())
     start = time.perf_counter()
     for fid in lost:
         rebuilder.fetch(fid)

@@ -1,0 +1,29 @@
+"""Deterministic, seed-driven chaos engine.
+
+Everything here exists to answer one question reproducibly: *does the
+client survive a hostile cluster without losing data?* A
+:class:`~repro.chaos.plan.FaultPlan` turns one integer seed into a
+complete fault schedule; a :class:`~repro.chaos.transport.FaultyTransport`
+wraps any real transport and applies that schedule per call (dropped
+requests, lost replies, delays, duplicates, torn stores, silent payload
+bit flips); :mod:`repro.chaos.runner` drives a whole workload under a
+plan and diffs the outcome against a fault-free oracle.
+
+Replaying the same seed replays the identical fault schedule, so a
+failure found in CI is reproduced locally with one number.
+"""
+
+from repro.chaos.plan import DEFAULT_SPEC, FaultEvent, FaultPlan, FaultSpec
+from repro.chaos.transport import FaultyTransport
+from repro.chaos.runner import ChaosReport, generate_ops, run_chaos
+
+__all__ = [
+    "ChaosReport",
+    "DEFAULT_SPEC",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyTransport",
+    "generate_ops",
+    "run_chaos",
+]

@@ -1,0 +1,278 @@
+"""Chaos-run harness: one seed, one hostile workload, hard invariants.
+
+:func:`run_chaos` drives a logical-disk workload against a cluster whose
+transport is wrapped in a :class:`~repro.chaos.transport.FaultyTransport`,
+with the client stack configured the way a production deployment would
+be: a retry policy over the transport and checksum-verified reads that
+fall back to parity reconstruction. Mid-run it also damages committed
+fragments durably (a bit flip and a torn image, via the failure
+injector) and crashes/restarts the damaged server.
+
+The run then asserts end-to-end invariants:
+
+1. every read issued *during* the chaos matches a fault-free oracle
+   (the same seeded op sequence applied to an in-memory model);
+2. after the faults stop, ``swarm-fsck`` can bring the log back to
+   fully healthy (no stripe is *lost* — zero data loss);
+3. a fresh client recovering from the log alone reproduces exactly the
+   oracle's final state;
+4. the run is deterministic: the same seed yields the identical fault
+   schedule and the identical recovered-state digest, so every failure
+   is reproducible from one integer.
+
+Violations are reported, not raised, so a test can print the seed with
+the failure — rerunning with that seed replays the exact schedule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.plan import FaultEvent, FaultPlan, FaultSpec
+from repro.chaos.transport import FaultyTransport
+from repro.cluster.cluster import build_local_cluster
+from repro.cluster.failures import FailureInjector
+from repro.log.config import LogConfig
+from repro.log.fragment import HEADER_SIZE
+from repro.log.layer import LogLayer
+from repro.rpc.retry import RetryPolicy
+from repro.services.logical_disk import LogicalDiskService
+from repro.services.stack import ServiceStack
+from repro.tools.fsck import check_client_log, repair_client_log
+
+SERVICE_DISK = 17
+CLIENT_ID = 1
+
+Op = Tuple[str, int, int, int]  # (kind, block_no, payload_seed, size)
+
+
+def generate_ops(seed: int, n_ops: int = 48, max_blocks: int = 24,
+                 max_size: int = 2048) -> List[Op]:
+    """A seeded logical-disk op sequence (writes, overwrites, trims,
+    reads). Same seed, same sequence."""
+    rng = random.Random(seed ^ 0x5EED)
+    ops: List[Op] = []
+    for _ in range(n_ops):
+        roll = rng.random()
+        block_no = rng.randrange(max_blocks)
+        if roll < 0.65:
+            ops.append(("write", block_no, rng.randrange(1 << 30),
+                        rng.randrange(16, max_size)))
+        elif roll < 0.80:
+            ops.append(("trim", block_no, 0, 0))
+        else:
+            ops.append(("read", block_no, 0, 0))
+    return ops
+
+
+def _payload(payload_seed: int, size: int) -> bytes:
+    return random.Random(payload_seed).randbytes(size)
+
+
+def oracle_state(ops: Sequence[Op]) -> Dict[int, bytes]:
+    """Final logical-disk state of a fault-free run: the oracle."""
+    state: Dict[int, bytes] = {}
+    for kind, block_no, payload_seed, size in ops:
+        if kind == "write":
+            state[block_no] = _payload(payload_seed, size)
+        elif kind == "trim":
+            state.pop(block_no, None)
+    return state
+
+
+def _digest(state: Dict[int, bytes]) -> str:
+    acc = hashlib.sha256()
+    for block_no in sorted(state):
+        acc.update(b"%d:%d:" % (block_no, len(state[block_no])))
+        acc.update(state[block_no])
+    return acc.hexdigest()
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run."""
+
+    seed: int
+    problems: List[str] = field(default_factory=list)
+    fault_history: Tuple[FaultEvent, ...] = ()
+    state_digest: str = ""
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held."""
+        return not self.problems
+
+    def summary(self) -> str:
+        """One-line human summary (always names the seed)."""
+        status = "OK" if self.ok else "FAILED (%d problems)" % len(self.problems)
+        return ("chaos seed=%d: %s — %d faults, %d retries, "
+                "%d ambiguous stores resolved, digest %s"
+                % (self.seed, status, len(self.fault_history),
+                   int(self.stats.get("retries", 0)),
+                   int(self.stats.get("ambiguous_resolutions", 0)),
+                   self.state_digest[:12]))
+
+
+def run_chaos(seed: int, ops: Optional[Sequence[Op]] = None,
+              spec: Optional[FaultSpec] = None, num_servers: int = 4,
+              fragment_size: int = 1 << 12,
+              damage_fragments: int = 2) -> ChaosReport:
+    """Execute one seeded chaos run; see the module docstring."""
+    ops = list(ops) if ops is not None else generate_ops(seed)
+    expected = oracle_state(ops)
+    report = ChaosReport(seed=seed)
+
+    cluster = build_local_cluster(num_servers=num_servers, num_clients=1,
+                                  fragment_size=fragment_size)
+    injector = FailureInjector(cluster)
+    plan = FaultPlan(seed, spec)
+    faulty = FaultyTransport(cluster.transport, plan)
+    log = LogLayer(faulty, cluster.stripe_group(),
+                   LogConfig(client_id=CLIENT_ID,
+                             fragment_size=fragment_size),
+                   retry_policy=RetryPolicy(seed=seed), verify_reads=True)
+    stack = ServiceStack(log)
+    disk = stack.push(LogicalDiskService(SERVICE_DISK))
+    victim = plan.durable_victim
+
+    model: Dict[int, bytes] = {}
+    flush_failures = 0
+    reads_checked = 0
+
+    def apply_op(op: Op) -> None:
+        nonlocal reads_checked
+        kind, block_no, payload_seed, size = op
+        if kind == "write":
+            data = _payload(payload_seed, size)
+            disk.write(block_no, data)
+            model[block_no] = data
+        elif kind == "trim":
+            disk.trim(block_no)
+            model.pop(block_no, None)
+        else:
+            reads_checked += 1
+            if disk.exists(block_no) != (block_no in model):
+                report.problems.append(
+                    "block %d existence diverged mid-run" % block_no)
+            elif block_no in model and disk.read(block_no) != model[block_no]:
+                report.problems.append(
+                    "read of block %d diverged mid-run" % block_no)
+
+    # Phase 1: first half of the workload under wire faults.
+    half = len(ops) // 2
+    for op in ops[:half]:
+        apply_op(op)
+    ticket = stack.flush()
+    ticket.wait(allow_degraded=True)
+    flush_failures += len(ticket.failures())
+
+    # Phase 2: durable damage on the durable victim's committed
+    # fragments — one silent payload bit flip, one torn image.
+    victim_server = (cluster.servers[victim] if victim in cluster.servers
+                     else None)
+    damaged: List[int] = []
+    if victim_server is not None:
+        committed = [fid for fid in sorted(victim_server.slots.fids())
+                     if not (victim_server.slots.info_of(fid) or {})
+                     .get("preallocated")]
+        damaged = committed[:damage_fragments]
+        for index, fid in enumerate(damaged):
+            if index % 2 == 0:
+                injector.corrupt_fragment(victim, fid,
+                                          bit_index=8 * HEADER_SIZE + 5)
+            else:
+                injector.tear_fragment(victim, fid, keep_fraction=0.5)
+
+    # Phase 3: rest of the workload — reads of damaged fragments must
+    # come back correct through verification + reconstruction.
+    for op in ops[half:]:
+        apply_op(op)
+    ticket = stack.flush()
+    ticket.wait(allow_degraded=True)
+    flush_failures += len(ticket.failures())
+    ticket = stack.checkpoint(disk)
+    ticket.wait(allow_degraded=True)
+    flush_failures += len(ticket.failures())
+
+    # Phase 4: crash the damaged server outright; every live block must
+    # still read back correctly (degraded reads). Then bring it back.
+    injector.crash_server(victim)
+    for block_no in sorted(model):
+        if disk.read(block_no) != model[block_no]:
+            report.problems.append(
+                "read of block %d diverged with %s down" % (block_no, victim))
+    injector.restart_server(victim)
+
+    # Phase 5: faults off; fsck must be able to restore full health.
+    plan.stop()
+    fsck = check_client_log(cluster.transport, CLIENT_ID)
+    restored = 0
+    if not fsck.healthy:
+        if fsck.by_status("lost"):
+            report.problems.append("data loss before repair: %s"
+                                   % fsck.summary())
+        restored = repair_client_log(cluster.transport, CLIENT_ID,
+                                     target_server=victim)
+        fsck = check_client_log(cluster.transport, CLIENT_ID)
+    if not fsck.healthy:
+        report.problems.append("fsck unhealthy after repair: %s"
+                               % fsck.summary())
+
+    # Phase 6: a fresh client (simulated client crash — all in-memory
+    # state lost) recovers from the log alone and must reproduce the
+    # oracle exactly.
+    fresh_log = LogLayer(cluster.transport, cluster.stripe_group(),
+                         LogConfig(client_id=CLIENT_ID,
+                                   fragment_size=fragment_size))
+    fresh_stack = ServiceStack(fresh_log)
+    fresh_disk = fresh_stack.push(LogicalDiskService(SERVICE_DISK))
+    fresh_stack.recover_all()
+
+    recovered: Dict[int, bytes] = {}
+    for block_no in fresh_disk.block_numbers():
+        recovered[block_no] = fresh_disk.read(block_no)
+    if set(recovered) != set(expected):
+        report.problems.append(
+            "recovered block set %r != oracle %r"
+            % (sorted(recovered), sorted(expected)))
+    else:
+        for block_no in sorted(expected):
+            if recovered[block_no] != expected[block_no]:
+                report.problems.append(
+                    "recovered block %d differs from oracle" % block_no)
+
+    retrying = log.transport  # the RetryingTransport the layer installed
+    report.fault_history = tuple(plan.history)
+    report.state_digest = _digest(recovered)
+    report.stats = {
+        "ops": len(ops),
+        "reads_checked": reads_checked,
+        "faults_applied": faulty.faults_applied,
+        "retries": retrying.retries,
+        "backoff_charged_s": retrying.backoff_charged_s,
+        "exhausted": retrying.exhausted,
+        "ambiguous_resolutions": retrying.ambiguous_resolutions,
+        "flush_failures": flush_failures,
+        "damaged_fragments": len(damaged),
+        "fsck_restored": restored,
+    }
+    return report
+
+
+def replay_check(seed: int, **kwargs) -> Tuple[ChaosReport, ChaosReport, bool]:
+    """Run a seed twice; True when the runs are bit-identical.
+
+    Identical means the same fault schedule (event by event) and the
+    same recovered-state digest — the property that makes any chaos
+    failure reproducible from its seed.
+    """
+    first = run_chaos(seed, **kwargs)
+    second = run_chaos(seed, **kwargs)
+    identical = (first.fault_history == second.fault_history
+                 and first.state_digest == second.state_digest
+                 and first.problems == second.problems)
+    return first, second, identical

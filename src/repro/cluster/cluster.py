@@ -68,16 +68,28 @@ class LocalCluster:
         return StripeGroup(tuple(server_ids or self.servers))
 
     def make_log(self, client_id: int,
-                 group: Optional[StripeGroup] = None) -> LogLayer:
-        """A log layer for one client over this cluster."""
+                 group: Optional[StripeGroup] = None,
+                 retry_policy=None, verify_reads: bool = False) -> LogLayer:
+        """A log layer for one client over this cluster.
+
+        ``retry_policy`` interposes a
+        :class:`~repro.rpc.retry.RetryingTransport`; ``verify_reads``
+        checks every fetched fragment's payload CRC and falls back to
+        parity reconstruction on a mismatch.
+        """
         return LogLayer(self.transport, group or self.stripe_group(),
                         LogConfig(client_id=client_id,
-                                  fragment_size=self.config.fragment_size))
+                                  fragment_size=self.config.fragment_size),
+                        retry_policy=retry_policy, verify_reads=verify_reads)
 
     def make_stack(self, client_id: int,
-                   group: Optional[StripeGroup] = None) -> ServiceStack:
+                   group: Optional[StripeGroup] = None,
+                   retry_policy=None,
+                   verify_reads: bool = False) -> ServiceStack:
         """An empty service stack for one client."""
-        return ServiceStack(self.make_log(client_id, group))
+        return ServiceStack(self.make_log(client_id, group,
+                                          retry_policy=retry_policy,
+                                          verify_reads=verify_reads))
 
 
 def build_local_cluster(num_servers: int = 4, num_clients: int = 1,
@@ -138,7 +150,8 @@ class SimCluster:
     def make_log(self, client_index: int,
                  group: Optional[StripeGroup] = None,
                  cost_hook: Optional[Callable[[str, int], None]] = None,
-                 deferred_mode: bool = False) -> LogLayer:
+                 deferred_mode: bool = False,
+                 retry_policy=None, verify_reads: bool = False) -> LogLayer:
         """A log layer for one simulated client."""
         transport = self.make_transport(client_index, deferred_mode)
         return LogLayer(
@@ -146,7 +159,8 @@ class SimCluster:
             LogConfig(client_id=client_index + 1,
                       fragment_size=self.config.fragment_size,
                       max_outstanding_fragments=self.config.max_outstanding_fragments),
-            cost_hook=cost_hook)
+            cost_hook=cost_hook,
+            retry_policy=retry_policy, verify_reads=verify_reads)
 
     # ------------------------------------------------------------------
     # Failure injection

@@ -77,6 +77,13 @@ class ReconstructionError(LogError):
     """A missing fragment could not be reconstructed from its stripe."""
 
 
+class UnrecoverableError(ReconstructionError):
+    """Two or more members of one stripe are missing or corrupt: the
+    stripe's single parity cannot recover the data. Raised instead of
+    returning garbage so callers can distinguish genuine data loss from
+    a transient locate failure."""
+
+
 class CheckpointError(LogError):
     """Checkpoint data is missing or unusable during recovery."""
 

@@ -84,6 +84,11 @@ class FragmentHeader:
     first_lsn: int
     last_lsn: int
     servers: Tuple[str, ...]
+    payload_crc: int = 0
+    """CRC-32 of the payload bytes (0 on images written before the field
+    existed). The header checksum covers this field, so an end-to-end
+    read can detect silent payload corruption — a flipped bit anywhere
+    in the image fails either the header CRC or this one."""
 
     def server_of_index(self, index: int) -> str:
         """Name of the server holding stripe member ``index``."""
@@ -101,7 +106,7 @@ class FragmentHeader:
             MAGIC, VERSION, flags, self.fid, self.client_id,
             self.stripe_base_fid, self.stripe_width, self.stripe_index,
             self.parity_index, self.payload_len, self.item_count,
-            self.first_lsn, self.last_lsn, 0)
+            self.first_lsn, self.last_lsn, self.payload_crc)
         names = bytearray(MAX_STRIPE_WIDTH * _SERVER_NAME_LEN)
         for i, name in enumerate(self.servers):
             raw = name.encode("utf-8")
@@ -127,7 +132,7 @@ class FragmentHeader:
             raise CorruptFragmentError("fragment header checksum mismatch")
         (magic, version, flags, fid, client_id, base, width, index,
          parity_index, payload_len, item_count, first_lsn, last_lsn,
-         _reserved) = _FIXED.unpack_from(view, 0)
+         payload_crc) = _FIXED.unpack_from(view, 0)
         if magic != MAGIC:
             raise CorruptFragmentError("bad fragment magic %r" % magic)
         if version != VERSION:
@@ -145,7 +150,7 @@ class FragmentHeader:
             stripe_base_fid=base, stripe_width=width, stripe_index=index,
             parity_index=parity_index, payload_len=payload_len,
             item_count=item_count, first_lsn=first_lsn, last_lsn=last_lsn,
-            servers=tuple(servers))
+            servers=tuple(servers), payload_crc=payload_crc)
 
 
 @dataclass(frozen=True)
@@ -200,12 +205,15 @@ class Fragment:
         return self._image
 
     @classmethod
-    def decode(cls, image, verify_payload: bool = False) -> "Fragment":
+    def decode(cls, image, verify_payload: bool = False,
+               verify_crc: bool = False) -> "Fragment":
         """Parse a fragment image (any bytes-like object).
 
-        ``verify_payload`` walks the items to validate structure; headers
-        are always checksum-verified. The payload is served as a
-        ``memoryview`` of ``image`` — no copy is taken.
+        ``verify_payload`` walks the items to validate structure;
+        ``verify_crc`` checks the payload CRC recorded in the header
+        (``verify_payload`` implies it). Headers are always
+        checksum-verified. The payload is served as a ``memoryview`` of
+        ``image`` — no copy is taken.
         """
         header = FragmentHeader.decode(image)
         if len(image) < HEADER_SIZE + header.payload_len:
@@ -213,6 +221,10 @@ class Fragment:
         view = image if isinstance(image, memoryview) else memoryview(image)
         end = HEADER_SIZE + header.payload_len
         payload = view[HEADER_SIZE:end]
+        if (verify_crc or verify_payload) and header.payload_crc:
+            if crc32_of(payload) != header.payload_crc:
+                raise CorruptFragmentError(
+                    "fragment %d payload checksum mismatch" % header.fid)
         fragment = cls(header, payload, image=image if len(image) == end
                        else view[:end])
         if verify_payload and not header.is_parity:
@@ -384,13 +396,16 @@ class FragmentBuilder:
         """
         if len(servers) != stripe_width:
             raise ValueError("stripe descriptor width mismatch")
+        with memoryview(self._buf) as view:
+            payload_crc = crc32_of(view[HEADER_SIZE:self._end])
         header = FragmentHeader(
             fid=self.fid, client_id=self.client_id, is_parity=False,
             marked=self.marked, stripe_base_fid=stripe_base_fid,
             stripe_width=stripe_width, stripe_index=stripe_index,
             parity_index=parity_index, payload_len=self.payload_used,
             item_count=self._item_count, first_lsn=self._first_lsn,
-            last_lsn=self._last_lsn, servers=tuple(servers))
+            last_lsn=self._last_lsn, servers=tuple(servers),
+            payload_crc=payload_crc)
         with memoryview(self._buf) as view:
             view[:HEADER_SIZE] = header.encode()
             image = bytes(view[:self._end])
@@ -416,5 +431,5 @@ def make_parity_fragment(fid: int, client_id: int, data_images: List[bytes],
         stripe_base_fid=stripe_base_fid, stripe_width=stripe_width,
         stripe_index=stripe_index, parity_index=stripe_index,
         payload_len=len(payload), item_count=0, first_lsn=0, last_lsn=0,
-        servers=tuple(servers))
+        servers=tuple(servers), payload_crc=crc32_of(payload))
     return Fragment(header, payload, image=header.encode() + payload)

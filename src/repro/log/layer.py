@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import BlockNotFoundError, LogError
+from repro.errors import BlockNotFoundError, CorruptFragmentError, LogError
 from repro.log.address import BlockAddress, fid_seq, make_fid
 from repro.log.config import LogConfig
 from repro.log.fragment import (
@@ -95,8 +95,14 @@ class LogLayer:
 
     def __init__(self, transport, group: StripeGroup, config: LogConfig,
                  cost_hook: Optional[CostHook] = None,
-                 locations: Optional[LocationCache] = None) -> None:
+                 locations: Optional[LocationCache] = None,
+                 retry_policy=None, verify_reads: bool = False) -> None:
+        if retry_policy is not None:
+            from repro.rpc.retry import RetryingTransport
+
+            transport = RetryingTransport(transport, retry_policy)
         self.transport = transport
+        self.verify_reads = verify_reads
         self.group = group
         self.config = config
         self.layout = StripeLayout(group)
@@ -405,12 +411,20 @@ class LogLayer:
         Not-yet-flushed fragments are served straight from the client's
         write buffer, so services can read back data they just wrote
         without forcing a flush.
+
+        With ``verify_reads`` the partial-retrieve fast path is skipped:
+        the payload checksum covers the whole payload, so verification
+        needs the whole image, which :meth:`read_fragment` fetches,
+        checks, and falls back to parity for when it is corrupt.
         """
         from repro.log.reconstruct import Reconstructor
 
         for builder in self._building:
             if builder.fid == fid:
                 return builder.peek_range(offset, length)
+        if self.verify_reads:
+            image = self.read_fragment(fid)
+            return image[offset:offset + length]
         server_id = self.locations.locate(fid)
         if server_id is not None:
             try:
@@ -431,7 +445,13 @@ class LogLayer:
         return image[offset:offset + length]
 
     def read_fragment(self, fid: int) -> bytes:
-        """Read a whole fragment image (cleaner / recovery paths)."""
+        """Read a whole fragment image (cleaner / recovery paths).
+
+        With ``verify_reads`` the fetched image must match its payload
+        checksum; a mismatch evicts the placement and rebuilds the true
+        image from the stripe's parity, exactly as if the holding server
+        had been down.
+        """
         from repro.log.reconstruct import Reconstructor
 
         server_id = self.locations.locate(fid)
@@ -440,11 +460,17 @@ class LogLayer:
                 response = self.transport.call(
                     server_id, m.RetrieveRequest(
                         fid=fid, principal=self.config.principal))
-                return response.payload
+                image = response.payload
+                if self.verify_reads:
+                    Fragment.decode(image, verify_crc=True)
+                return image
+            except CorruptFragmentError:
+                self.locations.evict(fid)
             except Exception:
                 self.locations.evict(fid)
         return Reconstructor(self.transport, self.config.principal,
-                             locations=self.locations).fetch(fid)
+                             locations=self.locations,
+                             verify=self.verify_reads).fetch(fid)
 
     # ------------------------------------------------------------------
     # Deletion of whole stripes (cleaner back-end)

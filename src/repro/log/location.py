@@ -104,6 +104,12 @@ class LocationCache:
         a single :meth:`~repro.rpc.transport.Transport.broadcast_holds`
         (itself one RPC per server). Unlocatable fids are absent from
         the result.
+
+        A server that fails to answer the broadcast also has its cached
+        placements evicted: if it cannot say what it holds, everything
+        previously believed to be on it is suspect, and later reads
+        should re-locate (or reconstruct) rather than keep retrying a
+        sick server.
         """
         found: Dict[int, str] = {}
         missing = []
@@ -117,7 +123,8 @@ class LocationCache:
         if missing:
             self.misses += len(missing)
             self.broadcasts += 1
-            located = self.transport.broadcast_holds(missing)
+            located = self.transport.broadcast_holds(
+                missing, on_unreachable=self.evict_server)
             self._map.update(located)
             found.update(located)
         return found

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional
 
-from repro.errors import ReconstructionError, SwarmError
+from repro.errors import CorruptFragmentError, ReconstructionError, SwarmError
 from repro.log.fragment import Fragment
 from repro.log.location import LocationCache
 from repro.log.records import Record
@@ -54,20 +54,31 @@ class LogReader:
     """Reads one client's log in FID order."""
 
     def __init__(self, transport, principal: str = "",
-                 locations: Optional[LocationCache] = None) -> None:
+                 locations: Optional[LocationCache] = None,
+                 retry_policy=None, verify: bool = False) -> None:
+        if retry_policy is not None:
+            from repro.rpc.retry import RetryingTransport
+
+            transport = RetryingTransport(transport, retry_policy)
         self.transport = transport
         self.principal = principal
+        self.verify = verify
         self.locator = FragmentLocator(transport, principal, locations)
         # Reconstruction shares the same placement cache, so stripe
-        # descriptors learned either way serve both paths.
+        # descriptors learned either way serve both paths. The policy is
+        # not passed down: self.transport already retries, and wrapping
+        # twice would square the attempt count.
         self.reconstructor = Reconstructor(
-            transport, principal, locations=self.locator.locations)
+            transport, principal, locations=self.locator.locations,
+            verify=verify)
 
     def read_fragment(self, fid: int) -> Optional[Fragment]:
         """Fetch and parse fragment ``fid``; None if it does not exist.
 
         Tries the cached/learned placement first, then a broadcast, then
-        reconstruction from the stripe.
+        reconstruction from the stripe. In verified mode a direct fetch
+        that fails its payload checksum also falls through to
+        reconstruction — rollforward must never replay corrupt records.
         """
         server_id = self.locator.locate(fid)
         image: Optional[bytes] = None
@@ -76,6 +87,11 @@ class LogReader:
                 response = self.transport.call(server_id, m.RetrieveRequest(
                     fid=fid, principal=self.principal))
                 image = response.payload
+                if self.verify:
+                    Fragment.decode(image, verify_crc=True)
+            except CorruptFragmentError:
+                self.locator.forget(fid)
+                image = None
             except SwarmError:
                 self.locator.forget(fid)
         if image is None:

@@ -16,13 +16,25 @@ protocol is exactly the paper's:
    images, so a missing data fragment comes back as a complete,
    parseable image (with harmless zero padding), and a missing parity
    fragment is simply recomputed.
+
+Fault tolerance extensions beyond the paper: pass a
+:class:`~repro.rpc.retry.RetryPolicy` and flaky (rather than dead)
+servers are retried with backoff before the parity path engages; pass
+``verify=True`` and every directly-fetched image is checksum-verified,
+so *silent corruption* (a bit flip on the wire or on the platter) is
+treated exactly like an unavailable fragment and rebuilt from parity.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.errors import ReconstructionError, SwarmError
+from repro.errors import (
+    CorruptFragmentError,
+    ReconstructionError,
+    SwarmError,
+    UnrecoverableError,
+)
 from repro.log.fragment import Fragment, FragmentHeader, make_parity_fragment
 from repro.log.location import LocationCache
 from repro.log.stripe import recover_data_image
@@ -40,13 +52,20 @@ class Reconstructor:
 
     def __init__(self, transport, principal: str = "",
                  cache: Optional[Dict[int, bytes]] = None,
-                 locations: Optional[LocationCache] = None) -> None:
+                 locations: Optional[LocationCache] = None,
+                 retry_policy=None, verify: bool = False) -> None:
+        if retry_policy is not None:
+            from repro.rpc.retry import RetryingTransport
+
+            transport = RetryingTransport(transport, retry_policy)
         self.transport = transport
         self.principal = principal
+        self.verify = verify
         self.cache = cache if cache is not None else {}
         self.locations = locations if locations is not None else \
             LocationCache(transport, principal)
         self.reconstructions = 0
+        self.corruptions_detected = 0
 
     # ------------------------------------------------------------------
 
@@ -73,8 +92,20 @@ class Reconstructor:
         except SwarmError:
             self.locations.evict(fid)
             return None
+        image = response.payload
+        if self.verify:
+            try:
+                Fragment.decode(image, verify_crc=True)
+            except CorruptFragmentError:
+                # The bytes came back but they are not the fragment: a
+                # torn store or silent bit rot. Treat exactly like an
+                # unavailable fragment — evict the placement and let
+                # the parity path rebuild the true image.
+                self.corruptions_detected += 1
+                self.locations.evict(fid)
+                return None
         self.locations.record(fid, server_id)
-        return response.payload
+        return image
 
     # ------------------------------------------------------------------
 
@@ -98,8 +129,9 @@ class Reconstructor:
             if image is None:
                 image = self._try_direct(sibling)
             if image is None:
-                raise ReconstructionError(
-                    "two members of stripe %d..%d unavailable (%d and %d)"
+                raise UnrecoverableError(
+                    "two members of stripe %d..%d unavailable or corrupt "
+                    "(%d and %d): single parity cannot recover both"
                     % (base, base + width - 1, fid, sibling))
             survivors[index] = image
         self.reconstructions += 1
@@ -136,8 +168,15 @@ class Reconstructor:
         data_images = [image for index, image in sorted(survivors.items())
                        if index != header.parity_index]
         image = recover_data_image(parity_payload, data_images)
-        # Validate: the recovered bytes must parse as a fragment.
-        Fragment.decode(image)
+        # Validate: the recovered bytes must parse as a fragment (and
+        # match their recorded payload CRC — an undetected-corrupt
+        # survivor would poison the XOR).
+        try:
+            Fragment.decode(image, verify_crc=True)
+        except CorruptFragmentError as exc:
+            raise ReconstructionError(
+                "reconstructed fragment failed validation (%s); a stripe "
+                "member is silently corrupt" % exc) from exc
         return image
 
     def _rebuild_parity(self, fid: int, header: FragmentHeader,

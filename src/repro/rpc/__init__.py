@@ -26,6 +26,7 @@ from repro.rpc.messages import (
     StoreRequest,
 )
 from repro.rpc.codec import decode_message, encode_message, wire_size
+from repro.rpc.retry import RetryPolicy, RetryingTransport
 from repro.rpc.transport import (
     LocalTransport,
     SimTransport,
@@ -48,6 +49,8 @@ __all__ = [
     "encode_message",
     "wire_size",
     "LocalTransport",
+    "RetryPolicy",
+    "RetryingTransport",
     "SimTransport",
     "Transport",
 ]

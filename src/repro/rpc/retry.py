@@ -1,0 +1,201 @@
+"""Bounded retries with exponential backoff for transport calls.
+
+The paper's availability story assumes a server failure is *detected*
+and routed around; real deployments also see servers that are merely
+flaky — a dropped request, a lost reply, a transient refusal. This
+module adds the standard remedy: a :class:`RetryPolicy` (bounded
+attempts, exponential backoff with seeded jitter, a per-call deadline)
+applied by a :class:`RetryingTransport` wrapper that any client-side
+component (log layer, reader, reconstructor) can interpose over its
+real transport.
+
+Time handling: the functional transports are timeless, so backoff is
+*virtual* — it is charged to the wrapped transport's deferred-time
+ledger when one exists (:class:`~repro.rpc.transport.SimTransport`),
+and merely accounted otherwise. No wall-clock sleeping ever happens,
+which keeps tests fast and the simulated figures honest.
+
+At-least-once hazards: a store whose *response* was lost has already
+executed, so its retry fails with ``FragmentExistsError``. The wrapper
+resolves the ambiguity with a read-repair: fetch the committed bytes,
+accept them if they match the intent, otherwise delete the damaged
+(torn) fragment and store it again. Deletes are idempotent the same
+way — ``FragmentNotFoundError`` on a retried delete means the first
+attempt won.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro import errors
+from repro.rpc import messages as m
+from repro.rpc.transport import CompletedFuture, Transport
+
+TRANSIENT_ERRORS = (errors.ServerUnavailableError,)
+"""Errors worth retrying: the server may answer the next attempt.
+Everything else (not found, exists, ACL denials, bad requests) is a
+definitive answer and is surfaced immediately."""
+
+
+def charge_delay(transport, seconds: float) -> bool:
+    """Charge ``seconds`` of simulated time to ``transport``.
+
+    Walks wrapper chains (``.inner``) looking for a deferred-time
+    ledger; returns False when the stack is purely functional (timeless)
+    and the delay is accounting-only.
+    """
+    node = transport
+    while node is not None:
+        ledger = getattr(node, "deferred_time", None)
+        if ledger is not None:
+            node.deferred_time = ledger + seconds
+            return True
+        node = getattr(node, "inner", None)
+    return False
+
+
+class RetryPolicy:
+    """How hard to try before declaring a server unreachable.
+
+    Backoff for attempt ``n`` (1-based) is
+    ``min(max_backoff_s, base_backoff_s * multiplier**(n-1))`` scaled by
+    a seeded jitter factor in ``[1-jitter, 1+jitter]`` — seeded so a
+    replayed chaos run makes identical backoff decisions. The running
+    sum of backoffs is compared against ``deadline_s``: a call whose
+    virtual elapsed time would exceed the deadline stops retrying.
+    """
+
+    def __init__(self, max_attempts: int = 5, base_backoff_s: float = 0.002,
+                 multiplier: float = 2.0, max_backoff_s: float = 0.25,
+                 deadline_s: float = float("inf"), jitter: float = 0.5,
+                 seed: int = 0) -> None:
+        if max_attempts < 1:
+            raise errors.ConfigError("max_attempts must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise errors.ConfigError("jitter must be in [0, 1)")
+        self.max_attempts = max_attempts
+        self.base_backoff_s = base_backoff_s
+        self.multiplier = multiplier
+        self.max_backoff_s = max_backoff_s
+        self.deadline_s = deadline_s
+        self.jitter = jitter
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff after failed attempt ``attempt`` (1-based), jittered."""
+        base = min(self.max_backoff_s,
+                   self.base_backoff_s * self.multiplier ** (attempt - 1))
+        if self.jitter:
+            base *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return base
+
+
+class RetryingTransport(Transport):
+    """Applies a :class:`RetryPolicy` to every synchronous call.
+
+    Wraps any transport; only transient errors are retried, with the
+    at-least-once resolutions described in the module docstring.
+    ``submit`` is intercepted (call + retry, wrapped in a completed
+    future) whenever the inner transport resolves submissions
+    synchronously; the simulator's true-async path passes through
+    unretried — its drivers model failure at a different layer.
+    """
+
+    def __init__(self, inner, policy: RetryPolicy) -> None:
+        self.inner = inner
+        self.policy = policy
+        # Statistics (read by the chaos runner and tests).
+        self.retries = 0
+        self.backoff_charged_s = 0.0
+        self.exhausted = 0
+        self.ambiguous_resolutions = 0
+
+    def server_ids(self) -> List[str]:
+        return self.inner.server_ids()
+
+    @property
+    def submit_is_synchronous(self) -> bool:
+        return self.inner.submit_is_synchronous
+
+    # ------------------------------------------------------------------
+
+    def call(self, server_id: str, request, _resolving: bool = False):
+        policy = self.policy
+        attempt = 1
+        elapsed = 0.0
+        while True:
+            try:
+                return self.inner.call(server_id, request)
+            except TRANSIENT_ERRORS as exc:
+                failure: errors.SwarmError = exc
+            except errors.FragmentExistsError:
+                if attempt > 1 and not _resolving:
+                    resolved = self._resolve_already_exists(server_id, request)
+                    if resolved is not None:
+                        self.ambiguous_resolutions += 1
+                        return resolved
+                raise
+            except errors.FragmentNotFoundError:
+                if attempt > 1 and isinstance(request, m.DeleteRequest):
+                    # The earlier attempt deleted it; only the reply
+                    # was lost. Deletion is idempotent.
+                    self.ambiguous_resolutions += 1
+                    return m.Response()
+                raise
+            if attempt >= policy.max_attempts:
+                self.exhausted += 1
+                raise failure
+            backoff = policy.backoff_for(attempt)
+            if elapsed + backoff > policy.deadline_s:
+                self.exhausted += 1
+                raise failure
+            elapsed += backoff
+            self.retries += 1
+            self.backoff_charged_s += backoff
+            charge_delay(self.inner, backoff)
+            attempt += 1
+
+    def submit(self, server_id: str, request):
+        if not self.submit_is_synchronous:
+            return self.inner.submit(server_id, request)
+        try:
+            return CompletedFuture(value=self.call(server_id, request))
+        except errors.SwarmError as exc:
+            return CompletedFuture(exception=exc)
+
+    # ------------------------------------------------------------------
+
+    def _resolve_already_exists(self, server_id: str,
+                                request) -> Optional[m.Response]:
+        """Disambiguate ``FragmentExistsError`` on a retried write.
+
+        For a preallocate, existing *is* success. For a store, compare
+        the committed bytes against the intent: equal means the earlier
+        attempt committed and only its reply was lost; different means
+        the fragment is torn (a partial store was made durable), so
+        delete and write it whole again. Returns None when the
+        resolution itself fails — the caller then reports the original
+        error and the stripe stays degraded-but-recoverable.
+        """
+        if isinstance(request, m.PreallocateRequest):
+            return m.Response()
+        if not isinstance(request, m.StoreRequest):
+            return None
+        try:
+            probe = self.call(server_id, m.RetrieveRequest(
+                fid=request.fid, principal=request.principal),
+                _resolving=True)
+        except errors.SwarmError:
+            return None
+        if bytes(probe.payload) == bytes(request.data):
+            return m.Response()
+        try:
+            self.call(server_id, m.DeleteRequest(
+                fid=request.fid, principal=request.principal),
+                _resolving=True)
+            return self.call(server_id, request, _resolving=True)
+        except errors.SwarmError:
+            return None

@@ -12,7 +12,7 @@ directly while synchronous callers just read the result.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro import errors
 from repro.rpc import messages as m
@@ -124,7 +124,20 @@ class Transport(ABC):
     def server_ids(self) -> List[str]:
         """Names of all reachable servers."""
 
-    def broadcast_holds(self, fids: Iterable[int]) -> Dict[int, str]:
+    @property
+    def submit_is_synchronous(self) -> bool:
+        """Whether :meth:`submit` returns already-resolved futures.
+
+        True for every transport except the simulated one in
+        process (non-deferred) mode. Wrapper transports (retry, fault
+        injection) use this to decide whether they can intercept the
+        synchronous path.
+        """
+        return True
+
+    def broadcast_holds(self, fids: Iterable[int],
+                        on_unreachable: Optional[Callable[[str], None]] = None,
+                        ) -> Dict[int, str]:
         """Ask every server which of ``fids`` it stores.
 
         Returns ``{fid: server_id}`` for each fragment found. This is
@@ -134,6 +147,12 @@ class Transport(ABC):
         Batched: every server is asked about all still-missing fids in
         a single RPC, so the whole broadcast costs at most one round
         trip per server regardless of how many fragments it locates.
+
+        A server that cannot answer (crashed, partitioned, erroring)
+        never wedges the broadcast: it is skipped, fragments held by
+        live servers are still located, and ``on_unreachable`` — when
+        given — is told its id so callers can invalidate placements
+        that point at it.
         """
         found: Dict[int, str] = {}
         # De-duplicate while preserving the caller's order.
@@ -144,7 +163,9 @@ class Transport(ABC):
             try:
                 response = self.call(
                     server_id, m.HoldsRequest(fids=tuple(pending)))
-            except errors.ServerUnavailableError:
+            except errors.ServerError:
+                if on_unreachable is not None:
+                    on_unreachable(server_id)
                 continue
             held, _end = unpack_fids(response.payload)
             for fid in held:
@@ -227,6 +248,10 @@ class SimTransport(Transport):
 
     def server_ids(self) -> List[str]:
         return list(self.server_nodes)
+
+    @property
+    def submit_is_synchronous(self) -> bool:
+        return self.deferred_mode
 
     # -- synchronous path ---------------------------------------------------
 

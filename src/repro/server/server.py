@@ -278,6 +278,15 @@ class StorageServer:
     def _persist_acls(self) -> None:
         self.backend.save_metadata("acls", self.acls.dump())
 
+    def invalidate_cache(self, fid: int) -> None:
+        """Drop ``fid`` from the volatile fragment cache.
+
+        Failure injection that mutates durable slot bytes behind the
+        server's back (corruption, torn stores) must call this, or
+        retrieves keep serving the stale cached image.
+        """
+        self._cache.pop(fid, None)
+
     def _cache_insert(self, fid: int, data: bytes) -> None:
         if self.config.cache_fragments <= 0:
             return

@@ -170,3 +170,62 @@ class TestSimClientDriver:
         utils = cluster.disk_utilizations()
         assert set(utils) == {"s0", "s1"}
         assert all(0 <= value <= 1 for value in utils.values())
+
+
+class TestInjectorStateTracking:
+    """The injector's crashed-server ledger must track ground truth
+    (the servers' own availability), however a server went down."""
+
+    def test_is_crashed_follows_injector_actions(self, cluster4):
+        injector = FailureInjector(cluster4)
+        assert not injector.is_crashed("s1")
+        injector.crash_server("s1")
+        assert injector.is_crashed("s1")
+        assert injector.crashed == ["s1"]
+        injector.restart_server("s1")
+        assert not injector.is_crashed("s1")
+        assert injector.crashed == []
+
+    def test_is_crashed_syncs_with_direct_crash(self, cluster4):
+        """A test (or a scheduled sim crash) may call server.crash()
+        behind the injector's back; the ledger must not report the
+        server as alive."""
+        injector = FailureInjector(cluster4)
+        cluster4.servers["s2"].crash()
+        assert injector.is_crashed("s2")
+        assert "s2" in injector.crashed
+        cluster4.servers["s2"].restart()
+        assert not injector.is_crashed("s2")
+        assert "s2" not in injector.crashed
+
+    def test_double_crash_not_double_tracked(self, cluster4):
+        injector = FailureInjector(cluster4)
+        injector.crash_server("s0")
+        cluster4.servers["s0"].crash()
+        injector.crash_server("s0")
+        injector.is_crashed("s0")
+        assert injector.crashed == ["s0"]
+
+    def test_wipe_tracks_as_crashed(self, cluster4):
+        injector = FailureInjector(cluster4)
+        injector.wipe_server("s3")
+        assert injector.is_crashed("s3")
+        assert injector.alive_servers() == ["s0", "s1", "s2"]
+        injector.restart_server("s3")
+        assert not injector.is_crashed("s3")
+        assert len(injector.alive_servers()) == 4
+
+    def test_timed_crash_lands_in_ledger(self):
+        cluster = SimCluster(ClusterConfig(num_servers=2, num_clients=1))
+        injector = FailureInjector(cluster)
+        injector.crash_server_at("s1", 0.5)
+        assert not injector.is_crashed("s1")  # not down yet
+        cluster.sim.run(until=1.0)
+        assert injector.is_crashed("s1")
+        assert injector.alive_servers() == ["s0"]
+
+    def test_alive_servers_is_sorted_ground_truth(self, cluster4):
+        injector = FailureInjector(cluster4)
+        # Down a server without telling the injector at all.
+        cluster4.servers["s1"].crash()
+        assert injector.alive_servers() == ["s0", "s2", "s3"]

@@ -113,3 +113,85 @@ class TestReconstruction:
                 continue
             assert server.retrieve_ops >= before[sid]
             assert server.store_ops <= 20  # unchanged by reads
+
+
+class TestCorruptionPaths:
+    """Silent corruption: checksum mismatch must trigger a parity
+    rebuild, and two damaged members must fail loudly, not quietly."""
+
+    def _corrupt_payload(self, cluster, server_id, fid):
+        from repro.cluster.failures import FailureInjector
+        from repro.log.fragment import HEADER_SIZE
+
+        FailureInjector(cluster).corrupt_fragment(
+            server_id, fid, bit_index=8 * HEADER_SIZE + 3)
+
+    def test_crc_mismatch_triggers_rebuild(self, cluster4):
+        log, payloads, addresses = written_cluster(cluster4)
+        victim = None
+        for sid in sorted(cluster4.servers):
+            fids = sorted(cluster4.servers[sid].list_fids())
+            if fids:
+                victim, fid = sid, fids[0]
+                break
+        pristine = bytes(cluster4.servers[victim].retrieve(fid))
+        self._corrupt_payload(cluster4, victim, fid)
+        rec = Reconstructor(cluster4.transport, "client-1", verify=True)
+        image = rec.fetch(fid)
+        assert image == pristine
+        assert rec.corruptions_detected == 1
+        assert rec.reconstructions == 1
+
+    def test_unverified_fetch_misses_corruption(self, cluster4):
+        """Without verify=True the direct path trusts the server — the
+        flag, not the Reconstructor, buys the end-to-end check."""
+        log, _payloads, _addresses = written_cluster(cluster4)
+        for sid in sorted(cluster4.servers):
+            fids = sorted(cluster4.servers[sid].list_fids())
+            if fids:
+                victim, fid = sid, fids[0]
+                break
+        pristine = bytes(cluster4.servers[victim].retrieve(fid))
+        self._corrupt_payload(cluster4, victim, fid)
+        rec = Reconstructor(cluster4.transport, "client-1")
+        assert rec.fetch(fid) != pristine
+
+    def _stripe_of(self, cluster, log, fid):
+        """(member_fid, server_id) per stripe member, in index order."""
+        holder = log.known_location(fid)
+        header = Fragment.decode(
+            bytes(cluster.servers[holder].retrieve(fid))).header
+        return [(header.stripe_base_fid + i, header.servers[i])
+                for i in range(header.stripe_width)]
+
+    def test_corrupt_plus_crash_is_unrecoverable(self, cluster4):
+        """One corrupt member + one crashed member of the same stripe:
+        single parity cannot recover both, and the error must say so.
+
+        Member 0 is corrupted and member 2's server crashed; member 1
+        stays healthy so the stripe descriptor itself is discoverable —
+        the failure is about recovery, not location.
+        """
+        log, _payloads, addresses = written_cluster(cluster4)
+        members = self._stripe_of(cluster4, log, addresses[0].fid)
+        target_fid, target_server = members[0]
+        self._corrupt_payload(cluster4, target_server, target_fid)
+        cluster4.servers[members[2][1]].crash()
+        rec = Reconstructor(cluster4.transport, "client-1", verify=True)
+        with pytest.raises(errors.UnrecoverableError) as excinfo:
+            rec.fetch(target_fid)
+        assert "single parity cannot recover both" in str(excinfo.value)
+
+    def test_double_corruption_is_unrecoverable(self, cluster4):
+        log, _payloads, addresses = written_cluster(cluster4)
+        members = self._stripe_of(cluster4, log, addresses[0].fid)
+        for member_fid, member_server in (members[0], members[2]):
+            self._corrupt_payload(cluster4, member_server, member_fid)
+        rec = Reconstructor(cluster4.transport, "client-1", verify=True)
+        with pytest.raises(errors.UnrecoverableError):
+            rec.fetch(members[0][0])
+
+    def test_unrecoverable_is_a_reconstruction_error(self):
+        # Existing callers catching ReconstructionError keep working.
+        assert issubclass(errors.UnrecoverableError,
+                          errors.ReconstructionError)

@@ -200,3 +200,71 @@ class TestBatchedBroadcastHolds:
         transport, _servers = self._cluster(3)
         transport.call("s2", m.StoreRequest(fid=4, data=b"z"))
         assert transport.broadcast_holds([4, 4, 4]) == {4: "s2"}
+
+
+class TestBroadcastPartialFailure:
+    """A non-answering server must not wedge location: live servers'
+    fragments are still found, the caller learns who was unreachable,
+    and a LocationCache evicts the sick server's stale placements."""
+
+    def _cluster(self, n_servers=3):
+        servers = {"s%d" % i: StorageServer(
+            ServerConfig("s%d" % i, fragment_size=1 << 16))
+            for i in range(n_servers)}
+        return LocalTransport(servers), servers
+
+    def test_live_servers_still_located(self):
+        transport, servers = self._cluster()
+        transport.call("s0", m.StoreRequest(fid=1, data=b"a"))
+        transport.call("s2", m.StoreRequest(fid=2, data=b"b"))
+        servers["s1"].crash()
+        assert transport.broadcast_holds([1, 2]) == {1: "s0", 2: "s2"}
+
+    def test_on_unreachable_names_every_sick_server(self):
+        transport, servers = self._cluster()
+        transport.call("s2", m.StoreRequest(fid=9, data=b"z"))
+        servers["s0"].crash()
+        servers["s1"].crash()
+        unreachable = []
+        found = transport.broadcast_holds([9, 10],
+                                          on_unreachable=unreachable.append)
+        assert found == {9: "s2"}
+        assert unreachable == ["s0", "s1"]
+
+    def test_callback_optional(self):
+        transport, servers = self._cluster()
+        servers["s0"].crash()
+        # No callback given: the crash is simply skipped, no error.
+        assert transport.broadcast_holds([1]) == {}
+
+    def test_locate_many_evicts_stale_placements(self):
+        from repro.log.location import LocationCache
+
+        transport, servers = self._cluster()
+        transport.call("s1", m.StoreRequest(fid=5, data=b"x"))
+        transport.call("s2", m.StoreRequest(fid=6, data=b"y"))
+        cache = LocationCache(transport)
+        cache.record(5, "s1")   # about to go stale
+        cache.record(7, "s1")   # stale placement for a missing fid
+        servers["s1"].crash()
+        # fid 6 is a miss -> broadcast -> s1 cannot answer -> its
+        # cached placements are evicted, not kept as landmines.
+        found = cache.locate_many([6])
+        assert found == {6: "s2"}
+        assert cache.get(5) is None and cache.get(7) is None
+        assert cache.evictions == 2
+
+    def test_locate_after_eviction_relocates(self):
+        from repro.log.location import LocationCache
+
+        transport, servers = self._cluster()
+        transport.call("s1", m.StoreRequest(fid=5, data=b"x"))
+        cache = LocationCache(transport)
+        assert cache.locate(5) == "s1"
+        servers["s1"].crash()
+        # A cache hit alone never re-checks the server; a broadcast
+        # (triggered by any miss) does, and evicts the silent server.
+        cache.locate_many([5, 99])
+        assert cache.get(5) is None
+        servers["s1"].restart()
+        assert cache.locate(5) == "s1"  # found again once it answers
