@@ -14,10 +14,10 @@ Usage::
     python -m repro.bench.perf --smoke    # seconds-long sanity run (CI)
     python -m repro.bench.perf --out x.json
 
-Output schema (``schema_version`` 1)::
+Output schema (``schema_version`` 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "smoke": bool,
       "config": {"fragment_size": int, "num_servers": int, ...},
       "metrics": {
@@ -28,9 +28,20 @@ Output schema (``schema_version`` 1)::
         "reconstruction_ms": float,      # mean lost-fragment rebuild
         "broadcast_holds_rpcs": int,     # RPCs to locate the fid batch
         "broadcast_holds_fids": int,
-        "broadcast_holds_servers": int
+        "broadcast_holds_servers": int,
+        "reconstruct_latency": {         # modeled (simulated) latency
+          "single_retrieve_ms": float,   # healthy whole-fragment read
+          "reconstruct_ms": float,       # width-4 degraded read
+          "ratio": float                 # reconstruct / single; < 2.5
+        }
       }
     }
+
+``reconstruct_latency`` is simulated, not wall-clock: it runs the
+degraded read on the calibrated testbed, where the scatter-gather read
+path must cost about two overlapped round trips (descriptor probe +
+survivor fetch), not width−1 serial ones. The ``ratio`` bound is
+asserted by CI and ``tests/test_scatter_gather.py``.
 
 ``validate_bench_schema`` checks exactly this shape (no external JSON
 schema dependency), and CI runs it against the smoke output.
@@ -43,7 +54,7 @@ import sys
 import time
 from typing import Dict, List
 
-from repro.cluster import build_local_cluster
+from repro.cluster import ClusterConfig, SimCluster, build_local_cluster
 from repro.log.reconstruct import Reconstructor
 from repro.log.stripe import parity_of_fast
 from repro.rpc import RetryPolicy, messages as m
@@ -52,7 +63,7 @@ from repro.rpc.transport import LocalTransport
 from repro.server.config import ServerConfig
 from repro.server.server import StorageServer
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 REQUIRED_METRICS = (
     "log_append_mb_s",
@@ -63,6 +74,12 @@ REQUIRED_METRICS = (
     "broadcast_holds_rpcs",
     "broadcast_holds_fids",
     "broadcast_holds_servers",
+)
+
+RECONSTRUCT_LATENCY_KEYS = (
+    "single_retrieve_ms",
+    "reconstruct_ms",
+    "ratio",
 )
 
 
@@ -178,6 +195,61 @@ def bench_reconstruction(stripes: int = 8, num_servers: int = 4,
     return elapsed / max(1, len(lost)) * 1e3
 
 
+def bench_reconstruct_latency(num_servers: int = 4,
+                              fragment_size: int = 1 << 16) -> Dict[str, float]:
+    """Modeled degraded-read latency on the simulated testbed.
+
+    Writes a few width-``num_servers`` stripes, crashes one server, and
+    compares the simulated cost of reconstructing one of its fragments
+    against a healthy single-fragment retrieve. With the scatter-gather
+    read path the rebuild is two overlapped round trips (the stripe
+    descriptor probe, then the remaining survivors fetched together),
+    so the ratio must stay well under the serial bound of ``width − 1``
+    — the checked-in target is < 2.5×.
+    """
+    cluster = SimCluster(ClusterConfig(
+        num_servers=num_servers, num_clients=1,
+        fragment_size=fragment_size))
+    log = cluster.make_log(0, deferred_mode=True)
+    transport = log.transport
+    block_size = 4096
+    blocks_per_stripe = ((num_servers - 1)
+                         * (fragment_size // (block_size + 64)))
+    payload = b"\x3c" * block_size
+    addresses = [log.write_block(1, payload)
+                 for _ in range(3 * blocks_per_stripe)]
+    log.flush().wait()
+    placements = log.locations.locate_many(
+        sorted({address.fid for address in addresses}))
+    victim = next(iter(cluster.server_nodes))
+    lost = sorted(fid for fid, sid in placements.items() if sid == victim)
+    # Healthy baseline: one whole-fragment retrieve from a live server.
+    healthy_fid, healthy_server = next(
+        (fid, sid) for fid, sid in sorted(placements.items())
+        if sid != victim)
+    transport.take_deferred_time()  # drain the write-path charges
+    transport.call(healthy_server, m.RetrieveRequest(
+        fid=healthy_fid, principal=log.config.principal))
+    single_s = transport.take_deferred_time()
+    cluster.crash_server(victim)
+    log.locations.evict_server(victim)
+    # A lost fragment whose neighbors both have live cached placements:
+    # the rebuild then needs no location broadcast, isolating the
+    # scatter cost itself.
+    target = next(fid for fid in lost
+                  if log.locations.get(fid - 1) is not None
+                  and log.locations.get(fid + 1) is not None)
+    rebuilder = Reconstructor(transport, principal=log.config.principal,
+                              locations=log.locations)
+    rebuilder.reconstruct(target)
+    reconstruct_s = transport.take_deferred_time()
+    return {
+        "single_retrieve_ms": round(single_s * 1e3, 4),
+        "reconstruct_ms": round(reconstruct_s * 1e3, 4),
+        "ratio": round(reconstruct_s / single_s, 3),
+    }
+
+
 def bench_broadcast_holds(num_servers: int = 8,
                           num_fids: int = 32) -> Dict[str, int]:
     """RPCs needed to locate ``num_fids`` fragments over the cluster."""
@@ -222,6 +294,8 @@ def run_all(smoke: bool = False) -> Dict:
     metrics["reconstruction_ms"] = round(bench_reconstruction(
         stripes=2 if smoke else 8, fragment_size=fragment_size), 3)
     metrics.update(bench_broadcast_holds())
+    metrics["reconstruct_latency"] = bench_reconstruct_latency(
+        fragment_size=1 << 16)
     return {
         "schema_version": SCHEMA_VERSION,
         "smoke": smoke,
@@ -254,6 +328,18 @@ def validate_bench_schema(doc: Dict) -> None:
     for key in ("log_append_mb_s", "parity_mb_s", "codec_msgs_s"):
         if metrics[key] <= 0:
             raise ValueError("throughput metric %r must be positive" % key)
+    latency = metrics.get("reconstruct_latency")
+    if not isinstance(latency, dict):
+        raise ValueError("metric 'reconstruct_latency' must be an object")
+    for key in RECONSTRUCT_LATENCY_KEYS:
+        value = latency.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(
+                "reconstruct_latency.%s missing or non-numeric: %r"
+                % (key, value))
+        if value <= 0:
+            raise ValueError(
+                "reconstruct_latency.%s must be positive: %r" % (key, value))
 
 
 def main(argv=None) -> int:
@@ -274,6 +360,9 @@ def main(argv=None) -> int:
         handle.write("\n")
     for key in REQUIRED_METRICS:
         print("%-26s %s" % (key, doc["metrics"][key]))
+    latency = doc["metrics"]["reconstruct_latency"]
+    for key in RECONSTRUCT_LATENCY_KEYS:
+        print("%-26s %s" % ("reconstruct_latency." + key, latency[key]))
     print("wrote %s" % out)
     return 0
 

@@ -25,10 +25,12 @@ decisions of a :class:`~repro.chaos.plan.FaultPlan`:
     A retrieve succeeds but one payload bit is silently flipped; only
     end-to-end checksum verification can notice.
 
-The wrapper sees the synchronous path (``call``); asynchronous
-``submit`` is intercepted through ``call`` whenever the wrapped
-transport resolves submissions synchronously, and passed through
-untouched on the simulator's true-async path.
+The wrapper sees the synchronous path (``call``) and the scatter path
+(``submit_many``, where every operation of a fan-out gets its own
+fault decision and a faulted operation fails only its own future);
+single asynchronous ``submit`` is intercepted through ``call`` whenever
+the wrapped transport resolves submissions synchronously, and passed
+through untouched on the simulator's true-async path.
 """
 
 from __future__ import annotations
@@ -66,6 +68,10 @@ class FaultyTransport(Transport):
         event = self.plan.decide(server_id, request)
         if event is None:
             return self.inner.call(server_id, request)
+        return self._apply_fault(event, server_id, request)
+
+    def _apply_fault(self, event, server_id: str, request) -> m.Response:
+        """Execute one call under one fault decision."""
         self.faults_applied += 1
         kind = event.kind
         if kind == "drop_request":
@@ -100,6 +106,34 @@ class FaultyTransport(Transport):
             return CompletedFuture(value=self.call(server_id, request))
         except errors.SwarmError as exc:
             return CompletedFuture(exception=exc)
+
+    def submit_many(self, plan):
+        """Fault each operation of a fan-out independently.
+
+        Decisions are drawn in plan order (so a seed replays the same
+        schedule), then the clean operations proceed as one overlapped
+        batch on the inner transport while each faulted operation takes
+        its fault path alone — a mid-scatter drop fails exactly one
+        future instead of wedging, or escaping, the whole scatter.
+        """
+        plan = list(plan)
+        futures = [None] * len(plan)
+        clean_indices = []
+        for index, (server_id, request) in enumerate(plan):
+            event = self.plan.decide(server_id, request)
+            if event is None:
+                clean_indices.append(index)
+                continue
+            try:
+                futures[index] = CompletedFuture(
+                    value=self._apply_fault(event, server_id, request))
+            except errors.SwarmError as exc:
+                futures[index] = CompletedFuture(exception=exc)
+        clean_futures = self.inner.submit_many(
+            [plan[index] for index in clean_indices])
+        for index, future in zip(clean_indices, clean_futures):
+            futures[index] = future
+        return futures
 
     # ------------------------------------------------------------------
 

@@ -23,7 +23,13 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import BlockNotFoundError, CorruptFragmentError, LogError
+from repro.errors import (
+    BlockNotFoundError,
+    CorruptFragmentError,
+    FragmentNotFoundError,
+    LogError,
+    SwarmError,
+)
 from repro.log.address import BlockAddress, fid_seq, make_fid
 from repro.log.config import LogConfig
 from repro.log.fragment import (
@@ -97,10 +103,9 @@ class LogLayer:
                  cost_hook: Optional[CostHook] = None,
                  locations: Optional[LocationCache] = None,
                  retry_policy=None, verify_reads: bool = False) -> None:
-        if retry_policy is not None:
-            from repro.rpc.retry import RetryingTransport
+        from repro.rpc.retry import wrap_transport
 
-            transport = RetryingTransport(transport, retry_policy)
+        transport = wrap_transport(transport, retry_policy)
         self.transport = transport
         self.verify_reads = verify_reads
         self.group = group
@@ -128,6 +133,8 @@ class LogLayer:
         self.raw_bytes_written = 0
         self.useful_bytes_written = 0
         self.stripes_written = 0
+        self.preallocate_failures = 0
+        self.delete_failures = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -314,17 +321,26 @@ class LogLayer:
     def _preallocate(self, fragments, servers) -> None:
         """Reserve a slot for every stripe member before sending data.
 
-        Best-effort: a server that cannot reserve (full, down) will
-        fail the subsequent store instead, which callers already
-        handle through the flush ticket.
+        All reservations go out in one overlapped scatter — one round
+        trip for the whole stripe, not one per member. Best-effort: a
+        server that cannot reserve (full, down) will fail the
+        subsequent store instead, which callers already handle through
+        the flush ticket; such failures are counted in
+        ``preallocate_failures`` rather than silently swallowed.
         """
-        for fragment in fragments:
-            server_id = servers[fragment.header.stripe_index]
-            try:
-                self.transport.call(server_id, m.PreallocateRequest(
-                    fid=fragment.fid, principal=self.config.principal))
-            except Exception:
-                pass
+        from repro.rpc.completion import scatter_call
+
+        futures = scatter_call(self.transport, [
+            (servers[fragment.header.stripe_index],
+             m.PreallocateRequest(fid=fragment.fid,
+                                  principal=self.config.principal))
+            for fragment in fragments])
+        for future in futures:
+            if future.ok:
+                continue
+            if not isinstance(future.exception, SwarmError):
+                raise future.exception
+            self.preallocate_failures += 1
 
     def flush(self) -> FlushTicket:
         """Seal and dispatch everything buffered; return the ticket.
@@ -395,15 +411,14 @@ class LogLayer:
     def read(self, addr: BlockAddress) -> bytes:
         """Read a block's data, reconstructing its fragment if needed.
 
-        Always returns owned ``bytes``: block reads cross into service
-        code, which may keep, hash, or concatenate the result. The
-        zero-copy views stay below this boundary (:meth:`read_range`,
-        :meth:`read_fragment`).
+        Returns owned ``bytes`` (the :meth:`read_range` contract); the
+        zero-copy views stay below that boundary
+        (:meth:`read_fragment`, the transports' payloads).
         """
         data = self.read_range(addr.fid, addr.offset, addr.length)
         if len(data) != addr.length:
             raise BlockNotFoundError("short read at %s" % (addr,))
-        return data if isinstance(data, bytes) else bytes(data)
+        return data
 
     def read_range(self, fid: int, offset: int, length: int) -> bytes:
         """Read an arbitrary byte range of a fragment.
@@ -416,15 +431,20 @@ class LogLayer:
         the payload checksum covers the whole payload, so verification
         needs the whole image, which :meth:`read_fragment` fetches,
         checks, and falls back to parity for when it is corrupt.
+
+        Always returns owned ``bytes``: this is the trust boundary
+        where data crosses into service code, which may keep, hash, or
+        concatenate the result. The zero-copy views stay below it
+        (:meth:`read_fragment`, the transports' payloads).
         """
         from repro.log.reconstruct import Reconstructor
 
         for builder in self._building:
             if builder.fid == fid:
-                return builder.peek_range(offset, length)
+                return bytes(builder.peek_range(offset, length))
         if self.verify_reads:
             image = self.read_fragment(fid)
-            return image[offset:offset + length]
+            return bytes(image[offset:offset + length])
         server_id = self.locations.locate(fid)
         if server_id is not None:
             try:
@@ -432,7 +452,7 @@ class LogLayer:
                     server_id, m.RetrieveRequest(
                         fid=fid, offset=offset, length=length,
                         principal=self.config.principal))
-                return response.payload
+                return bytes(response.payload)
             except LogError:
                 raise
             except Exception:
@@ -442,7 +462,7 @@ class LogLayer:
                 self.locations.evict(fid)
         image = Reconstructor(self.transport, self.config.principal,
                               locations=self.locations).fetch(fid)
-        return image[offset:offset + length]
+        return bytes(image[offset:offset + length])
 
     def read_fragment(self, fid: int) -> bytes:
         """Read a whole fragment image (cleaner / recovery paths).
@@ -476,20 +496,45 @@ class LogLayer:
     # Deletion of whole stripes (cleaner back-end)
     # ------------------------------------------------------------------
 
-    def delete_stripe(self, base_fid: int, width: int) -> None:
-        """Delete every fragment of a stripe from its servers."""
-        fids = [base_fid + i for i in range(width)]
+    def delete_stripe(self, base_fid: int, width: int) -> List[int]:
+        """Delete every fragment of a stripe from its servers.
+
+        Returns the fids that could *not* be deleted (their server
+        failed mid-delete), so the caller — the cleaner — can re-queue
+        them instead of leaking slots. Unlocatable fragments count as
+        already gone.
+        """
+        return self.delete_fids([base_fid + i for i in range(width)])
+
+    def delete_fids(self, fids: List[int]) -> List[int]:
+        """Delete fragments by fid, all deletes in one overlapped scatter.
+
+        Returns the fids whose delete failed with a server error —
+        candidates for a later retry. A fragment that no server claims
+        to hold, or that is already gone (``FragmentNotFoundError``),
+        is treated as deleted. Failures are counted in
+        ``delete_failures``; unexpected non-Swarm exceptions propagate.
+        """
+        from repro.rpc.completion import scatter_call
+
         located = self.locations.locate_many(fids)
-        for fid in fids:
-            server_id = located.get(fid)
-            if server_id is None:
-                continue
-            try:
-                self.transport.call(server_id, m.DeleteRequest(
-                    fid=fid, principal=self.config.principal))
-            except Exception:
-                pass
+        targets = [(fid, located[fid]) for fid in fids if fid in located]
+        futures = scatter_call(self.transport, [
+            (server_id, m.DeleteRequest(fid=fid,
+                                        principal=self.config.principal))
+            for fid, server_id in targets])
+        failed: List[int] = []
+        for (fid, _server_id), future in zip(targets, futures):
+            if not future.ok:
+                if isinstance(future.exception, FragmentNotFoundError):
+                    pass  # already gone: deletion is idempotent
+                elif isinstance(future.exception, SwarmError):
+                    self.delete_failures += 1
+                    failed.append(fid)
+                else:
+                    raise future.exception
             self.locations.evict(fid)
+        return failed
 
     # ------------------------------------------------------------------
     # Recovery hand-off

@@ -102,8 +102,9 @@ class LocationCache:
 
         Cache hits are answered locally; all misses go out together in
         a single :meth:`~repro.rpc.transport.Transport.broadcast_holds`
-        (itself one RPC per server). Unlocatable fids are absent from
-        the result.
+        — one RPC per server, and since the broadcast itself scatters,
+        the whole sweep costs one overlapped round trip regardless of
+        cluster size. Unlocatable fids are absent from the result.
 
         A server that fails to answer the broadcast also has its cached
         placements evicted: if it cannot say what it holds, everything

@@ -56,10 +56,9 @@ class LogReader:
     def __init__(self, transport, principal: str = "",
                  locations: Optional[LocationCache] = None,
                  retry_policy=None, verify: bool = False) -> None:
-        if retry_policy is not None:
-            from repro.rpc.retry import RetryingTransport
+        from repro.rpc.retry import wrap_transport
 
-            transport = RetryingTransport(transport, retry_policy)
+        transport = wrap_transport(transport, retry_policy)
         self.transport = transport
         self.principal = principal
         self.verify = verify
@@ -72,28 +71,35 @@ class LogReader:
             transport, principal, locations=self.locator.locations,
             verify=verify)
 
-    def read_fragment(self, fid: int) -> Optional[Fragment]:
+    def read_fragment(self, fid: int,
+                      prefetched=None) -> Optional[Fragment]:
         """Fetch and parse fragment ``fid``; None if it does not exist.
 
-        Tries the cached/learned placement first, then a broadcast, then
-        reconstruction from the stripe. In verified mode a direct fetch
-        that fails its payload checksum also falls through to
-        reconstruction — rollforward must never replay corrupt records.
+        Uses a ``prefetched`` completion (an in-flight retrieve started
+        by :meth:`prefetch`) when one is given, then the cached/learned
+        placement, then a broadcast, then reconstruction from the
+        stripe. In verified mode a direct fetch that fails its payload
+        checksum also falls through to reconstruction — rollforward
+        must never replay corrupt records.
         """
-        server_id = self.locator.locate(fid)
         image: Optional[bytes] = None
-        if server_id is not None:
-            try:
-                response = self.transport.call(server_id, m.RetrieveRequest(
-                    fid=fid, principal=self.principal))
-                image = response.payload
-                if self.verify:
-                    Fragment.decode(image, verify_crc=True)
-            except CorruptFragmentError:
-                self.locator.forget(fid)
-                image = None
-            except SwarmError:
-                self.locator.forget(fid)
+        if prefetched is not None:
+            image = self._prefetched_image(fid, prefetched)
+        if image is None:
+            server_id = self.locator.locate(fid)
+            if server_id is not None:
+                try:
+                    response = self.transport.call(
+                        server_id, m.RetrieveRequest(
+                            fid=fid, principal=self.principal))
+                    image = response.payload
+                    if self.verify:
+                        Fragment.decode(image, verify_crc=True)
+                except CorruptFragmentError:
+                    self.locator.forget(fid)
+                    image = None
+                except SwarmError:
+                    self.locator.forget(fid)
         if image is None:
             try:
                 image = self.reconstructor.fetch(fid)
@@ -103,15 +109,68 @@ class LogReader:
         self.locator.learn(fragment)
         return fragment
 
+    def prefetch(self, fid: int):
+        """Start fetching ``fid`` without waiting; None when unknown.
+
+        Only fragments with an already-cached placement are prefetched
+        (placements are learned from each stripe descriptor as the
+        reader walks, so the common rollforward case qualifies); an
+        unknown placement would cost a broadcast that the normal path
+        may never need — e.g. one past the end of the log.
+        """
+        server_id = self.locator.locations.get(fid)
+        if server_id is None:
+            return None
+        future = self.transport.submit(server_id, m.RetrieveRequest(
+            fid=fid, principal=self.principal))
+        if not future.triggered:
+            # An abandoned prefetch must not re-raise out of somebody
+            # else's sim.run(); a waiter keeps its failure contained.
+            add_callback = getattr(future, "add_callback", None)
+            if add_callback is not None:
+                add_callback(lambda _event: None)
+        return future
+
+    def _prefetched_image(self, fid: int, prefetched) -> Optional[bytes]:
+        """Resolve a prefetch started by :meth:`prefetch`."""
+        from repro.rpc.completion import gather
+
+        try:
+            future = gather([prefetched])[0]
+        except SwarmError:
+            return None  # cannot drive it here; fall back to a fresh call
+        if not future.ok:
+            if not isinstance(future.exception, SwarmError):
+                raise future.exception
+            self.locator.forget(fid)
+            return None
+        image = future.value.payload
+        if self.verify:
+            try:
+                Fragment.decode(image, verify_crc=True)
+            except CorruptFragmentError:
+                self.locator.forget(fid)
+                return None
+        return image
+
     def fragments_from(self, start_fid: int) -> Iterator[Fragment]:
-        """Yield fragments starting at ``start_fid`` until the log ends."""
+        """Yield fragments starting at ``start_fid`` until the log ends.
+
+        Streams: while the caller parses fragment ``fid``, the retrieve
+        for ``fid+1`` is already in flight (its placement is known from
+        the stripe descriptor just learned), so rollforward overlaps
+        parsing with the next network round trip instead of strictly
+        alternating them.
+        """
         fid = start_fid
+        prefetched = None
         while True:
-            fragment = self.read_fragment(fid)
+            fragment = self.read_fragment(fid, prefetched=prefetched)
             if fragment is None:
                 return
-            yield fragment
             fid += 1
+            prefetched = self.prefetch(fid)
+            yield fragment
 
     def records_from(self, start_fid: int, min_lsn: int = 0) -> List[Record]:
         """All records in fragments >= ``start_fid`` with LSN > ``min_lsn``,

@@ -27,7 +27,7 @@ treated exactly like an unavailable fragment and rebuilt from parity.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     CorruptFragmentError,
@@ -39,6 +39,7 @@ from repro.log.fragment import Fragment, FragmentHeader, make_parity_fragment
 from repro.log.location import LocationCache
 from repro.log.stripe import recover_data_image
 from repro.rpc import messages as m
+from repro.rpc.completion import scatter_call
 
 
 class Reconstructor:
@@ -54,10 +55,9 @@ class Reconstructor:
                  cache: Optional[Dict[int, bytes]] = None,
                  locations: Optional[LocationCache] = None,
                  retry_policy=None, verify: bool = False) -> None:
-        if retry_policy is not None:
-            from repro.rpc.retry import RetryingTransport
+        from repro.rpc.retry import wrap_transport
 
-            transport = RetryingTransport(transport, retry_policy)
+        transport = wrap_transport(transport, retry_policy)
         self.transport = transport
         self.principal = principal
         self.verify = verify
@@ -81,37 +81,67 @@ class Reconstructor:
         self.cache[fid] = image
         return image
 
-    def _try_direct(self, fid: int, server_id: str = None) -> Optional[bytes]:
+    def _try_direct(self, fid: int,
+                    server_id: Optional[str] = None) -> Optional[bytes]:
         if server_id is None:
             server_id = self.locations.locate(fid)
             if server_id is None:
                 return None
-        try:
-            response = self.transport.call(
-                server_id, m.RetrieveRequest(fid=fid, principal=self.principal))
-        except SwarmError:
-            self.locations.evict(fid)
-            return None
-        image = response.payload
-        if self.verify:
-            try:
-                Fragment.decode(image, verify_crc=True)
-            except CorruptFragmentError:
-                # The bytes came back but they are not the fragment: a
-                # torn store or silent bit rot. Treat exactly like an
-                # unavailable fragment — evict the placement and let
-                # the parity path rebuild the true image.
-                self.corruptions_detected += 1
+        fetched = self._scatter_fetch([(fid, server_id)])
+        return fetched.get(fid)
+
+    def _scatter_fetch(self,
+                       targets: Sequence[Tuple[int, str]]) -> Dict[int, bytes]:
+        """Fetch many whole fragment images in one overlapped scatter.
+
+        ``targets`` pairs each fid with the server believed to hold it;
+        all retrieves go out concurrently (§2.1.2 pipelining, applied
+        to the read side). Returns ``{fid: image}`` for the fetches
+        that succeeded — and, in verified mode, parsed with a matching
+        payload CRC. A failed or corrupt fetch evicts its placement and
+        is simply absent from the result; callers fall back per
+        fragment (re-locate, or rebuild through parity).
+        """
+        targets = list(targets)
+        futures = scatter_call(
+            self.transport,
+            [(server_id, m.RetrieveRequest(fid=fid, principal=self.principal))
+             for fid, server_id in targets])
+        images: Dict[int, bytes] = {}
+        for (fid, server_id), future in zip(targets, futures):
+            if not future.ok:
+                if not isinstance(future.exception, SwarmError):
+                    raise future.exception
                 self.locations.evict(fid)
-                return None
-        self.locations.record(fid, server_id)
-        return image
+                continue
+            image = future.value.payload
+            if self.verify:
+                try:
+                    Fragment.decode(image, verify_crc=True)
+                except CorruptFragmentError:
+                    # The bytes came back but they are not the
+                    # fragment: a torn store or silent bit rot. Treat
+                    # exactly like an unavailable fragment — evict the
+                    # placement and let the parity path rebuild the
+                    # true image.
+                    self.corruptions_detected += 1
+                    self.locations.evict(fid)
+                    continue
+            self.locations.record(fid, server_id)
+            images[fid] = image
+        return images
 
     # ------------------------------------------------------------------
 
     def reconstruct(self, fid: int) -> bytes:
-        """Rebuild fragment ``fid`` from the rest of its stripe."""
-        header = self._find_stripe_descriptor(fid)
+        """Rebuild fragment ``fid`` from the rest of its stripe.
+
+        All survivor fetches go out in one scatter — the whole rebuild
+        costs roughly one overlapped round trip (plus the descriptor
+        probe), not width−1 serial ones. Probed neighbor images are
+        reused as survivors rather than fetched twice.
+        """
+        header, probed = self._find_stripe_descriptor(fid)
         if header is None:
             raise ReconstructionError(
                 "no stripe neighbor of fragment %d found; cannot reconstruct"
@@ -120,35 +150,54 @@ class Reconstructor:
         width = header.stripe_width
         missing_index = fid - base
         survivors: Dict[int, bytes] = {}
+        wanted: List[Tuple[int, str]] = []
         for index in range(width):
             if index == missing_index:
                 continue
             sibling = base + index
-            image = self._try_direct(sibling,
-                                     server_id=header.server_of_index(index))
+            image = probed.get(sibling)
+            if image is not None:
+                survivors[index] = image
+            else:
+                wanted.append((sibling, header.server_of_index(index)))
+        fetched = self._scatter_fetch(wanted)
+        for sibling, _descriptor_server in wanted:
+            image = fetched.get(sibling)
             if image is None:
+                # The descriptor's placement failed: re-locate through
+                # a broadcast before declaring the member gone.
                 image = self._try_direct(sibling)
             if image is None:
                 raise UnrecoverableError(
                     "two members of stripe %d..%d unavailable or corrupt "
                     "(%d and %d): single parity cannot recover both"
                     % (base, base + width - 1, fid, sibling))
-            survivors[index] = image
+            survivors[sibling - base] = image
         self.reconstructions += 1
         if missing_index == header.parity_index:
             return self._rebuild_parity(fid, header, survivors)
         return self._rebuild_data(header, survivors)
 
-    def _find_stripe_descriptor(self, fid: int) -> Optional[FragmentHeader]:
-        """Locate a same-stripe neighbor of ``fid`` and return its header."""
+    def _find_stripe_descriptor(
+            self, fid: int,
+    ) -> Tuple[Optional[FragmentHeader], Dict[int, bytes]]:
+        """Race ``fid``'s neighbors for a stripe descriptor.
+
+        Fragments of a stripe have consecutive FIDs, so fragment
+        ``fid−1`` or ``fid+1`` carries the descriptor. Both candidates
+        are fetched *concurrently* and the first (lowest-fid) parseable
+        same-stripe header wins — deterministically, so a replayed
+        chaos schedule makes identical choices. Returns the header
+        (None when neither neighbor answers) plus every probed image,
+        keyed by fid, so the caller can reuse in-stripe neighbors as
+        survivors instead of fetching them a second time.
+        """
         neighbors = [n for n in (fid - 1, fid + 1) if n > 0]
         found = self.locations.locate_many(neighbors)
-        for neighbor, server_id in sorted(found.items()):
-            image = self._try_direct(neighbor, server_id=server_id)
-            if image is None:
-                continue
+        probed = self._scatter_fetch(sorted(found.items()))
+        for neighbor in sorted(probed):
             try:
-                header = FragmentHeader.decode(image)
+                header = FragmentHeader.decode(probed[neighbor])
             except SwarmError:
                 continue
             if header.stripe_base_fid <= fid < (header.stripe_base_fid
@@ -158,8 +207,8 @@ class Reconstructor:
                 # fetch — do not resurrect its stale placement from the
                 # descriptor we learned.
                 self.locations.evict(fid)
-                return header
-        return None
+                return header, probed
+        return None, probed
 
     def _rebuild_data(self, header: FragmentHeader,
                       survivors: Dict[int, bytes]) -> bytes:

@@ -29,6 +29,7 @@ from repro.log.records import (
     decode_record_payload_block,
 )
 from repro.rpc import messages as m
+from repro.rpc.completion import scatter_call
 
 
 @dataclass
@@ -47,15 +48,26 @@ class RecoveredState:
 
 def find_newest_marked_fid(transport, client_id: int,
                            principal: str = "") -> int:
-    """Ask every reachable server for this client's newest marked FID."""
+    """Ask every reachable server for this client's newest marked FID.
+
+    All servers are asked concurrently — checkpoint discovery is the
+    first thing a restarting service does, and it should cost one
+    overlapped round trip, not a sweep serialized over the cluster.
+    Unreachable servers are simply skipped; the marked fragment is
+    replicated into the stripe like everything else, so any survivor
+    that stored it can answer.
+    """
+    request = m.LastMarkedRequest(client_id=client_id, principal=principal)
+    futures = scatter_call(
+        transport,
+        [(server_id, request) for server_id in transport.server_ids()])
     newest = 0
-    for server_id in transport.server_ids():
-        try:
-            response = transport.call(server_id, m.LastMarkedRequest(
-                client_id=client_id, principal=principal))
-        except SwarmError:
+    for future in futures:
+        if not future.ok:
+            if not isinstance(future.exception, SwarmError):
+                raise future.exception
             continue
-        newest = max(newest, response.value)
+        newest = max(newest, future.value.value)
     return newest
 
 

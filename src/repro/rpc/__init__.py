@@ -26,7 +26,14 @@ from repro.rpc.messages import (
     StoreRequest,
 )
 from repro.rpc.codec import decode_message, encode_message, wire_size
-from repro.rpc.retry import RetryPolicy, RetryingTransport
+from repro.rpc.completion import (
+    CompletedFuture,
+    first_of,
+    gather,
+    results,
+    scatter_call,
+)
+from repro.rpc.retry import RetryPolicy, RetryingTransport, wrap_transport
 from repro.rpc.transport import (
     LocalTransport,
     SimTransport,
@@ -34,6 +41,12 @@ from repro.rpc.transport import (
 )
 
 __all__ = [
+    "CompletedFuture",
+    "first_of",
+    "gather",
+    "results",
+    "scatter_call",
+    "wrap_transport",
     "CreateAclRequest",
     "DeleteRequest",
     "ErrorResponse",

@@ -39,6 +39,18 @@ Everything else (not found, exists, ACL denials, bad requests) is a
 definitive answer and is surfaced immediately."""
 
 
+def wrap_transport(transport, policy: Optional["RetryPolicy"]):
+    """Interpose a :class:`RetryingTransport` when a policy is given.
+
+    The one canonical way client components (log layer, reader,
+    reconstructor) accept an optional retry policy: ``None`` returns
+    the transport unchanged, anything else wraps it exactly once.
+    """
+    if policy is None:
+        return transport
+    return RetryingTransport(transport, policy)
+
+
 def charge_delay(transport, seconds: float) -> bool:
     """Charge ``seconds`` of simulated time to ``transport``.
 
@@ -165,6 +177,73 @@ class RetryingTransport(Transport):
             return CompletedFuture(value=self.call(server_id, request))
         except errors.SwarmError as exc:
             return CompletedFuture(exception=exc)
+
+    def submit_many(self, plan):
+        """Fan out with per-operation retries, keeping the overlap.
+
+        The whole plan goes to the inner transport in one scatter;
+        only the operations that failed transiently are re-scattered,
+        in rounds, with the round's backoffs overlapping each other the
+        same way the operations do (the ledger is charged the round's
+        *maximum* backoff, not the sum). A retried operation that
+        collides with its own earlier, reply-lost attempt is resolved
+        per operation exactly like the synchronous path: an existing
+        fragment on a retried preallocate/store, or a missing fragment
+        on a retried delete, means the first attempt won.
+
+        The simulator's true-async path passes through unretried, like
+        :meth:`submit` — its drivers model failure at a different
+        layer.
+        """
+        plan = list(plan)
+        if not self.submit_is_synchronous:
+            return self.inner.submit_many(plan)
+        policy = self.policy
+        futures = list(self.inner.submit_many(plan))
+        elapsed = [0.0] * len(plan)
+        for attempt in range(1, policy.max_attempts):
+            retry_indices = []
+            for index, future in enumerate(futures):
+                if future.triggered and isinstance(future.exception,
+                                                   TRANSIENT_ERRORS):
+                    backoff = policy.backoff_for(attempt)
+                    if elapsed[index] + backoff > policy.deadline_s:
+                        continue  # over deadline: counted exhausted below
+                    elapsed[index] += backoff
+                    retry_indices.append((index, backoff))
+            if not retry_indices:
+                break
+            # The operations back off concurrently: charge the slowest.
+            round_backoff = max(backoff for _i, backoff in retry_indices)
+            self.retries += len(retry_indices)
+            self.backoff_charged_s += round_backoff
+            charge_delay(self.inner, round_backoff)
+            retried = self.inner.submit_many(
+                [plan[index] for index, _backoff in retry_indices])
+            for (index, _backoff), future in zip(retry_indices, retried):
+                futures[index] = self._disambiguated(plan[index], future)
+        for index, future in enumerate(futures):
+            if future.triggered and isinstance(future.exception,
+                                               TRANSIENT_ERRORS):
+                self.exhausted += 1
+        return futures
+
+    def _disambiguated(self, operation, future):
+        """Resolve a retried operation's at-least-once ambiguity."""
+        server_id, request = operation
+        if future.ok:
+            return future
+        if isinstance(future.exception, errors.FragmentExistsError):
+            resolved = self._resolve_already_exists(server_id, request)
+            if resolved is not None:
+                self.ambiguous_resolutions += 1
+                return CompletedFuture(value=resolved)
+        if (isinstance(future.exception, errors.FragmentNotFoundError)
+                and isinstance(request, m.DeleteRequest)):
+            # The earlier attempt deleted it; only the reply was lost.
+            self.ambiguous_resolutions += 1
+            return CompletedFuture(value=m.Response())
+        return future
 
     # ------------------------------------------------------------------
 

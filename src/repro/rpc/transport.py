@@ -12,12 +12,25 @@ directly while synchronous callers just read the result.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import errors
 from repro.rpc import messages as m
 from repro.rpc.codec import decode_message, encode_message, wire_size
+from repro.rpc.completion import CompletedFuture, scatter_call
 from repro.util.packing import pack_fids, unpack_fids
+
+__all__ = [
+    "CompletedFuture",
+    "LocalTransport",
+    "SimTransport",
+    "Transport",
+    "dispatch",
+    "raise_error_response",
+]
+
+#: One fan-out operation: where to send it and what to send.
+Plan = Sequence[Tuple[str, Any]]
 
 
 def dispatch(server, request) -> Any:
@@ -88,27 +101,6 @@ def raise_error_response(response: m.ErrorResponse) -> None:
     raise cls(response.message)
 
 
-class CompletedFuture:
-    """A future that resolved at creation time (local transport)."""
-
-    def __init__(self, value: Any = None,
-                 exception: Optional[BaseException] = None) -> None:
-        self.value = value
-        self.exception = exception
-        self.triggered = True
-
-    @property
-    def ok(self) -> bool:
-        """True when the operation succeeded."""
-        return self.exception is None
-
-    def result(self) -> Any:
-        """Return the value or raise the stored exception."""
-        if self.exception is not None:
-            raise self.exception
-        return self.value
-
-
 class Transport(ABC):
     """Abstract client-side channel to a set of storage servers."""
 
@@ -135,6 +127,23 @@ class Transport(ABC):
         """
         return True
 
+    def submit_many(self, plan: Plan) -> List:
+        """Start every operation of ``plan``; returns futures in order.
+
+        ``plan`` is a sequence of ``(server_id, request)`` pairs. The
+        default implementation simply submits each operation — already
+        overlapped on the simulator's true-async path, where every
+        submission is a concurrent process contending for NICs, CPUs,
+        and disk arms. Transports with a cheaper batched shape (and
+        wrappers that must decide per operation) override this.
+
+        Per-operation failures are captured inside the returned
+        futures; ``submit_many`` itself never raises for an RPC error,
+        so one dead server cannot wedge a fan-out.
+        """
+        return [self.submit(server_id, request)
+                for server_id, request in plan]
+
     def broadcast_holds(self, fids: Iterable[int],
                         on_unreachable: Optional[Callable[[str], None]] = None,
                         ) -> Dict[int, str]:
@@ -144,34 +153,38 @@ class Transport(ABC):
         the self-hosting lookup used by reconstruction: no directory
         service exists, the cluster itself answers.
 
-        Batched: every server is asked about all still-missing fids in
-        a single RPC, so the whole broadcast costs at most one round
-        trip per server regardless of how many fragments it locates.
+        Batched *and* overlapped: every server is asked about all
+        missing fids in a single RPC, and all servers are asked
+        concurrently — the whole broadcast costs one overlapped round
+        trip (one RPC per server), the way Lustre fans out over its
+        OSTs, instead of a sequential sweep of the stripe group.
 
         A server that cannot answer (crashed, partitioned, erroring)
-        never wedges the broadcast: it is skipped, fragments held by
-        live servers are still located, and ``on_unreachable`` — when
-        given — is told its id so callers can invalidate placements
-        that point at it.
+        never wedges the broadcast: its failure stays inside its own
+        future, fragments held by live servers are still located, and
+        ``on_unreachable`` — when given — is told its id so callers can
+        invalidate placements that point at it. A fragment reported by
+        several servers resolves to the first in ``server_ids`` order,
+        keeping the answer deterministic.
         """
         found: Dict[int, str] = {}
-        # De-duplicate while preserving the caller's order.
-        pending = list(dict.fromkeys(fids))
-        for server_id in self.server_ids():
-            if not pending:
-                break
-            try:
-                response = self.call(
-                    server_id, m.HoldsRequest(fids=tuple(pending)))
-            except errors.ServerError:
+        pending = tuple(dict.fromkeys(fids))  # de-dup, keep caller order
+        if not pending:
+            return found
+        server_ids = self.server_ids()
+        futures = scatter_call(
+            self, [(server_id, m.HoldsRequest(fids=pending))
+                   for server_id in server_ids])
+        for server_id, future in zip(server_ids, futures):
+            if not future.ok:
+                if not isinstance(future.exception, errors.ServerError):
+                    raise future.exception
                 if on_unreachable is not None:
                     on_unreachable(server_id)
                 continue
-            held, _end = unpack_fids(response.payload)
+            held, _end = unpack_fids(future.value.payload)
             for fid in held:
-                found[fid] = server_id
-            if held:
-                pending = [fid for fid in pending if fid not in found]
+                found.setdefault(fid, server_id)
         return found
 
 
@@ -310,6 +323,49 @@ class SimTransport(Transport):
                 return CompletedFuture(exception=exc)
         return self.sim.process(self._operation(server_id, request),
                                 name="rpc %s" % type(request).__name__)
+
+    def submit_many(self, plan):
+        """Launch every operation of ``plan`` as a concurrent process.
+
+        On the true-async path this is the default behavior (each
+        submission already runs concurrently). In *deferred* mode the
+        override is where read-side pipelining happens: instead of
+        charging each call's full estimated round trip serially, all
+        operations are launched as simultaneous simulator processes and
+        the *elapsed simulated time of the overlapped batch* is charged
+        to the ledger — so a width-W scatter costs roughly one round
+        trip plus whatever NIC/fabric/disk contention the resource
+        model produces, not W serial round trips. Contention emerges
+        from the model; nothing here guesses at it.
+        """
+        plan = list(plan)
+        if not self.deferred_mode or len(plan) <= 1:
+            return [self.submit(server_id, request)
+                    for server_id, request in plan]
+        if self.sim._running:
+            # Re-entrant batch from inside a driven simulation: fall
+            # back to the serial deferred estimate rather than nesting.
+            return [self.submit(server_id, request)
+                    for server_id, request in plan]
+        started = self.sim.now
+        processes = []
+        for server_id, request in plan:
+            process = self.sim.process(
+                self._operation(server_id, request),
+                name="rpc %s" % type(request).__name__)
+            # A waiter keeps per-operation failures inside the process
+            # instead of sim.run() re-raising the first one.
+            process.add_callback(lambda _event: None)
+            processes.append(process)
+        self.sim.run()
+        self.deferred_time += self.sim.now - started
+        futures = []
+        for process in processes:
+            if process.exception is not None:
+                futures.append(CompletedFuture(exception=process.exception))
+            else:
+                futures.append(CompletedFuture(value=process.value))
+        return futures
 
     def _operation(self, server_id: str, request):
         node = self._node(server_id)

@@ -75,10 +75,14 @@ class CleanerService(Service):
         self._live: Dict[int, int] = {}       # fid -> live bytes
         self._total: Dict[int, int] = {}      # fid -> total block bytes
         self._dead: Set[BlockAddress] = set()
+        # Fragments whose deletes failed transiently; retried on the
+        # next cleaning pass rather than leaking disk forever.
+        self._deferred_deletes: Set[int] = set()
         # Statistics.
         self.stripes_cleaned = 0
         self.blocks_moved = 0
         self.bytes_moved = 0
+        self.deletes_requeued = 0
 
     def bind(self, stack) -> None:
         super().bind(stack)
@@ -183,6 +187,7 @@ class CleanerService(Service):
         Returns the number of blocks moved, or raises
         :class:`~repro.errors.CleanerError` if nothing is eligible.
         """
+        self._retry_deferred_deletes()
         candidates = self.candidate_stripes()
         if not candidates:
             raise CleanerError("no stripe is eligible for cleaning")
@@ -195,6 +200,7 @@ class CleanerService(Service):
         service (the paper's on-demand checkpoint mechanism) and retries
         once.
         """
+        self._retry_deferred_deletes()
         moved = 0
         for _ in range(target_stripes):
             candidates = self.candidate_stripes()
@@ -245,11 +251,25 @@ class CleanerService(Service):
         for owner, old_addr, new_addr, create_info in notifications:
             self.stack.notify_block_moved(owner, old_addr, new_addr,
                                           create_info)
-        log.delete_stripe(usage.base_fid, usage.width)
+        failed = log.delete_stripe(usage.base_fid, usage.width)
+        if failed:
+            # The live blocks are safe (copied and flushed above); only
+            # the garbage fragments linger. Re-queue them for the next
+            # pass instead of failing the clean.
+            self._deferred_deletes.update(failed)
+            self.deletes_requeued += len(failed)
         self._forget_stripe(usage)
         self.stripes_cleaned += 1
         self.blocks_moved += moved
         return moved
+
+    def _retry_deferred_deletes(self) -> None:
+        """Re-issue deletes that failed on an earlier pass."""
+        if not self._deferred_deletes:
+            return
+        pending = sorted(self._deferred_deletes)
+        self._deferred_deletes = set(
+            self.stack.log.delete_fids(pending))
 
     @staticmethod
     def _creation_records(fragment: Fragment) -> Dict[BlockAddress, bytes]:

@@ -27,6 +27,7 @@ from repro.log.location import LocationCache
 from repro.log.reconstruct import Reconstructor
 from repro.log.stripe import parity_of_fast
 from repro.rpc import messages as m
+from repro.rpc.completion import scatter_call
 from repro.util.packing import unpack_fids
 
 
@@ -81,28 +82,45 @@ class FsckReport:
 
 def _list_client_fids(transport, client_id: int,
                       principal: str) -> Dict[int, str]:
-    """All of the client's FIDs, mapped to a server that holds each."""
+    """All of the client's FIDs, mapped to a server that holds each.
+
+    The listing scatters to every server at once — a full-cluster
+    inventory sweep for the cost of one overlapped round trip.
+    Unreachable servers are skipped (their fragments then show up as
+    missing stripe members downstream, which is the truth).
+    """
+    request = m.ListFidsRequest(client_id=client_id, principal=principal)
+    server_ids = transport.server_ids()
+    futures = scatter_call(
+        transport, [(server_id, request) for server_id in server_ids])
     locations: Dict[int, str] = {}
-    for server_id in transport.server_ids():
-        try:
-            response = transport.call(server_id, m.ListFidsRequest(
-                client_id=client_id, principal=principal))
-        except SwarmError:
+    for server_id, future in zip(server_ids, futures):
+        if not future.ok:
+            if not isinstance(future.exception, SwarmError):
+                raise future.exception
             continue
-        fids, _end = unpack_fids(response.payload)
+        fids, _end = unpack_fids(future.value.payload)
         for fid in fids:
             locations[fid] = server_id
     return locations
 
 
-def _fetch(transport, server_id: str, fid: int,
-           principal: str) -> Optional[bytes]:
-    try:
-        response = transport.call(server_id, m.RetrieveRequest(
-            fid=fid, principal=principal))
-        return response.payload
-    except SwarmError:
-        return None
+def _fetch_all(transport, targets: Dict[int, str],
+               principal: str) -> Dict[int, bytes]:
+    """Fetch many fragments concurrently; failures are simply absent."""
+    plan = sorted(targets.items())
+    futures = scatter_call(
+        transport,
+        [(server_id, m.RetrieveRequest(fid=fid, principal=principal))
+         for fid, server_id in plan])
+    images: Dict[int, bytes] = {}
+    for (fid, _server_id), future in zip(plan, futures):
+        if not future.ok:
+            if not isinstance(future.exception, SwarmError):
+                raise future.exception
+            continue
+        images[fid] = bytes(future.value.payload)
+    return images
 
 
 def check_client_log(transport, client_id: int,
@@ -110,14 +128,12 @@ def check_client_log(transport, client_id: int,
     """Scrub every stripe of one client's log."""
     report = FsckReport(client_id=client_id)
     locations = _list_client_fids(transport, client_id, principal)
+    fetched = _fetch_all(transport, locations, principal)
     # Parse what is present; learn stripe shapes from headers.
     images: Dict[int, bytes] = {}
     headers: Dict[int, FragmentHeader] = {}
     corrupt: Set[int] = set()
-    for fid, server_id in sorted(locations.items()):
-        image = _fetch(transport, server_id, fid, principal)
-        if image is None:
-            continue
+    for fid, image in sorted(fetched.items()):
         report.fragments_checked += 1
         try:
             fragment = Fragment.decode(image, verify_payload=True)
@@ -181,16 +197,18 @@ def repair_client_log(transport, client_id: int, target_server: str,
     degraded = report.by_status("degraded")
     corrupt_holders = locations.locate_many(
         [fid for finding in degraded for fid in finding.corrupt])
+    # Purge every corrupt fragment in one scatter before rebuilding: a
+    # rebuilt image must never race its damaged predecessor.
+    purge = sorted(corrupt_holders.items())
+    purge_futures = scatter_call(
+        transport,
+        [(server_id, m.DeleteRequest(fid=fid, principal=principal))
+         for fid, server_id in purge])
+    for (fid, _server_id), future in zip(purge, purge_futures):
+        if not future.ok and not isinstance(future.exception, SwarmError):
+            raise future.exception
+        locations.evict(fid)
     for finding in degraded:
-        for fid in finding.corrupt:
-            server_id = corrupt_holders.get(fid)
-            if server_id is not None:
-                try:
-                    transport.call(server_id, m.DeleteRequest(
-                        fid=fid, principal=principal))
-                except SwarmError:
-                    pass
-                locations.evict(fid)
         for fid in finding.corrupt + finding.missing:
             image = rebuilder.fetch(fid)
             header = Fragment.decode(image).header

@@ -182,13 +182,16 @@ class TestBatchedBroadcastHolds:
         assert found == {fid: "s%d" % (i % 8) for i, fid in enumerate(fids)}
         assert transport.calls <= 8
 
-    def test_early_exit_when_all_found(self):
+    def test_scatter_asks_every_server_once(self):
+        # The broadcast fans out to all servers concurrently (one
+        # overlapped round trip), so the cost is exactly one RPC per
+        # server — never one *sequential* sweep per fid.
         transport, _servers = self._cluster(8)
         transport.call("s0", m.StoreRequest(fid=7, data=b"x"))
         transport.call("s0", m.StoreRequest(fid=8, data=b"y"))
         transport.calls = 0
         assert transport.broadcast_holds([7, 8]) == {7: "s0", 8: "s0"}
-        assert transport.calls == 1
+        assert transport.calls == 8
 
     def test_unfound_fids_sweep_every_server_once(self):
         transport, _servers = self._cluster(5)
