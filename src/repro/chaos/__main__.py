@@ -13,7 +13,13 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.chaos.runner import generate_ops, replay_check, run_chaos
+from repro.chaos.runner import (
+    generate_ops,
+    replay_check,
+    replay_kill_check,
+    run_chaos,
+    run_kill_server,
+)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -23,26 +29,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     "cluster and check zero-data-loss invariants.")
     parser.add_argument("--seed", type=int, required=True,
                         help="fault-schedule seed (reuse to reproduce a run)")
-    parser.add_argument("--ops", type=int, default=48,
-                        help="number of workload operations (default 48)")
-    parser.add_argument("--servers", type=int, default=4,
-                        help="storage servers in the cluster (default 4)")
+    parser.add_argument("--ops", type=int, default=None,
+                        help="number of workload operations "
+                             "(default 48; 64 with --kill-server)")
+    parser.add_argument("--servers", type=int, default=None,
+                        help="storage servers in the cluster "
+                             "(default 4; 5 with --kill-server)")
+    parser.add_argument("--kill-server", action="store_true",
+                        help="self-healing scenario: crash one stripe-group "
+                             "member permanently; require automatic reform "
+                             "onto the spare, full background repair, and "
+                             "zero data loss with the victim still down")
     parser.add_argument("--replay", action="store_true",
                         help="run twice and verify the schedule replays "
                              "identically")
     args = parser.parse_args(argv)
 
-    ops = generate_ops(args.seed, n_ops=args.ops)
+    if args.kill_server:
+        n_ops = args.ops if args.ops is not None else 64
+        servers = args.servers if args.servers is not None else 5
+        run_one, run_two = run_kill_server, replay_kill_check
+    else:
+        n_ops = args.ops if args.ops is not None else 48
+        servers = args.servers if args.servers is not None else 4
+        run_one, run_two = run_chaos, replay_check
+
+    ops = generate_ops(args.seed, n_ops=n_ops)
     if args.replay:
-        first, second, identical = replay_check(
-            args.seed, ops=ops, num_servers=args.servers)
+        first, second, identical = run_two(
+            args.seed, ops=ops, num_servers=servers)
         print(first.summary())
         print(second.summary())
+        for problem in first.problems + second.problems:
+            print("  problem: %s" % problem)
         if not identical:
             print("REPLAY DIVERGED for seed %d" % args.seed)
         status = 0 if (first.ok and second.ok and identical) else 1
     else:
-        report = run_chaos(args.seed, ops=ops, num_servers=args.servers)
+        report = run_one(args.seed, ops=ops, num_servers=servers)
         print(report.summary())
         for problem in report.problems:
             print("  problem: %s" % problem)

@@ -51,6 +51,20 @@ WIRE_FAULTS = ("drop_request", "drop_response", "delay", "duplicate")
 DURABLE_FAULTS = ("torn_store", "bit_flip")
 
 
+def choose_kill_victim(seed: int, candidates: Sequence[str]) -> str:
+    """Pick the server a kill-server scenario will crash.
+
+    Drawn from a dedicated RNG stream (not the plan's), so adding the
+    kill decision never perturbs the wire-fault schedule of the same
+    seed — the property replay checks depend on. Candidates are sorted
+    first: the choice depends on the seed and the membership, never on
+    dict ordering.
+    """
+    if not candidates:
+        raise ConfigError("no candidates for a kill victim")
+    return random.Random(seed ^ 0xD1ED).choice(sorted(candidates))
+
+
 @dataclass(frozen=True)
 class FaultSpec:
     """Fault rates and shape knobs for a :class:`FaultPlan`.

@@ -31,10 +31,18 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.chaos.plan import FaultEvent, FaultPlan, FaultSpec
+import dataclasses
+
+from repro.chaos.plan import (
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    choose_kill_victim,
+)
 from repro.chaos.transport import FaultyTransport
 from repro.cluster.cluster import build_local_cluster
 from repro.cluster.failures import FailureInjector
+from repro.health import HealthMonitor, RepairDaemon
 from repro.log.config import LogConfig
 from repro.log.fragment import HEADER_SIZE
 from repro.log.layer import LogLayer
@@ -272,6 +280,220 @@ def replay_check(seed: int, **kwargs) -> Tuple[ChaosReport, ChaosReport, bool]:
     """
     first = run_chaos(seed, **kwargs)
     second = run_chaos(seed, **kwargs)
+    identical = (first.fault_history == second.fault_history
+                 and first.state_digest == second.state_digest
+                 and first.problems == second.problems)
+    return first, second, identical
+
+
+def run_kill_server(seed: int, ops: Optional[Sequence[Op]] = None,
+                    spec: Optional[FaultSpec] = None, num_servers: int = 5,
+                    fragment_size: int = 1 << 12,
+                    flush_every: int = 4) -> ChaosReport:
+    """The self-healing scenario: crash a member, never restart it.
+
+    One server of the stripe group is crashed mid-workload *and stays
+    down*; everything that follows must happen without operator
+    intervention:
+
+    1. the failure detector declares the member dead from RPC outcomes
+       alone (retry exhaustions and failed probes);
+    2. the dead verdict reforms the stripe group onto the configured
+       spare automatically — the harness never calls ``reform_group``;
+    3. the repair daemon re-materializes every fragment the dead
+       server held onto the spare, throttled, while wire faults are
+       still being injected on the survivors;
+    4. with the victim *still crashed*: mid-run reads matched a
+       fault-free oracle, fsck reports every stripe fully healthy (no
+       degraded stripe left — full redundancy restored), and a fresh
+       client recovers the exact oracle state.
+
+    The write-availability gap — ops applied between the crash and the
+    automatic reform — is measured and reported in ``stats``.
+    """
+    ops = list(ops) if ops is not None else generate_ops(seed, n_ops=64)
+    expected = oracle_state(ops)
+    report = ChaosReport(seed=seed)
+
+    cluster = build_local_cluster(num_servers=num_servers, num_clients=1,
+                                  fragment_size=fragment_size)
+    all_servers = sorted(cluster.servers)
+    group_servers, spare = all_servers[:-1], all_servers[-1]
+    victim = choose_kill_victim(seed, group_servers)
+    # Pin durable damage to the server that is going to die: its torn /
+    # flipped fragments vanish with it, so the scenario proves repair
+    # rebuilds them from survivors rather than quietly re-reading them.
+    base_spec = spec if spec is not None else FaultSpec()
+    plan = FaultPlan(seed, dataclasses.replace(base_spec,
+                                               pinned_victim=victim))
+    injector = FailureInjector(cluster)
+    faulty = FaultyTransport(cluster.transport, plan)
+    monitor = HealthMonitor(seed=seed)
+    log = LogLayer(faulty, cluster.stripe_group(group_servers),
+                   LogConfig(client_id=CLIENT_ID,
+                             fragment_size=fragment_size,
+                             spare_servers=(spare,)),
+                   retry_policy=RetryPolicy(seed=seed), verify_reads=True,
+                   health_monitor=monitor)
+    stack = ServiceStack(log)
+    disk = stack.push(LogicalDiskService(SERVICE_DISK))
+
+    model: Dict[int, bytes] = {}
+    flush_failures = 0
+    reads_checked = 0
+
+    def apply_op(op: Op) -> None:
+        nonlocal reads_checked
+        kind, block_no, payload_seed, size = op
+        if kind == "write":
+            data = _payload(payload_seed, size)
+            disk.write(block_no, data)
+            model[block_no] = data
+        elif kind == "trim":
+            disk.trim(block_no)
+            model.pop(block_no, None)
+        else:
+            reads_checked += 1
+            if disk.exists(block_no) != (block_no in model):
+                report.problems.append(
+                    "block %d existence diverged mid-run" % block_no)
+            elif block_no in model and disk.read(block_no) != model[block_no]:
+                report.problems.append(
+                    "read of block %d diverged mid-run" % block_no)
+
+    def flush_degraded() -> None:
+        nonlocal flush_failures
+        ticket = stack.flush()
+        ticket.wait(allow_degraded=True)
+        flush_failures += len(ticket.failures())
+
+    # Phase 1: first third of the workload under wire faults only.
+    crash_at = len(ops) // 3
+    for op in ops[:crash_at]:
+        apply_op(op)
+    flush_degraded()
+
+    # Phase 2: kill the victim — it never comes back. Keep the workload
+    # flowing in small flushed chunks: the flushes' failed stores and
+    # the reads' failed retrieves are exactly the evidence the failure
+    # detector needs. Measure how many ops land before the automatic
+    # reform kicks in.
+    injector.crash_server(victim)
+    reform_gap_ops: Optional[int] = None
+    daemon: Optional[RepairDaemon] = None
+    ops_since_crash = 0
+    for index, op in enumerate(ops[crash_at:]):
+        apply_op(op)
+        ops_since_crash += 1
+        if (index + 1) % flush_every == 0:
+            flush_degraded()
+        if log.reforms and reform_gap_ops is None:
+            reform_gap_ops = ops_since_crash
+            # Phase 3 (overlapped): the moment the group has reformed,
+            # start background repair onto the spare and interleave it
+            # with the remaining foreground ops — wire faults still on.
+            daemon = RepairDaemon(log.transport, CLIENT_ID,
+                                  replacement=spare,
+                                  principal=log.config.principal,
+                                  locations=log.locations)
+            daemon.discover(dead_server=victim)
+        if daemon is not None:
+            daemon.step()
+    flush_degraded()
+    ticket = stack.checkpoint(disk)
+    ticket.wait(allow_degraded=True)
+    flush_failures += len(ticket.failures())
+
+    if not log.reforms:
+        report.problems.append(
+            "no automatic reform: %s died but the group never changed"
+            % victim)
+    else:
+        if victim in log.group.servers:
+            report.problems.append(
+                "dead server %s still in the stripe group after reform"
+                % victim)
+        if spare not in log.group.servers:
+            report.problems.append(
+                "spare %s was not drafted into the reformed group" % spare)
+    if monitor.status(victim) != "dead":
+        report.problems.append(
+            "detector verdict for crashed %s is %r, expected dead"
+            % (victim, monitor.status(victim)))
+
+    # Drain the repair queue (a final sweep catches stripes flushed
+    # after the first discovery), still under wire faults.
+    if daemon is None and log.reforms:
+        daemon = RepairDaemon(log.transport, CLIENT_ID, replacement=spare,
+                              principal=log.config.principal,
+                              locations=log.locations)
+    repaired = 0
+    if daemon is not None:
+        daemon.discover(dead_server=victim)
+        while not daemon.done:
+            daemon.step()
+        repaired = daemon.fragments_repaired
+
+    # Phase 4: faults off, victim still crashed. Full redundancy must
+    # be back: every stripe healthy — not merely readable-degraded.
+    plan.stop()
+    fsck = check_client_log(cluster.transport, CLIENT_ID)
+    if not fsck.healthy:
+        report.problems.append(
+            "fsck not fully healthy after repair (victim down): %s"
+            % fsck.summary())
+
+    # Phase 5: a fresh client recovers from the log alone — with the
+    # victim still dead — and must reproduce the oracle exactly.
+    fresh_log = LogLayer(cluster.transport, log.group,
+                         LogConfig(client_id=CLIENT_ID,
+                                   fragment_size=fragment_size))
+    fresh_stack = ServiceStack(fresh_log)
+    fresh_disk = fresh_stack.push(LogicalDiskService(SERVICE_DISK))
+    fresh_stack.recover_all()
+    recovered: Dict[int, bytes] = {}
+    for block_no in fresh_disk.block_numbers():
+        recovered[block_no] = fresh_disk.read(block_no)
+    if set(recovered) != set(expected):
+        report.problems.append(
+            "recovered block set %r != oracle %r"
+            % (sorted(recovered), sorted(expected)))
+    else:
+        for block_no in sorted(expected):
+            if recovered[block_no] != expected[block_no]:
+                report.problems.append(
+                    "recovered block %d differs from oracle" % block_no)
+
+    retrying = log.transport
+    monitor_report = monitor.health_report()
+    report.fault_history = tuple(plan.history)
+    report.state_digest = _digest(recovered)
+    report.stats = {
+        "ops": len(ops),
+        "reads_checked": reads_checked,
+        "faults_applied": faulty.faults_applied,
+        "retries": retrying.retries,
+        "backoff_charged_s": retrying.backoff_charged_s,
+        "exhausted": retrying.exhausted,
+        "ambiguous_resolutions": retrying.ambiguous_resolutions,
+        "flush_failures": flush_failures,
+        "reform_gap_ops": -1 if reform_gap_ops is None else reform_gap_ops,
+        "fragments_repaired": repaired,
+        "bytes_repaired": 0 if daemon is None else daemon.bytes_repaired,
+        "repair_throttle_s": 0.0 if daemon is None
+        else daemon.throttle_charged_s,
+        "probes": sum(entry["probes"] for entry
+                      in monitor_report["servers"].values()),
+        "health_transitions": len(monitor_report["transitions"]),
+    }
+    return report
+
+
+def replay_kill_check(seed: int, **kwargs,
+                      ) -> Tuple[ChaosReport, ChaosReport, bool]:
+    """Run the kill-server scenario twice; True when bit-identical."""
+    first = run_kill_server(seed, **kwargs)
+    second = run_kill_server(seed, **kwargs)
     identical = (first.fault_history == second.fault_history
                  and first.state_digest == second.state_digest
                  and first.problems == second.problems)

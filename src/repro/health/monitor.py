@@ -1,0 +1,327 @@
+"""Per-server failure detection.
+
+The monitor never issues traffic of its own for scoring: it is *fed*
+by the layers that already talk to servers — every attempt outcome the
+:class:`~repro.rpc.retry.RetryingTransport` sees (synchronous calls,
+scatter fan-outs, retry exhaustions) becomes one observation here. The
+score per server is two signals the spec-sheet failure detectors
+(Lustre's health network, SWIM-style suspicion) also use:
+
+* an **EWMA of failures** — smooth evidence, robust to one-off drops;
+* a **consecutive-failure count** — sharp evidence; a chaos plan with
+  bounded fault bursts can never push a *live* server past a small
+  count, so a long run of straight failures means the server is down,
+  not flaky.
+
+State machine::
+
+    healthy --(ewma high + consecutive)--> suspect
+    suspect --(more consecutive / retry exhaustions)--> dead
+    dead    --(successful probe or call)--> probation
+    probation --(readmit_probes successes)--> healthy
+    probation --(any failure)--> dead
+
+Verdicts are *pushed*: subscribers (the log layer's auto-reform hook)
+register callbacks and are told about every transition synchronously,
+so a ``dead`` verdict raised mid-write can reform the stripe group
+before the next stripe is placed.
+
+Probing is seeded and deterministic: every ``probe_interval``
+observations the monitor sends one idempotent ``HoldsRequest`` (empty
+fid list — pure liveness, no side effects) to the next non-healthy
+server in rotation. A replayed chaos run therefore probes at the same
+points and makes identical readmission decisions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError, SwarmError
+
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+DEAD = "dead"
+PROBATION = "probation"
+
+TransitionHook = Callable[[str, str, str], None]
+"""``hook(server_id, old_status, new_status)``."""
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Detector thresholds.
+
+    The defaults are tuned against the chaos engine's survivable
+    envelope: a fault plan forces a clean call after ``max_consecutive``
+    (default 3) consecutive faulted calls to one server, so a *live*
+    server never accumulates more than 3 straight failures — while a
+    crashed one fails every call. ``dead_consecutive`` (6) and
+    ``dead_exhaustions`` (2) therefore only ever fire on servers that
+    are genuinely unreachable, never on merely flaky ones.
+    """
+
+    ewma_alpha: float = 0.3
+    """Weight of the newest observation in the failure EWMA."""
+    suspect_ewma: float = 0.5
+    """EWMA at or above which a server may become suspect."""
+    suspect_consecutive: int = 3
+    """Consecutive failures needed (with the EWMA) to become suspect."""
+    dead_consecutive: int = 6
+    """Consecutive failures that alone prove a server dead."""
+    dead_exhaustions: int = 2
+    """Retry exhaustions in a row that prove a server dead."""
+    probe_interval: int = 8
+    """Observations between automatic probes of non-healthy servers."""
+    readmit_probes: int = 3
+    """Successes a server in probation needs to be readmitted."""
+
+    def validate(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigError("ewma_alpha must be in (0, 1]")
+        if not 0.0 <= self.suspect_ewma <= 1.0:
+            raise ConfigError("suspect_ewma must be in [0, 1]")
+        if self.suspect_consecutive < 1:
+            raise ConfigError("suspect_consecutive must be >= 1")
+        if self.dead_consecutive < self.suspect_consecutive:
+            raise ConfigError("dead_consecutive must be >= suspect_consecutive")
+        if self.dead_exhaustions < 1:
+            raise ConfigError("dead_exhaustions must be >= 1")
+        if self.probe_interval < 1:
+            raise ConfigError("probe_interval must be >= 1")
+        if self.readmit_probes < 1:
+            raise ConfigError("readmit_probes must be >= 1")
+
+
+@dataclass
+class ServerHealth:
+    """Everything the monitor knows about one server."""
+
+    server_id: str
+    status: str = HEALTHY
+    ewma: float = 0.0
+    consecutive_failures: int = 0
+    consecutive_exhaustions: int = 0
+    probation_successes: int = 0
+    # Cumulative counters (never reset; read by reports and tests).
+    successes: int = 0
+    failures: int = 0
+    exhaustions: int = 0
+    probes: int = 0
+    probe_successes: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat counter view for :meth:`HealthMonitor.health_report`."""
+        return {
+            "status": self.status,
+            "ewma": self.ewma,
+            "consecutive_failures": self.consecutive_failures,
+            "consecutive_exhaustions": self.consecutive_exhaustions,
+            "successes": self.successes,
+            "failures": self.failures,
+            "exhaustions": self.exhaustions,
+            "probes": self.probes,
+            "probe_successes": self.probe_successes,
+        }
+
+
+class HealthMonitor:
+    """Scores per-server RPC outcomes into health verdicts.
+
+    Attach it to a :class:`~repro.rpc.retry.RetryingTransport` (pass it
+    as the transport's ``monitor``) and every call outcome feeds the
+    detector; or drive :meth:`observe` / :meth:`note_exhausted`
+    directly in tests.
+    """
+
+    def __init__(self, config: Optional[HealthConfig] = None,
+                 seed: int = 0) -> None:
+        self.config = config if config is not None else HealthConfig()
+        self.config.validate()
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._servers: Dict[str, ServerHealth] = {}
+        self._transport = None  # probe channel (below the retry layer)
+        self._hooks: List[TransitionHook] = []
+        self._observations = 0
+        self.transitions: List[Tuple[str, str, str]] = []
+        """Every ``(server_id, old, new)`` transition, in order."""
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, transport) -> None:
+        """Bind the probe channel and pre-register its servers.
+
+        ``transport`` should sit *below* the retry layer — probes are
+        single unretried calls, so a probe against a dead server costs
+        one RPC, not a whole backoff ladder.
+        """
+        self._transport = transport
+        for server_id in transport.server_ids():
+            self._state(server_id)
+
+    def on_transition(self, hook: TransitionHook) -> None:
+        """Subscribe to status transitions (called synchronously)."""
+        self._hooks.append(hook)
+
+    def _state(self, server_id: str) -> ServerHealth:
+        state = self._servers.get(server_id)
+        if state is None:
+            state = self._servers[server_id] = ServerHealth(server_id)
+        return state
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def status(self, server_id: str) -> str:
+        """Current verdict for ``server_id`` (unknown servers: healthy)."""
+        return self._state(server_id).status
+
+    def is_usable(self, server_id: str) -> bool:
+        """Whether new stripes may be placed on ``server_id``."""
+        return self._state(server_id).status in (HEALTHY, SUSPECT)
+
+    def dead_servers(self) -> List[str]:
+        """Servers currently under a ``dead`` verdict, sorted."""
+        return sorted(sid for sid, st in self._servers.items()
+                      if st.status == DEAD)
+
+    def health_report(self) -> Dict[str, object]:
+        """Structured snapshot: per-server counters plus transitions."""
+        return {
+            "servers": {sid: state.as_dict()
+                        for sid, state in sorted(self._servers.items())},
+            "transitions": list(self.transitions),
+            "observations": self._observations,
+        }
+
+    # ------------------------------------------------------------------
+    # Observations
+    # ------------------------------------------------------------------
+
+    def observe(self, server_id: str, ok: bool) -> None:
+        """Feed one RPC outcome. ``ok`` means the server *answered* —
+        a definitive application error (not-found, ACL denial) is still
+        proof of life; only unreachability counts as failure."""
+        state = self._state(server_id)
+        alpha = self.config.ewma_alpha
+        self._observations += 1
+        if ok:
+            state.successes += 1
+            state.ewma *= (1.0 - alpha)
+            state.consecutive_failures = 0
+            state.consecutive_exhaustions = 0
+            self._on_success(state)
+        else:
+            state.failures += 1
+            state.ewma = (1.0 - alpha) * state.ewma + alpha
+            state.consecutive_failures += 1
+            self._on_failure(state)
+        self._maybe_probe()
+
+    def note_exhausted(self, server_id: str) -> None:
+        """A whole retry ladder against ``server_id`` failed."""
+        state = self._state(server_id)
+        state.exhaustions += 1
+        state.consecutive_exhaustions += 1
+        if state.consecutive_exhaustions >= self.config.dead_exhaustions:
+            self._transition(state, DEAD)
+
+    def _on_success(self, state: ServerHealth) -> None:
+        if state.status == SUSPECT:
+            self._transition(state, HEALTHY)
+        elif state.status == DEAD:
+            # The server answered real traffic: treat like a successful
+            # probe — probation, not instant readmission.
+            state.probation_successes = 1
+            self._transition(state, PROBATION)
+        elif state.status == PROBATION:
+            state.probation_successes += 1
+            if state.probation_successes >= self.config.readmit_probes:
+                self._transition(state, HEALTHY)
+
+    def _on_failure(self, state: ServerHealth) -> None:
+        cfg = self.config
+        if state.status == PROBATION:
+            state.probation_successes = 0
+            self._transition(state, DEAD)
+            return
+        if state.consecutive_failures >= cfg.dead_consecutive:
+            self._transition(state, DEAD)
+            return
+        if (state.status == HEALTHY
+                and state.consecutive_failures >= cfg.suspect_consecutive
+                and state.ewma >= cfg.suspect_ewma):
+            self._transition(state, SUSPECT)
+
+    def _transition(self, state: ServerHealth, new_status: str) -> None:
+        if state.status == new_status:
+            return
+        old, state.status = state.status, new_status
+        if new_status == HEALTHY:
+            state.probation_successes = 0
+            state.consecutive_exhaustions = 0
+        self.transitions.append((state.server_id, old, new_status))
+        for hook in self._hooks:
+            hook(state.server_id, old, new_status)
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+
+    def probe(self, server_id: str) -> bool:
+        """Send one idempotent liveness probe; feeds the state machine.
+
+        A successful probe moves ``dead → probation`` and counts toward
+        readmission; a failed one confirms the verdict. Returns the
+        probe's success. No-op (False) when no transport is attached.
+        """
+        if self._transport is None:
+            return False
+        state = self._state(server_id)
+        state.probes += 1
+        try:
+            self._transport.probe(server_id)
+        except SwarmError:
+            ok = False
+        else:
+            ok = True
+            state.probe_successes += 1
+        # Probe outcomes go through the same scoring as real traffic so
+        # readmission needs genuine evidence, not one lucky packet.
+        self.observe_probe(server_id, ok)
+        return ok
+
+    def observe_probe(self, server_id: str, ok: bool) -> None:
+        """Score a probe outcome (no recursive probe scheduling)."""
+        state = self._state(server_id)
+        alpha = self.config.ewma_alpha
+        if ok:
+            state.ewma *= (1.0 - alpha)
+            state.consecutive_failures = 0
+            state.consecutive_exhaustions = 0
+            self._on_success(state)
+        else:
+            state.ewma = (1.0 - alpha) * state.ewma + alpha
+            state.consecutive_failures += 1
+            self._on_failure(state)
+
+    def _maybe_probe(self) -> None:
+        """Every ``probe_interval`` observations, probe one non-healthy
+        server (rotating, so all suspects get coverage)."""
+        if self._transport is None:
+            return
+        if self._observations % self.config.probe_interval != 0:
+            return
+        candidates = sorted(sid for sid, st in self._servers.items()
+                            if st.status != HEALTHY)
+        if not candidates:
+            return
+        # Seeded choice: a replayed run probes the same servers at the
+        # same observation counts.
+        self.probe(candidates[self._rng.randrange(len(candidates))])

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 from repro.errors import ConfigError
 from repro.server.config import DEFAULT_FRAGMENT_SIZE
@@ -46,6 +47,11 @@ class LogConfig:
     refuse reads/deletes from principals outside the ACL. Create the
     ACL on every server in the stripe group first.
     """
+    spare_servers: Tuple[str, ...] = ()
+    """Standby servers the auto-reform policy may draft into the stripe
+    group when a member is declared dead. Order is preference order; a
+    spare is used at most once. Empty means a dead member is dropped
+    and the group shrinks (down to the two-server parity minimum)."""
 
     def __post_init__(self) -> None:
         if self.client_id < 0:
@@ -54,5 +60,7 @@ class LogConfig:
             raise ConfigError("fragment_size unreasonably small")
         if self.max_outstanding_fragments < 1:
             raise ConfigError("max_outstanding_fragments must be >= 1")
+        if len(set(self.spare_servers)) != len(self.spare_servers):
+            raise ConfigError("duplicate server in spare_servers")
         if not self.principal:
             object.__setattr__(self, "principal", "client-%d" % self.client_id)

@@ -102,10 +102,12 @@ class LogLayer:
     def __init__(self, transport, group: StripeGroup, config: LogConfig,
                  cost_hook: Optional[CostHook] = None,
                  locations: Optional[LocationCache] = None,
-                 retry_policy=None, verify_reads: bool = False) -> None:
+                 retry_policy=None, verify_reads: bool = False,
+                 health_monitor=None) -> None:
         from repro.rpc.retry import wrap_transport
 
-        transport = wrap_transport(transport, retry_policy)
+        transport = wrap_transport(transport, retry_policy,
+                                   monitor=health_monitor)
         self.transport = transport
         self.verify_reads = verify_reads
         self.group = group
@@ -129,12 +131,20 @@ class LogLayer:
             LocationCache(transport, config.principal)
         self._checkpoint_table: Dict[int, Tuple[BlockAddress, int]] = {}
         self._usage_listeners: List[UsageListener] = []
+        # Self-healing: the failure detector pushes verdicts; a `dead`
+        # member triggers an automatic reform onto a spare.
+        self.monitor = health_monitor
+        self._spares_used: List[str] = []
+        self.reforms: List[Dict[str, object]] = []
+        if health_monitor is not None:
+            health_monitor.on_transition(self._on_health_transition)
         # Statistics.
         self.raw_bytes_written = 0
         self.useful_bytes_written = 0
         self.stripes_written = 0
         self.preallocate_failures = 0
         self.delete_failures = 0
+        self._failures_by_server: Dict[str, Dict[str, int]] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -158,6 +168,48 @@ class LogLayer:
     def known_location(self, fid: int) -> Optional[str]:
         """Server believed to hold ``fid`` (no network traffic)."""
         return self.locations.get(fid)
+
+    def _count_failure(self, server_id: str, kind: str) -> None:
+        per_kind = self._failures_by_server.setdefault(
+            server_id, {"stores": 0, "preallocates": 0, "deletes": 0})
+        per_kind[kind] += 1
+
+    def failures(self) -> Dict[str, Dict[str, int]]:
+        """Per-server counts of failed stores/preallocates/deletes.
+
+        Only operations this layer issued; the retry layer's per-attempt
+        view (including the retries that eventually succeeded) lives in
+        the transport's ``health_report``.
+        """
+        return {server_id: dict(per_kind)
+                for server_id, per_kind in self._failures_by_server.items()}
+
+    def health_report(self) -> Dict[str, object]:
+        """One structured health snapshot for monitors and tests.
+
+        Merges this layer's per-server failure counters with the
+        retrying transport's per-server attempt outcomes and — when a
+        failure detector is attached — its verdicts, so every consumer
+        reads the same numbers instead of scraping ad-hoc attributes.
+        """
+        report: Dict[str, object] = {
+            "log": {
+                "stripes_written": self.stripes_written,
+                "preallocate_failures": self.preallocate_failures,
+                "delete_failures": self.delete_failures,
+                "failures_by_server": self.failures(),
+                "reforms": [dict(reform) for reform in self.reforms],
+                "group": list(self.group.servers),
+                "spares_remaining": [s for s in self.config.spare_servers
+                                     if s not in self._spares_used],
+            },
+        }
+        transport_report = getattr(self.transport, "health_report", None)
+        if callable(transport_report):
+            report["transport"] = transport_report()
+        if self.monitor is not None:
+            report["monitor"] = self.monitor.health_report()
+        return report
 
     def add_usage_listener(self, listener: UsageListener) -> None:
         """Subscribe to block lifecycle events.
@@ -313,7 +365,10 @@ class LogLayer:
                 fid=fragment.fid, data=image,
                 principal=self.config.principal, marked=marked,
                 acl_ranges=acl_ranges)
-            self._pending.append(self.transport.submit(server_id, request))
+            future = self.transport.submit(server_id, request)
+            if future.triggered and future.exception is not None:
+                self._count_failure(server_id, "stores")
+            self._pending.append(future)
             self.raw_bytes_written += len(image)
         self._stripe_number += 1
         self.stripes_written += 1
@@ -330,17 +385,18 @@ class LogLayer:
         """
         from repro.rpc.completion import scatter_call
 
-        futures = scatter_call(self.transport, [
-            (servers[fragment.header.stripe_index],
-             m.PreallocateRequest(fid=fragment.fid,
-                                  principal=self.config.principal))
-            for fragment in fragments])
-        for future in futures:
+        plan = [(servers[fragment.header.stripe_index],
+                 m.PreallocateRequest(fid=fragment.fid,
+                                      principal=self.config.principal))
+                for fragment in fragments]
+        futures = scatter_call(self.transport, plan)
+        for (server_id, _request), future in zip(plan, futures):
             if future.ok:
                 continue
             if not isinstance(future.exception, SwarmError):
                 raise future.exception
             self.preallocate_failures += 1
+            self._count_failure(server_id, "preallocates")
 
     def flush(self) -> FlushTicket:
         """Seal and dispatch everything buffered; return the ticket.
@@ -371,6 +427,64 @@ class LogLayer:
         self.group = group
         self.layout = StripeLayout(group)
         self._stripe_number = self.config.client_id % max(1, group.size)
+
+    # ------------------------------------------------------------------
+    # Auto-reform (failure-detector driven)
+    # ------------------------------------------------------------------
+
+    def _on_health_transition(self, server_id: str, _old: str,
+                              new_status: str) -> None:
+        """Monitor callback: a ``dead`` verdict on a member reforms the
+        group at once — mid-write, before the next stripe is placed."""
+        if new_status != "dead":
+            return
+        self._reform_away_from(server_id)
+
+    def _reform_away_from(self, server_id: str) -> None:
+        """Replace (or drop) a dead member for all future stripes.
+
+        Replacement is spare-aware: the first configured spare that is
+        not already in the group, not previously drafted, and not
+        itself under a bad verdict steps in at the dead member's
+        position. With no usable spare the group shrinks, never below
+        the two-server parity minimum — then the verdict is recorded
+        but the group is kept (writes stay degraded-but-recoverable
+        rather than unprotected).
+
+        Buffered data is unaffected either way: fragments of the stripe
+        currently being filled pick their servers at stripe close, so
+        everything still in the builders flows to the new group.
+        """
+        if server_id not in self.group.servers:
+            return
+        replacement = self._pick_spare()
+        if replacement is not None:
+            self._spares_used.append(replacement)
+            new_servers = tuple(replacement if sid == server_id else sid
+                                for sid in self.group.servers)
+        else:
+            new_servers = tuple(sid for sid in self.group.servers
+                                if sid != server_id)
+            if len(new_servers) < 2:
+                self.reforms.append({"departed": server_id,
+                                     "replacement": None,
+                                     "kept_group": True,
+                                     "stripes_written": self.stripes_written})
+                return
+        self.reform_group(StripeGroup(new_servers))
+        self.reforms.append({"departed": server_id,
+                             "replacement": replacement,
+                             "kept_group": False,
+                             "stripes_written": self.stripes_written})
+
+    def _pick_spare(self) -> Optional[str]:
+        for spare in self.config.spare_servers:
+            if spare in self.group.servers or spare in self._spares_used:
+                continue
+            if self.monitor is not None and not self.monitor.is_usable(spare):
+                continue
+            return spare
+        return None
 
     # ------------------------------------------------------------------
     # Checkpoints
@@ -524,12 +638,13 @@ class LogLayer:
                                         principal=self.config.principal))
             for fid, server_id in targets])
         failed: List[int] = []
-        for (fid, _server_id), future in zip(targets, futures):
+        for (fid, server_id), future in zip(targets, futures):
             if not future.ok:
                 if isinstance(future.exception, FragmentNotFoundError):
                     pass  # already gone: deletion is idempotent
                 elif isinstance(future.exception, SwarmError):
                     self.delete_failures += 1
+                    self._count_failure(server_id, "deletes")
                     failed.append(fid)
                 else:
                     raise future.exception

@@ -21,7 +21,7 @@ from a departed server.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 
 class LocationCache:
@@ -61,6 +61,16 @@ class LocationCache:
         """
         for index, server_id in enumerate(header.servers):
             self._map[header.stripe_base_fid + index] = server_id
+
+    def fids_on(self, server_id: str) -> List[int]:
+        """Cached fids believed to live on ``server_id``, sorted.
+
+        The repair daemon's first candidate list after a server dies:
+        everything the client remembers placing (or locating) there is
+        a stripe that now needs a member re-materialized.
+        """
+        return sorted(fid for fid, sid in self._map.items()
+                      if sid == server_id)
 
     def evict(self, fid: int) -> None:
         """Drop a placement (observed to be stale or deleted)."""

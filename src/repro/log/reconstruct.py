@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     CorruptFragmentError,
+    FragmentExistsError,
     ReconstructionError,
     SwarmError,
     UnrecoverableError,
@@ -246,13 +247,72 @@ class Reconstructor:
 
     # ------------------------------------------------------------------
 
-    def rebuild_to_server(self, fid: int, target_server: str,
-                          marked: bool = False) -> None:
-        """Reconstruct ``fid`` and store it on ``target_server``.
+    def rebuild_to_server(self, fid: int, target_server: str) -> bytes:
+        """Reconstruct ``fid``, store it on ``target_server``, verify it.
 
         Used when repairing the cluster after replacing a failed server:
-        clients re-materialize the fragments the dead server held.
+        clients re-materialize the fragments the dead server held. The
+        rewrite is careful on three counts:
+
+        * **Atomic-store path** — the slot is preallocated first, so
+          the target either commits the whole image or holds an empty
+          reservation; a crash mid-repair never leaves a torn fragment
+          behind. A target already holding different bytes under this
+          fid (a stale or damaged copy) is deleted and rewritten whole.
+        * **Marked flag from the header** — a checkpoint fragment's
+          ``marked`` bit is part of the data (recovery finds
+          checkpoints through it), so it is taken from the rebuilt
+          image's own header, never guessed by the caller.
+        * **CRC read-back** — the fragment only counts as repaired
+          after the target returns bytes that are identical to the
+          rebuilt image and pass the payload checksum.
+
+        Returns the stored image (callers meter repair bandwidth off
+        its size). The new placement is recorded in the shared
+        :class:`LocationCache` so the next read goes straight to the
+        target instead of re-sweeping the group.
         """
-        image = self.fetch(fid)
-        self.transport.call(target_server, m.StoreRequest(
-            fid=fid, data=image, principal=self.principal, marked=marked))
+        image = bytes(self.fetch(fid))
+        header = Fragment.decode(image).header
+        try:
+            self.transport.call(target_server,
+                                m.PreallocateRequest(fid=fid,
+                                                     principal=self.principal))
+        except FragmentExistsError:
+            pass  # already present (stale copy or resumed repair)
+        store = m.StoreRequest(fid=fid, data=image, principal=self.principal,
+                               marked=header.marked)
+        try:
+            self.transport.call(target_server, store)
+        except FragmentExistsError:
+            # The target holds committed bytes under this fid. Identical
+            # bytes mean an earlier (possibly crashed) repair already
+            # won; anything else is stale and must be replaced whole.
+            existing = self.transport.call(
+                target_server, m.RetrieveRequest(fid=fid,
+                                                 principal=self.principal))
+            if bytes(existing.payload) != image:
+                self.transport.call(
+                    target_server, m.DeleteRequest(fid=fid,
+                                                   principal=self.principal))
+                self.transport.call(target_server, store)
+        self._verify_read_back(fid, target_server, image)
+        self.locations.record(fid, target_server)
+        return image
+
+    def _verify_read_back(self, fid: int, target_server: str,
+                          image: bytes) -> None:
+        probe = self.transport.call(
+            target_server, m.RetrieveRequest(fid=fid,
+                                             principal=self.principal))
+        committed = bytes(probe.payload)
+        if committed != image:
+            raise ReconstructionError(
+                "read-back of repaired fragment %d on %s differs from the "
+                "rebuilt image" % (fid, target_server))
+        try:
+            Fragment.decode(committed, verify_crc=True)
+        except CorruptFragmentError as exc:
+            raise ReconstructionError(
+                "repaired fragment %d on %s failed its checksum read-back"
+                % (fid, target_server)) from exc

@@ -27,7 +27,7 @@ attempt won.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro import errors
 from repro.rpc import messages as m
@@ -39,16 +39,22 @@ Everything else (not found, exists, ACL denials, bad requests) is a
 definitive answer and is surfaced immediately."""
 
 
-def wrap_transport(transport, policy: Optional["RetryPolicy"]):
+def wrap_transport(transport, policy: Optional["RetryPolicy"], monitor=None):
     """Interpose a :class:`RetryingTransport` when a policy is given.
 
     The one canonical way client components (log layer, reader,
     reconstructor) accept an optional retry policy: ``None`` returns
     the transport unchanged, anything else wraps it exactly once.
+    ``monitor`` (a :class:`~repro.health.monitor.HealthMonitor`) is fed
+    every per-server outcome the wrapper sees; it requires a policy,
+    because without the wrapper nothing would feed it.
     """
     if policy is None:
+        if monitor is not None:
+            raise errors.ConfigError(
+                "a health monitor needs a retry policy to feed it")
         return transport
-    return RetryingTransport(transport, policy)
+    return RetryingTransport(transport, policy, monitor=monitor)
 
 
 def charge_delay(transport, seconds: float) -> bool:
@@ -116,17 +122,70 @@ class RetryingTransport(Transport):
     unretried — its drivers model failure at a different layer.
     """
 
-    def __init__(self, inner, policy: RetryPolicy) -> None:
+    def __init__(self, inner, policy: RetryPolicy, monitor=None) -> None:
         self.inner = inner
         self.policy = policy
+        self.monitor = monitor
+        if monitor is not None:
+            # Probes go out below the retry layer: one RPC each, not a
+            # whole backoff ladder against a server already known sick.
+            monitor.attach(inner)
         # Statistics (read by the chaos runner and tests).
         self.retries = 0
         self.backoff_charged_s = 0.0
         self.exhausted = 0
         self.ambiguous_resolutions = 0
+        self.per_server: Dict[str, Dict[str, float]] = {}
 
     def server_ids(self) -> List[str]:
         return self.inner.server_ids()
+
+    # ------------------------------------------------------------------
+    # Health accounting
+    # ------------------------------------------------------------------
+
+    def _stats(self, server_id: str) -> Dict[str, float]:
+        stats = self.per_server.get(server_id)
+        if stats is None:
+            stats = self.per_server[server_id] = {
+                "calls": 0, "successes": 0, "failures": 0,
+                "retries": 0, "exhausted": 0, "backoff_s": 0.0,
+            }
+        return stats
+
+    def _observe(self, server_id: str, ok: bool) -> None:
+        """One attempt outcome: count it and feed the failure detector.
+
+        ``ok`` means the server answered — definitive application
+        errors (not-found, exists, ACL denials) are proof of life and
+        are reported as successes; only transient unreachability counts
+        against a server's health.
+        """
+        stats = self._stats(server_id)
+        stats["calls"] += 1
+        stats["successes" if ok else "failures"] += 1
+        if self.monitor is not None:
+            self.monitor.observe(server_id, ok)
+
+    def _note_exhausted(self, server_id: str) -> None:
+        self.exhausted += 1
+        self._stats(server_id)["exhausted"] += 1
+        if self.monitor is not None:
+            self.monitor.note_exhausted(server_id)
+
+    def health_report(self) -> Dict[str, object]:
+        """Structured per-server outcome counters (one source of truth
+        for the monitor, the chaos runner, and the tests)."""
+        return {
+            "totals": {
+                "retries": self.retries,
+                "backoff_charged_s": self.backoff_charged_s,
+                "exhausted": self.exhausted,
+                "ambiguous_resolutions": self.ambiguous_resolutions,
+            },
+            "servers": {sid: dict(stats)
+                        for sid, stats in sorted(self.per_server.items())},
+        }
 
     @property
     def submit_is_synchronous(self) -> bool:
@@ -140,10 +199,12 @@ class RetryingTransport(Transport):
         elapsed = 0.0
         while True:
             try:
-                return self.inner.call(server_id, request)
+                response = self.inner.call(server_id, request)
             except TRANSIENT_ERRORS as exc:
                 failure: errors.SwarmError = exc
+                self._observe(server_id, ok=False)
             except errors.FragmentExistsError:
+                self._observe(server_id, ok=True)
                 if attempt > 1 and not _resolving:
                     resolved = self._resolve_already_exists(server_id, request)
                     if resolved is not None:
@@ -151,21 +212,32 @@ class RetryingTransport(Transport):
                         return resolved
                 raise
             except errors.FragmentNotFoundError:
+                self._observe(server_id, ok=True)
                 if attempt > 1 and isinstance(request, m.DeleteRequest):
                     # The earlier attempt deleted it; only the reply
                     # was lost. Deletion is idempotent.
                     self.ambiguous_resolutions += 1
                     return m.Response()
                 raise
+            except errors.SwarmError:
+                # A definitive application error: the server answered.
+                self._observe(server_id, ok=True)
+                raise
+            else:
+                self._observe(server_id, ok=True)
+                return response
             if attempt >= policy.max_attempts:
-                self.exhausted += 1
+                self._note_exhausted(server_id)
                 raise failure
             backoff = policy.backoff_for(attempt)
             if elapsed + backoff > policy.deadline_s:
-                self.exhausted += 1
+                self._note_exhausted(server_id)
                 raise failure
             elapsed += backoff
             self.retries += 1
+            stats = self._stats(server_id)
+            stats["retries"] += 1
+            stats["backoff_s"] += backoff
             self.backoff_charged_s += backoff
             charge_delay(self.inner, backoff)
             attempt += 1
@@ -200,6 +272,7 @@ class RetryingTransport(Transport):
             return self.inner.submit_many(plan)
         policy = self.policy
         futures = list(self.inner.submit_many(plan))
+        self._observe_scatter(plan, futures)
         elapsed = [0.0] * len(plan)
         for attempt in range(1, policy.max_attempts):
             retry_indices = []
@@ -216,17 +289,29 @@ class RetryingTransport(Transport):
             # The operations back off concurrently: charge the slowest.
             round_backoff = max(backoff for _i, backoff in retry_indices)
             self.retries += len(retry_indices)
+            for index, backoff in retry_indices:
+                stats = self._stats(plan[index][0])
+                stats["retries"] += 1
+                stats["backoff_s"] += backoff
             self.backoff_charged_s += round_backoff
             charge_delay(self.inner, round_backoff)
-            retried = self.inner.submit_many(
-                [plan[index] for index, _backoff in retry_indices])
+            retry_plan = [plan[index] for index, _backoff in retry_indices]
+            retried = self.inner.submit_many(retry_plan)
+            self._observe_scatter(retry_plan, retried)
             for (index, _backoff), future in zip(retry_indices, retried):
                 futures[index] = self._disambiguated(plan[index], future)
         for index, future in enumerate(futures):
             if future.triggered and isinstance(future.exception,
                                                TRANSIENT_ERRORS):
-                self.exhausted += 1
+                self._note_exhausted(plan[index][0])
         return futures
+
+    def _observe_scatter(self, plan, futures) -> None:
+        """Feed one scatter round's per-operation outcomes."""
+        for (server_id, _request), future in zip(plan, futures):
+            if future.triggered:
+                self._observe(server_id, not isinstance(
+                    future.exception, TRANSIENT_ERRORS))
 
     def _disambiguated(self, operation, future):
         """Resolve a retried operation's at-least-once ambiguity."""

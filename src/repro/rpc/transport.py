@@ -116,6 +116,19 @@ class Transport(ABC):
     def server_ids(self) -> List[str]:
         """Names of all reachable servers."""
 
+    def probe(self, server_id: str) -> None:
+        """One idempotent liveness probe; raises when unreachable.
+
+        An empty ``HoldsRequest`` — the cheapest operation a server
+        answers, with no side effects and no payload, so the failure
+        detector can test a suspect server without perturbing its
+        state or charging meaningful disk/NIC time. Wrapper transports
+        inherit this, so a probe issued below the retry layer still
+        passes through fault injection (a chaos run can fault probes
+        like any other RPC).
+        """
+        self.call(server_id, m.HoldsRequest(fids=()))
+
     @property
     def submit_is_synchronous(self) -> bool:
         """Whether :meth:`submit` returns already-resolved futures.

@@ -78,6 +78,10 @@ class CleanerService(Service):
         # Fragments whose deletes failed transiently; retried on the
         # next cleaning pass rather than leaking disk forever.
         self._deferred_deletes: Set[int] = set()
+        # Stripe bases the repair daemon is rebuilding: cleaning one
+        # mid-repair would delete the survivors the reconstruction is
+        # XOR-ing together, so held stripes are never candidates.
+        self._repair_hold: Set[int] = set()
         # Statistics.
         self.stripes_cleaned = 0
         self.blocks_moved = 0
@@ -143,7 +147,7 @@ class CleanerService(Service):
             if header is None or header.is_parity:
                 continue
             base = header.stripe_base_fid
-            if base in seen_bases:
+            if base in seen_bases or base in self._repair_hold:
                 continue
             seen_bases.add(base)
             usage = self._stripe_usage(header)
@@ -156,6 +160,20 @@ class CleanerService(Service):
             stripes.append(usage)
         stripes.sort(key=lambda s: s.utilization)
         return stripes
+
+    def hold_for_repair(self, base_fids) -> None:
+        """Exclude stripes from cleaning while they are being repaired.
+
+        The repair daemon calls this with the base fids of every stripe
+        whose lost member it is about to re-materialize; cleaning such
+        a stripe would race the reconstruction (deleting survivors the
+        rebuild still needs to fetch).
+        """
+        self._repair_hold.update(base_fids)
+
+    def release_repair_hold(self, base_fids) -> None:
+        """Make repaired stripes eligible for cleaning again."""
+        self._repair_hold.difference_update(base_fids)
 
     def _stripe_usage(self, header: FragmentHeader) -> Optional[StripeUsage]:
         base, width = header.stripe_base_fid, header.stripe_width

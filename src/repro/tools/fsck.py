@@ -210,10 +210,10 @@ def repair_client_log(transport, client_id: int, target_server: str,
         locations.evict(fid)
     for finding in degraded:
         for fid in finding.corrupt + finding.missing:
-            image = rebuilder.fetch(fid)
-            header = Fragment.decode(image).header
-            transport.call(target_server, m.StoreRequest(
-                fid=fid, data=image, principal=principal,
-                marked=header.marked))
+            # rebuild_to_server takes the atomic preallocate+store
+            # path, carries the marked flag from the rebuilt image's
+            # own header, verifies the rewrite with a CRC read-back,
+            # and records the new placement in the shared cache.
+            rebuilder.rebuild_to_server(fid, target_server)
             restored += 1
     return restored

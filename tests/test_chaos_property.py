@@ -24,7 +24,7 @@ except ImportError:  # pragma: no cover - hypothesis is in the dev env
 
 from repro.chaos.plan import FaultSpec
 from repro.chaos.runner import generate_ops, oracle_state, replay_check, \
-    run_chaos
+    replay_kill_check, run_chaos, run_kill_server
 
 SEEDS = [int(s) for s in
          os.environ.get("CHAOS_SEEDS", "101,202,303").split(",") if s.strip()]
@@ -77,6 +77,33 @@ def test_hot_spec_exercises_every_fault_kind(seed):
     assert report.stats["faults_applied"] >= 5, (
         "chaos seed=%d: only %d faults applied under hot spec"
         % (seed, report.stats["faults_applied"]))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_kill_server_self_heals_with_zero_data_loss(seed):
+    report = run_kill_server(seed)
+    if not report.ok:
+        _fail(report, "self-healing invariants violated (reproduce with "
+                      "--kill-server)")
+    assert report.stats["reform_gap_ops"] >= 0, (
+        "chaos seed=%d: no automatic reform happened" % seed)
+    assert report.stats["fragments_repaired"] > 0, (
+        "chaos seed=%d: repair daemon did no work — the scenario is "
+        "vacuous" % seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:1])
+def test_kill_server_replays_identically(seed):
+    first, second, identical = replay_kill_check(seed)
+    if not (first.ok and second.ok):
+        _fail(first if not first.ok else second,
+              "self-healing invariants violated (reproduce with "
+              "--kill-server)")
+    assert identical, (
+        "chaos seed=%d: kill-server replay diverged (histories %s, "
+        "digests %s vs %s)"
+        % (seed, "equal" if first.fault_history == second.fault_history
+           else "differ", first.state_digest[:12], second.state_digest[:12]))
 
 
 def test_ops_and_oracle_are_deterministic():

@@ -1,0 +1,188 @@
+"""Automatic stripe-group reform under chaos (self-healing write path).
+
+Covers the reform half of the self-healing loop: a member dies while
+writes are in flight under an adversarial fault schedule, the failure
+detector declares it dead from RPC outcomes alone, and the log layer
+reforms onto the spare — with every write that raced the reform landing
+safely on the new group.
+"""
+
+import pytest
+
+from repro import errors
+from repro.chaos.plan import FaultPlan, FaultSpec, choose_kill_victim
+from repro.chaos.transport import FaultyTransport
+from repro.cluster import build_local_cluster
+from repro.cluster.failures import FailureInjector
+from repro.health import HealthMonitor
+from repro.log.config import LogConfig
+from repro.log.layer import LogLayer
+from repro.log.stripe import StripeGroup
+from repro.rpc.retry import RetryPolicy
+
+SVC = 3
+FRAGMENT = 1 << 12
+
+
+def healing_log(cluster, plan=None, seed=5):
+    """A log over s0..s3 with s4 as spare, detector attached, chaos on."""
+    transport = cluster.transport
+    if plan is not None:
+        transport = FaultyTransport(transport, plan)
+    monitor = HealthMonitor(seed=seed)
+    log = LogLayer(transport, cluster.stripe_group(["s0", "s1", "s2",
+                                                    "s3"]),
+                   LogConfig(client_id=1, fragment_size=FRAGMENT,
+                             spare_servers=("s4",)),
+                   retry_policy=RetryPolicy(seed=seed), verify_reads=True,
+                   health_monitor=monitor)
+    return log, monitor
+
+
+def drive_until_reform(cluster, log, victim, max_rounds=30):
+    """Write/flush in small degraded rounds until auto-reform happens."""
+    payloads = {}
+    block = 0
+    for round_no in range(max_rounds):
+        for _ in range(3):
+            data = bytes([round_no + 1, block % 251]) * 700
+            payloads[block] = log.write_block(SVC, data), data
+            block += 1
+        log.flush().wait(allow_degraded=True)
+        if log.reforms:
+            return payloads
+    raise AssertionError("no automatic reform after %d rounds" % max_rounds)
+
+
+class TestAutoReform:
+    def test_dead_member_replaced_by_spare_under_chaos(self):
+        cluster = build_local_cluster(num_servers=5, fragment_size=FRAGMENT,
+                                      server_slots=512)
+        victim = choose_kill_victim(5, ["s0", "s1", "s2", "s3"])
+        plan = FaultPlan(5, FaultSpec(pinned_victim=victim))
+        log, monitor = healing_log(cluster, plan=plan)
+        injector = FailureInjector(cluster)
+
+        # Healthy prologue, then the crash.
+        before = {}
+        for block in range(4):
+            data = bytes([9, block]) * 800
+            before[block] = (log.write_block(SVC, data), data)
+        log.flush().wait(allow_degraded=True)
+        injector.crash_server(victim)
+
+        racing = drive_until_reform(cluster, log, victim)
+        reform = log.reforms[0]
+        assert reform["departed"] == victim
+        assert reform["replacement"] == "s4"
+        assert victim not in log.group.servers
+        assert "s4" in log.group.servers
+        assert monitor.status(victim) == "dead"
+
+        # Writes after the reform land on the new group only.
+        after = {}
+        for block in range(100, 106):
+            data = bytes([13, block % 251]) * 800
+            after[block] = (log.write_block(SVC, data), data)
+        log.flush().wait()  # no member is dead now: full success required
+        plan.stop()
+        for addr, _data in after.values():
+            assert log.locations.get(addr.fid) != victim
+        assert cluster.servers["s4"].list_fids()  # spare took real data
+
+        # Everything written before, during, and after the reform reads
+        # back intact (pre-crash stripes through parity).
+        for addr, data in list(before.values()) + list(racing.values()) \
+                + list(after.values()):
+            assert log.read(addr) == data
+
+    def test_departed_placements_evicted_from_cache(self):
+        cluster = build_local_cluster(num_servers=5, fragment_size=FRAGMENT,
+                                      server_slots=512)
+        log, monitor = healing_log(cluster)
+        injector = FailureInjector(cluster)
+        for block in range(6):
+            log.write_block(SVC, bytes([block + 1]) * 900)
+        log.flush().wait()
+        assert log.locations.fids_on("s2")
+        injector.crash_server("s2")
+        drive_until_reform(cluster, log, "s2")
+        assert log.locations.fids_on("s2") == []
+
+    def test_fids_stay_unique_across_reform(self):
+        # The stripe-number rotation restarts against the new group;
+        # fid allocation must never collide with pre-reform stripes.
+        cluster = build_local_cluster(num_servers=5, fragment_size=FRAGMENT,
+                                      server_slots=512)
+        log, _monitor = healing_log(cluster)
+        injector = FailureInjector(cluster)
+        for block in range(6):
+            log.write_block(SVC, bytes([block + 1]) * 900)
+        log.flush().wait()
+        injector.crash_server("s3")
+        drive_until_reform(cluster, log, "s3")
+        for block in range(50, 58):
+            log.write_block(SVC, bytes([block % 251]) * 900)
+        log.flush().wait()
+        placements = {}
+        for sid, server in cluster.servers.items():
+            if sid == "s3":
+                continue
+            for fid in server.list_fids():
+                assert fid not in placements, \
+                    "fid %d on both %s and %s" % (fid, placements[fid], sid)
+                placements[fid] = sid
+
+    def test_no_spare_shrinks_the_group(self):
+        cluster = build_local_cluster(num_servers=4, fragment_size=FRAGMENT,
+                                      server_slots=512)
+        monitor = HealthMonitor(seed=2)
+        log = LogLayer(cluster.transport, cluster.stripe_group(),
+                       LogConfig(client_id=1, fragment_size=FRAGMENT),
+                       retry_policy=RetryPolicy(seed=2),
+                       health_monitor=monitor)
+        injector = FailureInjector(cluster)
+        for block in range(4):
+            log.write_block(SVC, bytes([block + 1]) * 900)
+        log.flush().wait()
+        injector.crash_server("s1")
+        drive_until_reform(cluster, log, "s1")
+        assert log.group.servers == ("s0", "s2", "s3")
+        assert log.reforms[0]["replacement"] is None
+
+    def test_unusable_spare_is_skipped(self):
+        cluster = build_local_cluster(num_servers=5, fragment_size=FRAGMENT,
+                                      server_slots=512)
+        log, monitor = healing_log(cluster)
+        injector = FailureInjector(cluster)
+        for block in range(4):
+            log.write_block(SVC, bytes([block + 1]) * 900)
+        log.flush().wait()
+        # The spare dies first (by verdict), then a member dies: the
+        # reform must not draft a spare that is itself dead.
+        injector.crash_server("s4")
+        for _ in range(6):
+            monitor.observe("s4", ok=False)
+        assert monitor.status("s4") == "dead"
+        injector.crash_server("s0")
+        drive_until_reform(cluster, log, "s0")
+        assert log.group.servers == ("s1", "s2", "s3")
+        assert log.reforms[0]["replacement"] is None
+
+    def test_manual_reform_still_works_unmonitored(self):
+        # The pre-existing escape hatch keeps working without any
+        # detector attached.
+        cluster = build_local_cluster(num_servers=5, fragment_size=FRAGMENT,
+                                      server_slots=512)
+        log = cluster.make_log(client_id=1,
+                               group=cluster.stripe_group(["s0", "s1", "s2",
+                                                           "s3"]))
+        for block in range(4):
+            log.write_block(SVC, bytes([block + 1]) * 900)
+        log.flush().wait()
+        log.reform_group(StripeGroup(("s0", "s1", "s2", "s4")))
+        assert log.reforms == []  # manual path records no verdict
+        for block in range(10, 14):
+            log.write_block(SVC, bytes([block]) * 900)
+        log.flush().wait()
+        assert cluster.servers["s4"].list_fids()
