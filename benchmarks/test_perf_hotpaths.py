@@ -14,6 +14,7 @@ from repro.bench.perf import (
     bench_log_append,
     bench_parity,
     bench_reconstruction,
+    bench_write_pipeline,
     run_all,
     validate_bench_schema,
 )
@@ -51,6 +52,18 @@ def test_broadcast_holds_rpc_cost(benchmark, record):
     record(**result)
     # Batched protocol: one RPC per server, never one per (fid, server).
     assert result["broadcast_holds_rpcs"] <= result["broadcast_holds_servers"]
+
+def test_write_pipeline_overlap(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: bench_write_pipeline(fragment_size=1 << 16, stripes=2),
+        rounds=1)
+    record(**result)
+    # The tentpole property: a pipelined stripe close costs less
+    # simulated time than the serial sum of its member stores.
+    assert result["overlap_ratio"] < 1.0
+    assert result["pipelined_flush_ms"] < result["serial_flush_ms"]
+    # Group commit actually coalesced: more records than batches.
+    assert result["records_coalesced"] > result["group_commit_batches"]
 
 def test_smoke_document_schema(benchmark, record):
     doc = benchmark.pedantic(lambda: run_all(smoke=True), rounds=1)

@@ -1,0 +1,170 @@
+"""Performance regression gate: fresh numbers vs the committed baseline.
+
+``python -m repro.bench.regression`` re-measures the two headline
+metrics at the committed configuration and compares them against the
+repository's ``BENCH_PERF.json``:
+
+* ``log_append_mb_s`` may not drop more than the tolerance below the
+  baseline (lower is worse);
+* ``reconstruct_latency.ratio`` may not rise more than the tolerance
+  above it (higher is worse);
+* ``write_pipeline.overlap_ratio`` must stay below 1.0 — an absolute
+  property (pipelined stripe stores cost less than their serial sum),
+  not a relative one, so it is checked against the fresh run only.
+
+The tolerance defaults to 15% and is widened via the
+``PERF_REGRESSION_TOLERANCE`` environment variable (CI machines are
+noisy and unlike the machine that produced the baseline) or
+``--tolerance``. Exit status 1 means a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List
+
+from repro.bench.perf import (
+    bench_log_append,
+    bench_reconstruct_latency,
+    bench_write_pipeline,
+)
+
+DEFAULT_TOLERANCE = 0.15
+
+#: The committed-baseline configuration (run_all's non-smoke settings);
+#: fresh numbers are only comparable when measured the same way.
+FULL_APPEND_BYTES = 32 << 20
+FULL_FRAGMENT_SIZE = 1 << 20
+
+
+def measure_fresh(smoke: bool = False) -> Dict:
+    """Re-measure just the gated metrics, at baseline configuration.
+
+    ``smoke`` shrinks the append volume for fast CI runs; the
+    fragment size stays at the baseline's so stripe-close frequency —
+    which dominates the metric — is unchanged.
+    """
+    append_bytes = (4 << 20) if smoke else FULL_APPEND_BYTES
+    append = bench_log_append(total_bytes=append_bytes,
+                              fragment_size=FULL_FRAGMENT_SIZE,
+                              repeats=3)
+    return {
+        "log_append_mb_s": append["log_append_mb_s"],
+        "reconstruct_latency": bench_reconstruct_latency(
+            fragment_size=1 << 16),
+        "write_pipeline": bench_write_pipeline(fragment_size=1 << 16,
+                                               stripes=2 if smoke else 3),
+    }
+
+
+def compare(baseline: Dict, fresh: Dict,
+            tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    """Problems found comparing ``fresh`` metrics against ``baseline``.
+
+    Both arguments are ``metrics`` objects (the ``metrics`` key of a
+    BENCH_PERF document). Empty list means the gate passes.
+    """
+    problems: List[str] = []
+
+    base_append = baseline.get("log_append_mb_s")
+    fresh_append = fresh.get("log_append_mb_s")
+    if not isinstance(base_append, (int, float)) or base_append <= 0:
+        problems.append("baseline log_append_mb_s missing or non-positive")
+    elif fresh_append < base_append * (1.0 - tolerance):
+        problems.append(
+            "log_append_mb_s regressed: %.1f -> %.1f MB/s (%.0f%% below "
+            "baseline, tolerance %.0f%%)"
+            % (base_append, fresh_append,
+               100.0 * (1.0 - fresh_append / base_append),
+               100.0 * tolerance))
+
+    base_latency = baseline.get("reconstruct_latency")
+    base_ratio = (base_latency or {}).get("ratio")
+    fresh_ratio = fresh["reconstruct_latency"]["ratio"]
+    if not isinstance(base_ratio, (int, float)) or base_ratio <= 0:
+        problems.append("baseline reconstruct_latency.ratio missing or "
+                        "non-positive")
+    elif fresh_ratio > base_ratio * (1.0 + tolerance):
+        problems.append(
+            "reconstruct_latency.ratio regressed: %.3f -> %.3f (%.0f%% "
+            "above baseline, tolerance %.0f%%)"
+            % (base_ratio, fresh_ratio,
+               100.0 * (fresh_ratio / base_ratio - 1.0),
+               100.0 * tolerance))
+
+    overlap = fresh["write_pipeline"]["overlap_ratio"]
+    if overlap >= 1.0:
+        problems.append(
+            "write_pipeline.overlap_ratio is %.3f — pipelined stripe "
+            "stores no longer beat the serial sum" % overlap)
+
+    return problems
+
+
+def resolve_tolerance(cli_value=None) -> float:
+    """Tolerance from the CLI flag, the environment, or the default."""
+    if cli_value is not None:
+        return float(cli_value)
+    raw = os.environ.get("PERF_REGRESSION_TOLERANCE", "")
+    if raw.strip():
+        value = float(raw)
+        if value < 0:
+            raise ValueError("PERF_REGRESSION_TOLERANCE must be >= 0")
+        return value
+    return DEFAULT_TOLERANCE
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.regression",
+        description="Compare fresh perf numbers against the committed "
+                    "BENCH_PERF.json baseline.")
+    parser.add_argument("--baseline", default="BENCH_PERF.json",
+                        help="baseline document (default: BENCH_PERF.json)")
+    parser.add_argument("--fresh-json", default=None,
+                        help="use a pre-measured BENCH_PERF document "
+                             "instead of re-benchmarking")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="allowed relative regression (default: "
+                             "$PERF_REGRESSION_TOLERANCE or %.2f)"
+                        % DEFAULT_TOLERANCE)
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller append volume for fast CI runs")
+    args = parser.parse_args(argv)
+
+    tolerance = resolve_tolerance(args.tolerance)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)["metrics"]
+
+    if args.fresh_json is not None:
+        with open(args.fresh_json) as handle:
+            fresh = json.load(handle)["metrics"]
+    else:
+        fresh = measure_fresh(smoke=args.smoke)
+
+    print("tolerance: %.0f%%" % (100.0 * tolerance))
+    print("%-28s %12s %12s" % ("metric", "baseline", "fresh"))
+    print("%-28s %12.3f %12.3f" % ("log_append_mb_s",
+                                   baseline.get("log_append_mb_s", -1),
+                                   fresh["log_append_mb_s"]))
+    print("%-28s %12.3f %12.3f"
+          % ("reconstruct_latency.ratio",
+             (baseline.get("reconstruct_latency") or {}).get("ratio", -1),
+             fresh["reconstruct_latency"]["ratio"]))
+    print("%-28s %12s %12.3f" % ("write_pipeline.overlap_ratio", "<1.0",
+                                 fresh["write_pipeline"]["overlap_ratio"]))
+
+    problems = compare(baseline, fresh, tolerance)
+    for problem in problems:
+        print("REGRESSION: %s" % problem, file=sys.stderr)
+    if problems:
+        return 1
+    print("perf regression gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

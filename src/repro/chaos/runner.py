@@ -128,8 +128,16 @@ class ChaosReport:
 def run_chaos(seed: int, ops: Optional[Sequence[Op]] = None,
               spec: Optional[FaultSpec] = None, num_servers: int = 4,
               fragment_size: int = 1 << 12,
-              damage_fragments: int = 2) -> ChaosReport:
-    """Execute one seeded chaos run; see the module docstring."""
+              damage_fragments: int = 2,
+              log_overrides: Optional[Dict[str, object]] = None,
+              ) -> ChaosReport:
+    """Execute one seeded chaos run; see the module docstring.
+
+    ``log_overrides`` merges extra :class:`LogConfig` fields into the
+    chaos client's configuration (e.g. a wider ``max_inflight_stripes``
+    window, or group commit off) so the determinism and oracle
+    invariants can be asserted across write-path configurations.
+    """
     ops = list(ops) if ops is not None else generate_ops(seed)
     expected = oracle_state(ops)
     report = ChaosReport(seed=seed)
@@ -141,7 +149,8 @@ def run_chaos(seed: int, ops: Optional[Sequence[Op]] = None,
     faulty = FaultyTransport(cluster.transport, plan)
     log = LogLayer(faulty, cluster.stripe_group(),
                    LogConfig(client_id=CLIENT_ID,
-                             fragment_size=fragment_size),
+                             fragment_size=fragment_size,
+                             **(log_overrides or {})),
                    retry_policy=RetryPolicy(seed=seed), verify_reads=True)
     stack = ServiceStack(log)
     disk = stack.push(LogicalDiskService(SERVICE_DISK))
@@ -289,7 +298,9 @@ def replay_check(seed: int, **kwargs) -> Tuple[ChaosReport, ChaosReport, bool]:
 def run_kill_server(seed: int, ops: Optional[Sequence[Op]] = None,
                     spec: Optional[FaultSpec] = None, num_servers: int = 5,
                     fragment_size: int = 1 << 12,
-                    flush_every: int = 4) -> ChaosReport:
+                    flush_every: int = 4,
+                    log_overrides: Optional[Dict[str, object]] = None,
+                    ) -> ChaosReport:
     """The self-healing scenario: crash a member, never restart it.
 
     One server of the stripe group is crashed mid-workload *and stays
@@ -332,7 +343,8 @@ def run_kill_server(seed: int, ops: Optional[Sequence[Op]] = None,
     log = LogLayer(faulty, cluster.stripe_group(group_servers),
                    LogConfig(client_id=CLIENT_ID,
                              fragment_size=fragment_size,
-                             spare_servers=(spare,)),
+                             spare_servers=(spare,),
+                             **(log_overrides or {})),
                    retry_policy=RetryPolicy(seed=seed), verify_reads=True,
                    health_monitor=monitor)
     stack = ServiceStack(log)

@@ -65,6 +65,23 @@ class SimClientDriver:
         while len(pending) > window:
             yield self.cluster.sim.any_of(pending)
             pending = [e for e in pending if not e.triggered]
+        # Stripe-level write-behind window. Inside the simulation the
+        # log layer cannot block at stripe close, so its window is
+        # advisory there; the driver enforces it between appends by
+        # waiting on the oldest in-flight stripe's stores. The stripe
+        # window bounds buffered-stripe memory *on top of* the paper's
+        # fragment flow control — never below it: for narrow groups
+        # (a stripe of one or two fragments) the fragment window needs
+        # more stripes in flight to keep §2.1.2's pipeline full.
+        stripe_window = max(
+            self.log.config.max_inflight_stripes,
+            -(-self.log.config.max_outstanding_fragments
+              // self.log.layout.max_data_fragments()))
+        while self.log.inflight_stripes() > stripe_window:
+            oldest = self.log.oldest_inflight_events()
+            if not oldest:
+                break
+            yield self.cluster.sim.any_of(oldest)
 
     # ------------------------------------------------------------------
 
@@ -89,6 +106,9 @@ class SimClientDriver:
         ticket = self.log.flush()
         if ticket.events:
             yield self.cluster.sim.all_of(ticket.events)
+        # Now that every store has resolved, fold late failures into
+        # the layer's per-server accounting.
+        ticket.failures()
         return (self.log.useful_bytes_written, self.log.raw_bytes_written)
 
     def read_blocks(self, addresses: List, service_id: int = 1) -> Generator:

@@ -158,7 +158,8 @@ class SimCluster:
             transport, group or self.stripe_group(),
             LogConfig(client_id=client_index + 1,
                       fragment_size=self.config.fragment_size,
-                      max_outstanding_fragments=self.config.max_outstanding_fragments),
+                      max_outstanding_fragments=self.config.max_outstanding_fragments,
+                      max_inflight_stripes=self.config.max_inflight_stripes),
             cost_hook=cost_hook,
             retry_policy=retry_policy, verify_reads=verify_reads)
 

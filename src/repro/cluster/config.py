@@ -30,6 +30,7 @@ class ClusterConfig:
     disk: DiskParams = field(default_factory=DiskParams)
     cpu: CpuParams = field(default_factory=CpuParams)
     max_outstanding_fragments: int = 4
+    max_inflight_stripes: int = 2
 
     def __post_init__(self) -> None:
         if self.num_servers < 1:

@@ -52,6 +52,18 @@ class LogConfig:
     group when a member is declared dead. Order is preference order; a
     spare is used at most once. Empty means a dead member is dropped
     and the group shrinks (down to the two-server parity minimum)."""
+    max_inflight_stripes: int = 2
+    """Write-behind window: how many closed stripes may have stores in
+    flight at once. Stripe N+1 builds and dispatches while stripe N's
+    stores travel; the window filling up applies backpressure at the
+    next stripe close. 1 restores the strict stripe-at-a-time barrier."""
+    pipeline_stores: bool = True
+    """Dispatch a stripe's fragment stores as one ``submit_many`` plan
+    (overlapped in sim deferred mode) instead of one submit at a time."""
+    group_commit_bytes: int = 4096
+    """Coalesce service records smaller than this into a client-side
+    batch flushed before the next block append, checkpoint, or flush.
+    0 disables group commit (every record hits a builder immediately)."""
 
     def __post_init__(self) -> None:
         if self.client_id < 0:
@@ -60,6 +72,10 @@ class LogConfig:
             raise ConfigError("fragment_size unreasonably small")
         if self.max_outstanding_fragments < 1:
             raise ConfigError("max_outstanding_fragments must be >= 1")
+        if self.max_inflight_stripes < 1:
+            raise ConfigError("max_inflight_stripes must be >= 1")
+        if self.group_commit_bytes < 0:
+            raise ConfigError("group_commit_bytes must be >= 0")
         if len(set(self.spare_servers)) != len(self.spare_servers):
             raise ConfigError("duplicate server in spare_servers")
         if not self.principal:

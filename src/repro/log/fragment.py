@@ -295,6 +295,9 @@ class FragmentBuilder:
         self.client_id = client_id
         self.capacity = capacity
         self.marked = False
+        # Set by the log layer once this fragment's payload has been
+        # folded into the stripe's running parity accumulator.
+        self.parity_folded = False
         # Complete image buffer: header region (patched at seal) plus
         # payload. ``_end`` is the absolute image offset of the next
         # item; bytes at [HEADER_SIZE, _end) never change once written.
@@ -385,6 +388,14 @@ class FragmentBuilder:
             raise ValueError("peek outside buffered payload")
         return memoryview(self._buf).toreadonly()[offset:offset + length]
 
+    def buffered_image(self):
+        """Read-only view of the accumulated image bytes so far (the
+        header region is still zero before :meth:`seal`). This is what
+        the incremental-parity accumulator folds when a fragment fills:
+        payload bytes never change once written, so the view is final
+        for everything below ``payload_used``."""
+        return memoryview(self._buf).toreadonly()[:self._end]
+
     # -- sealing -----------------------------------------------------------
 
     def seal(self, stripe_base_fid: int, stripe_width: int, stripe_index: int,
@@ -414,7 +425,8 @@ class FragmentBuilder:
 
 def make_parity_fragment(fid: int, client_id: int, data_images: List[bytes],
                          stripe_base_fid: int, stripe_width: int,
-                         stripe_index: int, servers: Tuple[str, ...]) -> Fragment:
+                         stripe_index: int, servers: Tuple[str, ...],
+                         payload: Optional[bytes] = None) -> Fragment:
     """Build the parity fragment for a stripe.
 
     The payload is the byte-wise XOR of the data fragments' complete
@@ -422,10 +434,15 @@ def make_parity_fragment(fid: int, client_id: int, data_images: List[bytes],
     fragment's full image can be recovered by XOR-ing the parity payload
     with the surviving images. XOR runs through the fast word-wise
     implementation; ``parity_of`` remains only as the reference oracle.
+
+    Callers that kept a running XOR as the stripe filled (the
+    incremental-parity write path) pass the finished ``payload``
+    directly; it must equal ``parity_of_fast(data_images)``.
     """
     from repro.log.stripe import parity_of_fast  # local import to avoid a cycle
 
-    payload = parity_of_fast(data_images)
+    if payload is None:
+        payload = parity_of_fast(data_images)
     header = FragmentHeader(
         fid=fid, client_id=client_id, is_parity=True, marked=False,
         stripe_base_fid=stripe_base_fid, stripe_width=stripe_width,

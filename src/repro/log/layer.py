@@ -48,12 +48,32 @@ from repro.log.records import (
     encode_checkpoint_table,
     encode_record_payload_block,
 )
-from repro.log.stripe import StripeGroup, StripeLayout
+from repro.log.stripe import ParityAccumulator, StripeGroup, StripeLayout
 from repro.rpc import messages as m
 from repro.util.idgen import IdGenerator
 
 CostHook = Callable[[str, int], None]
 UsageListener = Callable[[str, BlockAddress, int], None]
+
+
+class StripeTicket:
+    """Completion handle for one stripe's dispatched stores.
+
+    The write-behind window counts these: a stripe is *in flight* until
+    every one of its store futures has resolved. Stripe tickets compose
+    into the :class:`FlushTicket` full barrier — a flush's events are
+    exactly the events of every stripe dispatched since the last flush.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: List) -> None:
+        self.events = events
+
+    @property
+    def done(self) -> bool:
+        """True once every store of this stripe has resolved."""
+        return all(event.triggered for event in self.events)
 
 
 class FlushTicket:
@@ -63,10 +83,21 @@ class FlushTicket:
     transport; simulator processes on the simulated one). Synchronous
     callers use :meth:`wait`; simulated drivers ``yield
     sim.all_of(ticket.events)``.
+
+    ``on_observe`` is the issuing log layer's accounting hook: store
+    failures that only become visible once the futures resolve (the
+    pipelined write-behind path) are folded into the layer's per-server
+    failure counters the moment a caller looks at the ticket.
     """
 
-    def __init__(self, events: List) -> None:
+    def __init__(self, events: List,
+                 on_observe: Optional[Callable[[], None]] = None) -> None:
         self.events = events
+        self._on_observe = on_observe
+
+    def _observe(self) -> None:
+        if self._on_observe is not None:
+            self._on_observe()
 
     def wait(self, allow_degraded: bool = False) -> None:
         """Verify every store finished; raises the first failure.
@@ -83,10 +114,13 @@ class FlushTicket:
             if not event.triggered:
                 raise LogError("flush not complete; drive the simulator first")
             if event.exception is not None and not allow_degraded:
+                self._observe()
                 raise event.exception
+        self._observe()
 
     def failures(self) -> List[BaseException]:
         """Exceptions of the stores that failed (empty when clean)."""
+        self._observe()
         return [event.exception for event in self.events
                 if event.triggered and event.exception is not None]
 
@@ -125,6 +159,18 @@ class LogLayer:
         # (their stripe descriptor is patched at stripe close).
         self._building: List[FragmentBuilder] = []
         self._pending: List = []
+        # Running XOR of the open stripe's data images (None when the
+        # group has no parity member, or mid-stripe after recovery).
+        self._parity_acc: Optional[ParityAccumulator] = None
+        # Write-behind: stripes whose stores are still in flight, oldest
+        # first, bounded by config.max_inflight_stripes.
+        self._inflight: List[StripeTicket] = []
+        # Stores dispatched while unresolved; their outcomes are folded
+        # into the failure counters when the futures resolve.
+        self._store_ledger: List[Tuple[str, object]] = []
+        # Group commit: small service records waiting to hit a builder.
+        self._record_batch: List[Record] = []
+        self._record_batch_bytes = 0
         # Fragment placements: shared with the reconstructor (and, when
         # the caller passes one in, with readers/recovery/fsck too).
         self.locations = locations if locations is not None else \
@@ -144,6 +190,8 @@ class LogLayer:
         self.stripes_written = 0
         self.preallocate_failures = 0
         self.delete_failures = 0
+        self.group_commit_batches = 0
+        self.records_coalesced = 0
         self._failures_by_server: Dict[str, Dict[str, int]] = {}
 
     # ------------------------------------------------------------------
@@ -165,6 +213,27 @@ class LogLayer:
         flush ticket. Simulated drivers use this for flow control."""
         return list(self._pending)
 
+    def inflight_stripes(self) -> int:
+        """Stripes whose stores are still in flight (write-behind)."""
+        self._inflight = [t for t in self._inflight if not t.done]
+        return len(self._inflight)
+
+    def oldest_inflight_events(self) -> List:
+        """Unresolved store events of the oldest in-flight stripe.
+
+        Simulated drivers wait on these to enforce the write-behind
+        window from inside the simulation, where the log layer itself
+        cannot block.
+        """
+        self._inflight = [t for t in self._inflight if not t.done]
+        if not self._inflight:
+            return []
+        return [e for e in self._inflight[0].events if not e.triggered]
+
+    def buffered_records(self) -> int:
+        """Records held by group commit, not yet in any fragment."""
+        return len(self._record_batch)
+
     def known_location(self, fid: int) -> Optional[str]:
         """Server believed to hold ``fid`` (no network traffic)."""
         return self.locations.get(fid)
@@ -173,6 +242,32 @@ class LogLayer:
         per_kind = self._failures_by_server.setdefault(
             server_id, {"stores": 0, "preallocates": 0, "deletes": 0})
         per_kind[kind] += 1
+
+    def _account_store_outcomes(self) -> None:
+        """Fold late store outcomes into the per-server failure counters.
+
+        Stores dispatched through the asynchronous path resolve after
+        submission; their failures used to vanish (only submit-time
+        ``triggered`` futures were counted). Every dispatched store that
+        was unresolved at submit time sits in the ledger until its
+        future resolves — then a failure is counted exactly once, and
+        fed to the failure detector, which the retry wrapper only feeds
+        on the synchronous path.
+        """
+        if not self._store_ledger:
+            return
+        from repro.rpc.retry import TRANSIENT_ERRORS
+
+        remaining: List[Tuple[str, object]] = []
+        for server_id, future in self._store_ledger:
+            if not future.triggered:
+                remaining.append((server_id, future))
+            elif future.exception is not None:
+                self._count_failure(server_id, "stores")
+                if self.monitor is not None:
+                    self.monitor.observe(server_id, ok=not isinstance(
+                        future.exception, TRANSIENT_ERRORS))
+        self._store_ledger = remaining
 
     def failures(self) -> Dict[str, Dict[str, int]]:
         """Per-server counts of failed stores/preallocates/deletes.
@@ -197,6 +292,9 @@ class LogLayer:
                 "stripes_written": self.stripes_written,
                 "preallocate_failures": self.preallocate_failures,
                 "delete_failures": self.delete_failures,
+                "group_commit_batches": self.group_commit_batches,
+                "records_coalesced": self.records_coalesced,
+                "inflight_stripes": self.inflight_stripes(),
                 "failures_by_server": self.failures(),
                 "reforms": [dict(reform) for reform in self.reforms],
                 "group": list(self.group.servers),
@@ -244,6 +342,7 @@ class LogLayer:
         if len(data) > self.max_block_size():
             raise LogError("block of %d bytes exceeds fragment capacity"
                            % len(data))
+        self._drain_records()
         # Keep the block and its CREATE record in one fragment whenever
         # they fit together: the cleaner reads a block's creation record
         # from the block's own fragment, so co-location makes move
@@ -268,9 +367,25 @@ class LogLayer:
 
     def write_record(self, owner_service: int, rtype: int,
                      payload: bytes) -> Record:
-        """Append a service record; returns it (with its LSN assigned)."""
+        """Append a service record; returns it (with its LSN assigned).
+
+        Small records ride the group-commit buffer: they are assigned
+        their LSN immediately but coalesce client-side until the batch
+        reaches ``config.group_commit_bytes`` — or until the next block
+        append, checkpoint, or flush, all of which drain the batch
+        first, so the physical log keeps its strict LSN order and a
+        flush still means "everything before it is durable".
+        """
         record = Record(self._lsn.next(), owner_service, rtype, payload)
-        self._append_record(record)
+        threshold = self.config.group_commit_bytes
+        if threshold and len(payload) < threshold:
+            self._record_batch.append(record)
+            self._record_batch_bytes += len(record.encode())
+            if self._record_batch_bytes >= threshold:
+                self._drain_records()
+        else:
+            self._drain_records()
+            self._append_record(record)
         self.cost_hook("copy", len(payload))
         return record
 
@@ -281,12 +396,26 @@ class LogLayer:
         The data bytes stay in place until the cleaner reclaims their
         stripe; the DELETE record makes them dead immediately.
         """
+        self._drain_records()
         record = Record(self._lsn.next(), SERVICE_LOG_LAYER, RecordType.DELETE,
                         encode_record_payload_block(addr, owner_service,
                                                     create_info))
         self._append_record(record)
         self._notify_usage("delete", addr, addr.length)
         return record
+
+    def _drain_records(self) -> None:
+        """Move every group-committed record into the builders, in LSN
+        order. One batched walk amortizes the builder-selection work the
+        records would otherwise pay one by one."""
+        if not self._record_batch:
+            return
+        batch, self._record_batch = self._record_batch, []
+        self._record_batch_bytes = 0
+        self.group_commit_batches += 1
+        self.records_coalesced += len(batch)
+        for record in batch:
+            self._append_record(record)
 
     def _append_record(self, record: Record) -> BlockAddress:
         encoded_len = len(record.encode())
@@ -308,6 +437,8 @@ class LogLayer:
         return builder
 
     def _open_fragment(self) -> None:
+        if not self._building and self.group.supports_parity:
+            self._parity_acc = ParityAccumulator()
         fid = make_fid(self.config.client_id, self._seq.next())
         self._building.append(FragmentBuilder(fid, self.config.client_id,
                                               self.config.fragment_size))
@@ -317,17 +448,43 @@ class LogLayer:
         stripe first if it has reached full width."""
         if len(self._building) >= self.layout.max_data_fragments():
             self._close_stripe()
+        else:
+            self._fold_parity(self._building[-1])
         self._open_fragment()
+
+    def _fold_parity(self, builder: FragmentBuilder) -> None:
+        """Fold a filled (still unsealed) fragment into the running
+        parity XOR. The payload region is final once written, so it
+        folds the moment the fragment fills; the header — only known at
+        seal — folds at stripe close. By then every fragment but the
+        open tail has already been XOR-ed, so the close-time stall
+        shrinks from the whole stripe to one fragment."""
+        acc = self._parity_acc
+        if acc is None or builder.parity_folded or builder.item_count == 0:
+            return
+        with builder.buffered_image() as view:
+            acc.add_range(HEADER_SIZE, view[HEADER_SIZE:])
+        builder.parity_folded = True
 
     # ------------------------------------------------------------------
     # Stripe close / flush
     # ------------------------------------------------------------------
 
     def _close_stripe(self) -> None:
-        """Seal the accumulated data fragments, compute parity, and
-        dispatch the whole stripe asynchronously."""
+        """Seal the accumulated data fragments, finish the incremental
+        parity, and dispatch the whole stripe's stores as one plan.
+
+        With ``pipeline_stores`` the stores travel through
+        ``Transport.submit_many``: on the simulated testbed the stripe's
+        fragments cross the network as concurrent processes (NIC, fabric
+        and disk contention come from the resource model), instead of
+        being charged one serial round trip each. The write-behind
+        window is enforced *before* dispatch, so stripe N+1 was free to
+        build while stripe N's stores were still in flight.
+        """
         builders = [b for b in self._building if b.item_count > 0]
         self._building = []
+        acc, self._parity_acc = self._parity_acc, None
         if not builders:
             return
         ndata = len(builders)
@@ -338,40 +495,87 @@ class LogLayer:
         parity_index = (self.layout.parity_index(width) if has_parity
                         else NO_PARITY)
         fragments: List[Fragment] = []
+        images: List[bytes] = []
         for index, builder in enumerate(builders):
-            fragments.append(builder.seal(base_fid, width, index,
-                                          parity_index, servers))
-        images = [fragment.encode() for fragment in fragments]
+            fragment = builder.seal(base_fid, width, index,
+                                    parity_index, servers)
+            image = fragment.encode()
+            fragments.append(fragment)
+            images.append(image)
+            if acc is not None:
+                # Fold what the accumulator has not seen: the header
+                # (only known now) for fragments folded as they filled,
+                # the whole image for the open tail fragment. The tail
+                # folds as two ranges so the accumulator keeps exactly
+                # two non-overlapping buckets (headers at 0, payloads
+                # at HEADER_SIZE) and emits parity by concatenation.
+                acc.add_range(0, image[:HEADER_SIZE])
+                if not builder.parity_folded:
+                    acc.add_range(HEADER_SIZE, image[HEADER_SIZE:])
         if has_parity:
             parity_fid = make_fid(self.config.client_id, self._seq.next())
             if parity_fid != base_fid + width - 1:
                 raise LogError("non-consecutive stripe FIDs (internal bug)")
             parity = make_parity_fragment(
                 parity_fid, self.config.client_id, images, base_fid, width,
-                parity_index, servers)
+                parity_index, servers,
+                payload=acc.parity_payload() if acc is not None else None)
             fragments.append(parity)
             images.append(parity.encode())
-            self.cost_hook("xor", sum(len(img) for img in images[:-1]))
+            self.cost_hook("xor", acc.consumed if acc is not None
+                           else sum(len(img) for img in images[:-1]))
         if self.config.preallocate_stripes:
             self._preallocate(fragments, servers)
+        self._make_room()
         marked_flags = [b.marked for b in builders] + [False] * (width - ndata)
+        plan: List[Tuple[str, m.StoreRequest]] = []
         for fragment, image, marked in zip(fragments, images, marked_flags):
             server_id = servers[fragment.header.stripe_index]
             self.locations.record(fragment.fid, server_id)
             acl_ranges = ()
             if self.config.fragment_aid:
                 acl_ranges = ((0, len(image), self.config.fragment_aid),)
-            request = m.StoreRequest(
+            plan.append((server_id, m.StoreRequest(
                 fid=fragment.fid, data=image,
                 principal=self.config.principal, marked=marked,
-                acl_ranges=acl_ranges)
-            future = self.transport.submit(server_id, request)
-            if future.triggered and future.exception is not None:
-                self._count_failure(server_id, "stores")
-            self._pending.append(future)
+                acl_ranges=acl_ranges)))
             self.raw_bytes_written += len(image)
+        if self.config.pipeline_stores and len(plan) > 1:
+            futures = self.transport.submit_many(plan)
+        else:
+            futures = [self.transport.submit(server_id, request)
+                       for server_id, request in plan]
+        for (server_id, _request), future in zip(plan, futures):
+            if future.triggered:
+                if future.exception is not None:
+                    self._count_failure(server_id, "stores")
+            else:
+                self._store_ledger.append((server_id, future))
+            self._pending.append(future)
+        self._inflight.append(StripeTicket(list(futures)))
         self._stripe_number += 1
         self.stripes_written += 1
+
+    def _make_room(self) -> None:
+        """Write-behind backpressure: bound the stripes in flight.
+
+        Completed stripes leave the window as their stores resolve.
+        When the window is still full, block on the oldest stripe's
+        remaining stores — except from inside a running simulation,
+        where the log layer cannot block; there the window is advisory
+        and the simulated driver enforces it between appends (via
+        :meth:`oldest_inflight_events`).
+        """
+        from repro.rpc.completion import can_gather, gather
+
+        window = self.config.max_inflight_stripes
+        self._inflight = [t for t in self._inflight if not t.done]
+        while len(self._inflight) >= window:
+            if not can_gather(self.transport):
+                break
+            gather([e for e in self._inflight[0].events if not e.triggered])
+            self._account_store_outcomes()
+            self._inflight = [t for t in self._inflight if not t.done]
 
     def _preallocate(self, fragments, servers) -> None:
         """Reserve a slot for every stripe member before sending data.
@@ -404,9 +608,10 @@ class LogLayer:
         Includes stores already in flight from earlier stripe closes, so
         waiting on the ticket means "all my data is durable".
         """
+        self._drain_records()
         self._close_stripe()
         events, self._pending = self._pending, []
-        return FlushTicket(events)
+        return FlushTicket(events, on_observe=self._account_store_outcomes)
 
     # ------------------------------------------------------------------
     # Stripe-group reconfiguration
@@ -502,6 +707,7 @@ class LogLayer:
         """
         # Reserve room for the checkpoint record *and* its table in the
         # same fragment, so the marked fragment is self-contained.
+        self._drain_records()
         table_size_estimate = 64 + 40 * (len(self._checkpoint_table) + 1)
         self._builder_with_room(len(state) + table_size_estimate + 96)
         record = Record(self._lsn.next(), service_id, RecordType.CHECKPOINT,

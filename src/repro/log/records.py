@@ -56,9 +56,18 @@ class Record:
     payload: bytes
 
     def encode(self) -> bytes:
-        """Serialize the record for inclusion in a fragment."""
-        head = struct.pack(">QIH", self.lsn, self.service_id, self.rtype)
-        return head + pack_bytes(self.payload)
+        """Serialize the record for inclusion in a fragment.
+
+        The wire image is cached on first use: the append path needs it
+        twice (once to size the fragment, once to copy it in), and a
+        record is immutable, so encoding twice is pure waste.
+        """
+        cached = self.__dict__.get("_wire")
+        if cached is None:
+            cached = (struct.pack(">QIH", self.lsn, self.service_id,
+                                  self.rtype) + pack_bytes(self.payload))
+            object.__setattr__(self, "_wire", cached)
+        return cached
 
     @classmethod
     def decode(cls, buf: bytes, offset: int) -> Tuple["Record", int]:

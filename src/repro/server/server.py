@@ -110,7 +110,7 @@ class StorageServer:
                 self.slots.abort_reservation(slot)
             raise
         self.slots.commit(fid, slot, len(data), marked, ranges)
-        self._cache_insert(fid, bytes(data))
+        self._cache_insert(fid, data)
         self.bytes_stored += len(data)
         self.store_ops += 1
         return slot
@@ -287,10 +287,12 @@ class StorageServer:
         """
         self._cache.pop(fid, None)
 
-    def _cache_insert(self, fid: int, data: bytes) -> None:
+    def _cache_insert(self, fid: int, data) -> None:
         if self.config.cache_fragments <= 0:
             return
-        self._cache[fid] = data
+        # Ownership is taken only when the fragment is actually cached;
+        # with caching off, the caller's bytes-like data is never copied.
+        self._cache[fid] = bytes(data)
         self._cache.move_to_end(fid)
         while len(self._cache) > self.config.cache_fragments:
             self._cache.popitem(last=False)

@@ -1,0 +1,107 @@
+"""Tests for the perf regression gate (repro.bench.regression)."""
+
+import json
+
+import pytest
+
+from repro.bench.regression import (
+    DEFAULT_TOLERANCE,
+    compare,
+    main,
+    resolve_tolerance,
+)
+
+
+def metrics(append=200.0, ratio=2.4, overlap=0.5):
+    return {
+        "log_append_mb_s": append,
+        "reconstruct_latency": {"ratio": ratio},
+        "write_pipeline": {"overlap_ratio": overlap},
+    }
+
+
+class TestCompare:
+    def test_identical_numbers_pass(self):
+        assert compare(metrics(), metrics()) == []
+
+    def test_small_drift_within_tolerance_passes(self):
+        fresh = metrics(append=200.0 * 0.90, ratio=2.4 * 1.10)
+        assert compare(metrics(), fresh, tolerance=0.15) == []
+
+    def test_append_regression_fails(self):
+        fresh = metrics(append=200.0 * 0.80)
+        problems = compare(metrics(), fresh, tolerance=0.15)
+        assert len(problems) == 1
+        assert "log_append_mb_s" in problems[0]
+
+    def test_latency_ratio_regression_fails(self):
+        fresh = metrics(ratio=2.4 * 1.30)
+        problems = compare(metrics(), fresh, tolerance=0.15)
+        assert len(problems) == 1
+        assert "reconstruct_latency.ratio" in problems[0]
+
+    def test_improvements_always_pass(self):
+        fresh = metrics(append=400.0, ratio=1.2)
+        assert compare(metrics(), fresh, tolerance=0.0) == []
+
+    def test_overlap_ratio_must_stay_below_one(self):
+        problems = compare(metrics(), metrics(overlap=1.05))
+        assert len(problems) == 1
+        assert "overlap_ratio" in problems[0]
+
+    def test_tolerance_widens_the_gate(self):
+        fresh = metrics(append=200.0 * 0.70)
+        assert compare(metrics(), fresh, tolerance=0.15)
+        assert compare(metrics(), fresh, tolerance=0.40) == []
+
+    def test_missing_baseline_metric_is_a_problem(self):
+        problems = compare({}, metrics())
+        assert any("log_append_mb_s" in p for p in problems)
+        assert any("reconstruct_latency" in p for p in problems)
+
+
+class TestToleranceResolution:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("PERF_REGRESSION_TOLERANCE", raising=False)
+        assert resolve_tolerance() == DEFAULT_TOLERANCE
+
+    def test_env_var_overrides(self, monkeypatch):
+        monkeypatch.setenv("PERF_REGRESSION_TOLERANCE", "0.35")
+        assert resolve_tolerance() == 0.35
+
+    def test_cli_beats_env(self, monkeypatch):
+        monkeypatch.setenv("PERF_REGRESSION_TOLERANCE", "0.35")
+        assert resolve_tolerance(0.05) == 0.05
+
+    def test_negative_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("PERF_REGRESSION_TOLERANCE", "-1")
+        with pytest.raises(ValueError):
+            resolve_tolerance()
+
+
+class TestMain:
+    def write_doc(self, path, m):
+        path.write_text(json.dumps({"metrics": m}))
+        return str(path)
+
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        baseline = self.write_doc(tmp_path / "base.json", metrics())
+        fresh = self.write_doc(tmp_path / "fresh.json", metrics())
+        assert main(["--baseline", baseline, "--fresh-json", fresh]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        baseline = self.write_doc(tmp_path / "base.json", metrics())
+        fresh = self.write_doc(tmp_path / "fresh.json",
+                               metrics(append=100.0))
+        assert main(["--baseline", baseline, "--fresh-json", fresh]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_tolerance_flag(self, tmp_path):
+        baseline = self.write_doc(tmp_path / "base.json", metrics())
+        fresh = self.write_doc(tmp_path / "fresh.json",
+                               metrics(append=150.0))
+        assert main(["--baseline", baseline, "--fresh-json", fresh,
+                     "--tolerance", "0.5"]) == 0
+        assert main(["--baseline", baseline, "--fresh-json", fresh,
+                     "--tolerance", "0.1"]) == 1

@@ -5,6 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.errors import ConfigError
 from repro.log.stripe import (
+    ParityAccumulator,
     StripeGroup,
     StripeLayout,
     parity_of,
@@ -67,6 +68,71 @@ class TestParityAlgebra:
         images = [b"\x0f\x0f\x55", b"\xf0\xf0\xaa"]
         views = [memoryview(img) for img in images]
         assert parity_of_fast(views) == parity_of(images) == b"\xff\xff\xff"
+
+
+from repro.log.fragment import HEADER_SIZE as HEADER
+
+
+class TestParityAccumulator:
+    """The incremental accumulator must agree byte-for-byte with the
+    one-shot :func:`parity_of` over complete images, however the folds
+    are interleaved."""
+
+    @given(st.lists(st.binary(min_size=HEADER, max_size=HEADER + 300),
+                    min_size=1, max_size=5))
+    def test_matches_oracle_in_layer_fold_order(self, images):
+        """Payload regions fold as fragments fill, headers at close —
+        the exact order the log layer uses."""
+        acc = ParityAccumulator()
+        for image in images:
+            acc.add_range(HEADER, image[HEADER:])
+        for image in images:
+            acc.add_range(0, image[:HEADER])
+        assert acc.parity_payload() == parity_of(images)
+
+    @given(st.lists(st.binary(min_size=HEADER, max_size=HEADER + 300),
+                    min_size=1, max_size=5), st.data())
+    def test_matches_oracle_any_interleaving(self, images, data):
+        """Fold order must not matter: XOR commutes."""
+        folds = []
+        for image in images:
+            folds.append((HEADER, image[HEADER:]))
+            folds.append((0, image[:HEADER]))
+        order = data.draw(st.permutations(range(len(folds))))
+        acc = ParityAccumulator()
+        for i in order:
+            acc.add_range(*folds[i])
+        assert acc.parity_payload() == parity_of(images)
+
+    def test_consumed_counts_every_folded_byte(self):
+        acc = ParityAccumulator()
+        acc.add_range(HEADER, b"\x01" * 100)
+        acc.add_range(0, b"\x02" * HEADER)
+        assert acc.consumed == 100 + HEADER
+
+    def test_empty_accumulator_yields_empty_payload(self):
+        assert ParityAccumulator().parity_payload() == b""
+
+    def test_zero_length_fold_is_ignored(self):
+        acc = ParityAccumulator()
+        acc.add_range(HEADER, b"")
+        assert acc.consumed == 0
+        assert acc.parity_payload() == b""
+
+    def test_rebase_pads_leading_gap_with_zeros(self):
+        """A range folded above offset 0, never rebased: the payload
+        still covers [0, end) with zero padding below the base."""
+        acc = ParityAccumulator()
+        acc.add_range(2, b"\x01\x02")
+        assert acc.parity_payload() == b"\x00\x00\x01\x02"
+        acc.add_range(0, b"\xff")
+        assert acc.parity_payload() == b"\xff\x00\x01\x02"
+
+    def test_accepts_memoryviews(self):
+        acc = ParityAccumulator()
+        acc.add_range(0, memoryview(b"\x0f\x0f"))
+        acc.add_range(0, memoryview(b"\xf0\xf0"))
+        assert acc.parity_payload() == b"\xff\xff"
 
 
 class TestStripeGroup:

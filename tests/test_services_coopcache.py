@@ -63,6 +63,76 @@ class TestHintDirectory:
         assert hints.lookup(addr, b) is a
 
 
+class TestProbe:
+    """Direct peer-protocol semantics, without a cluster."""
+
+    def make_cache(self, hints=None):
+        return CooperativeCacheService(1, hints or HintDirectory(),
+                                       capacity_bytes=1 << 16)
+
+    def addr(self, n=1):
+        from repro.log.address import BlockAddress
+
+        return BlockAddress(n, 0, 16)
+
+    def test_probe_answers_from_memory(self):
+        cache = self.make_cache()
+        cache._insert(self.addr(), b"cached-bytes-16!")
+        assert cache.probe(self.addr()) == b"cached-bytes-16!"
+        assert cache.peer_probes_served == 1
+
+    def test_probe_miss_returns_none_without_counting(self):
+        cache = self.make_cache()
+        assert cache.probe(self.addr()) is None
+        assert cache.peer_probes_served == 0
+        # A peer probe is not a local lookup: hit/miss stats untouched.
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_probe_refreshes_lru_position(self):
+        """A probed block is hot: it must not be the next eviction."""
+        cache = CooperativeCacheService(1, HintDirectory(),
+                                        capacity_bytes=48)
+        first, second = self.addr(1), self.addr(2)
+        cache._insert(first, b"a" * 16)
+        cache._insert(second, b"b" * 16)
+        cache.probe(first)                      # refresh
+        cache._insert(self.addr(3), b"c" * 32)  # forces eviction
+        assert cache.probe(first) == b"a" * 16
+        assert cache.probe(second) is None
+
+    def test_wrong_hint_forgotten_in_directory(self):
+        hints = HintDirectory()
+        holder, asker = self.make_cache(hints), self.make_cache(hints)
+        addr = self.addr()
+        hints.suggest(addr, holder)   # stale: holder never cached it
+        assert asker.cache_lookup(addr) is None
+        assert asker.wrong_hints == 1
+        assert hints.lookup(addr, asker) is None   # forgotten
+
+    def test_peer_hit_rebinds_hint_to_borrower(self):
+        hints = HintDirectory()
+        holder, asker = self.make_cache(hints), self.make_cache(hints)
+        third = self.make_cache(hints)
+        addr = self.addr()
+        holder.cache_insert(addr, b"shared-block-16!")
+        assert asker.cache_lookup(addr) == b"shared-block-16!"
+        assert asker.peer_hits == 1
+        # The directory now points at the most recent cacher.
+        assert hints.lookup(addr, third) is asker
+
+    def test_invalidate_forgets_own_hint_only(self):
+        hints = HintDirectory()
+        mine, other = self.make_cache(hints), self.make_cache(hints)
+        addr = self.addr()
+        mine.cache_insert(addr, b"x" * 16)
+        mine.cache_invalidate(addr)
+        assert hints.lookup(addr, other) is None
+        # A hint owned by someone else survives my invalidation.
+        other.cache_insert(addr, b"x" * 16)
+        mine.cache_invalidate(addr)
+        assert hints.lookup(addr, mine) is other
+
+
 class TestCooperation:
     def test_peer_hit_avoids_servers(self, cluster4):
         hints, stacks, caches, clients = coop_world(cluster4)

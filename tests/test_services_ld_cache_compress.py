@@ -175,6 +175,81 @@ class TestCache:
         assert cache.misses == before
 
 
+class TestPrefetch:
+    def prefetching_stack(self, cluster, capacity=1 << 20):
+        stack = cluster.make_stack(client_id=1)
+        cache = stack.push(CacheService(1, capacity_bytes=capacity,
+                                        prefetch_fragments=True))
+        disk = stack.push(LogicalDiskService(2))
+        return stack, cache, disk
+
+    def test_prefetch_satisfied_read_still_counts_as_miss(self, cluster4):
+        """Hit-rate accounting: the read that *triggered* the prefetch
+        was a miss; only subsequent sibling reads are hits."""
+        stack, cache, disk = self.prefetching_stack(cluster4)
+        for block in range(8):
+            disk.write(block, bytes([block + 1]) * 500)
+        stack.flush().wait()
+        disk.read(0)
+        assert (cache.hits, cache.misses) == (0, 1)
+        disk.read(1)
+        disk.read(2)
+        assert cache.misses == 1
+        assert cache.hits == 2
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_prefetch_counts_only_blocks_not_records(self, cluster4):
+        """A fragment holds the blocks *and* their CREATE records; only
+        the blocks may land in the cache."""
+        stack, cache, disk = self.prefetching_stack(cluster4)
+        for block in range(6):
+            disk.write(block, bytes([block + 1]) * 400)
+        stack.flush().wait()
+        disk.read(0)
+        assert 1 < cache.prefetched_blocks <= 6
+
+    def test_invalidated_prefetched_block_refetches(self, cluster4):
+        stack, cache, disk = self.prefetching_stack(cluster4)
+        for block in range(6):
+            disk.write(block, bytes([block + 1]) * 400)
+        stack.flush().wait()
+        data = disk.read(0)
+        bytes_before = cache.cached_bytes
+        # Invalidate every cached entry for the fragment's blocks.
+        for addr in list(cache._entries):
+            cache.cache_invalidate(addr)
+        assert cache.cached_bytes == 0
+        assert cache.cached_bytes < bytes_before
+        misses_before = cache.misses
+        assert disk.read(0) == data    # miss again, prefetches again
+        assert cache.misses == misses_before + 1
+
+    def test_prefetch_failure_degrades_to_plain_read(self, cluster4):
+        """An unreadable fragment must not break the lookup — the read
+        falls through to the normal log path."""
+        from repro.log.address import BlockAddress
+
+        stack, cache, disk = self.prefetching_stack(cluster4)
+        bogus = BlockAddress(make_fid_for_tests(), 0, 16)
+        assert cache.cache_lookup(bogus) is None
+        assert cache.misses == 1
+        assert cache.prefetched_blocks == 0
+
+    def test_prefetch_respects_capacity(self, cluster4):
+        stack, cache, disk = self.prefetching_stack(cluster4, capacity=1500)
+        for block in range(10):
+            disk.write(block, bytes([block + 1]) * 500)
+        stack.flush().wait()
+        disk.read(9)
+        assert cache.cached_bytes <= 1500
+
+
+def make_fid_for_tests():
+    from repro.util.fids import make_fid
+
+    return make_fid(99, 12345)  # a fid no server holds
+
+
 class TestCompression:
     def test_round_trip_through_stack(self, cluster4):
         stack = cluster4.make_stack(client_id=1)
