@@ -14,10 +14,10 @@ Usage::
     python -m repro.bench.perf --smoke    # seconds-long sanity run (CI)
     python -m repro.bench.perf --out x.json
 
-Output schema (``schema_version`` 3)::
+Output schema (``schema_version`` 4)::
 
     {
-      "schema_version": 3,
+      "schema_version": 4,
       "smoke": bool,
       "config": {"fragment_size": int, "num_servers": int, ...},
       "metrics": {
@@ -40,6 +40,18 @@ Output schema (``schema_version`` 3)::
           "overlap_ratio": float,        # pipelined / serial; < 1.0
           "group_commit_batches": int,   # record batches drained
           "records_coalesced": int       # records that rode a batch
+        },
+        "read_pipeline": {               # modeled (simulated) reads
+          "serial_read_mb_s": float,     # sequential scan, window 1
+          "sequential_read_mb_s": float, # same scan, windowed read-ahead
+          "overlap_ratio": float,        # windowed / serial time; < 1.0
+          "window": int,                 # read-ahead depth measured
+          "cleaning_mb_s": float         # wall-clock MB reclaimed/s
+        },
+        "opcounts": {                    # deterministic RPC/byte proxy
+          "sequential_scan": {"rpcs": int, "bytes": int},
+          "scattered_read": {"rpcs": int, "bytes": int},
+          "cleaner_pass": {"rpcs": int, "bytes": int}
         }
       }
     }
@@ -56,6 +68,21 @@ fragment store charged a serial round trip) and once on (the stripe's
 stores travel as concurrent simulator processes), so ``overlap_ratio``
 below 1.0 is the measured stripe-store overlap. CI asserts it.
 
+``read_pipeline`` mirrors that for the read side: the same sequential
+log scan runs once with a read-ahead window of 1 (every fragment
+retrieve charged its own serial round trip — the pre-window prefetch)
+and once with the window open, where the in-flight retrieves travel as
+concurrent simulator processes; ``overlap_ratio`` below 1.0 is the
+measured read overlap, and ``cleaning_mb_s`` is the wall-clock rate at
+which a cleaning pass (batched multi-range harvest, pipelined
+re-append) reclaims fragment bytes under churn.
+
+``opcounts`` is a timing-free proxy: for three fixed read scenarios it
+records exactly how many retrieve RPCs the servers saw and how many
+payload bytes they shipped. The counts are deterministic — identical in
+smoke and full mode, on any machine — so the regression gate can hold
+them to a tight tolerance where wall-clock numbers would be noise.
+
 ``validate_bench_schema`` checks exactly this shape (no external JSON
 schema dependency), and CI runs it against the smoke output.
 """
@@ -68,8 +95,10 @@ import time
 from typing import Dict, List
 
 from repro.cluster import ClusterConfig, SimCluster, build_local_cluster
+from repro.log.address import make_fid
 from repro.log.config import LogConfig
 from repro.log.layer import LogLayer
+from repro.log.reader import LogReader
 from repro.log.reconstruct import Reconstructor
 from repro.log.stripe import parity_of_fast
 from repro.rpc import RetryPolicy, messages as m
@@ -77,8 +106,10 @@ from repro.rpc.codec import decode_message, encode_message
 from repro.rpc.transport import LocalTransport
 from repro.server.config import ServerConfig
 from repro.server.server import StorageServer
+from repro.services.cleaner import CleanerService
+from repro.services.logical_disk import LogicalDiskService
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 REQUIRED_METRICS = (
     "log_append_mb_s",
@@ -103,6 +134,20 @@ WRITE_PIPELINE_KEYS = (
     "overlap_ratio",
     "group_commit_batches",
     "records_coalesced",
+)
+
+READ_PIPELINE_KEYS = (
+    "serial_read_mb_s",
+    "sequential_read_mb_s",
+    "overlap_ratio",
+    "window",
+    "cleaning_mb_s",
+)
+
+OPCOUNT_SCENARIOS = (
+    "sequential_scan",
+    "scattered_read",
+    "cleaner_pass",
 )
 
 
@@ -338,6 +383,152 @@ def bench_write_pipeline(num_servers: int = 4, fragment_size: int = 1 << 16,
     }
 
 
+def bench_read_pipeline(num_servers: int = 4, fragment_size: int = 1 << 16,
+                        stripes: int = 4, window: int = 4) -> Dict[str, float]:
+    """Modeled read-side overlap on the simulated testbed.
+
+    Writes a fixed workload, then scans the whole log sequentially
+    twice on identical fresh clusters: once with ``max_inflight`` 1
+    (the pre-window single-slot prefetch — every fragment retrieve
+    charged its own serial round trip) and once with the read-ahead
+    window open, where the in-flight retrieves run as concurrent
+    simulator processes. ``overlap_ratio`` below 1.0 is the measured
+    read overlap; CI asserts it.
+    """
+    def scan(max_inflight: int) -> Dict[str, float]:
+        cluster = SimCluster(ClusterConfig(
+            num_servers=num_servers, num_clients=1,
+            fragment_size=fragment_size))
+        transport = cluster.make_transport(0, deferred_mode=True)
+        log = LogLayer(transport, cluster.stripe_group(),
+                       LogConfig(client_id=1, fragment_size=fragment_size))
+        block_size = 4096
+        blocks_per_stripe = ((num_servers - 1)
+                             * (fragment_size // (block_size + 64)))
+        payload = b"\x2b" * block_size
+        for _ in range(stripes * blocks_per_stripe):
+            log.write_block(1, payload)
+        log.flush().wait()
+        transport.take_deferred_time()  # drain the write-path charges
+        reader = LogReader(transport, log.config.principal,
+                           locations=log.locations,
+                           max_inflight=max_inflight)
+        fragments = sum(1 for _ in reader.fragments_from(make_fid(1, 1)))
+        return {"elapsed_s": transport.take_deferred_time(),
+                "bytes": fragments * fragment_size}
+
+    serial = scan(1)
+    windowed = scan(window)
+    return {
+        "serial_read_mb_s": round(
+            serial["bytes"] / serial["elapsed_s"] / 1e6, 4),
+        "sequential_read_mb_s": round(
+            windowed["bytes"] / windowed["elapsed_s"] / 1e6, 4),
+        "overlap_ratio": round(
+            windowed["elapsed_s"] / serial["elapsed_s"], 3),
+        "window": window,
+    }
+
+
+def bench_cleaning(num_servers: int = 4, fragment_size: int = 1 << 16,
+                   rounds: int = 5, files: int = 24) -> float:
+    """Wall-clock MB/s of fragment bytes reclaimed by a cleaning pass.
+
+    Churns a small logical-disk block space until early stripes are
+    mostly dead, checkpoints, then times one batched cleaning pass
+    (multi-range harvest, pipelined re-append, single durability
+    fence). The rate is reclaimed fragment bytes per second.
+    """
+    cluster = build_local_cluster(num_servers=num_servers,
+                                  fragment_size=fragment_size,
+                                  server_slots=4096)
+    stack = cluster.make_stack(client_id=1)
+    cleaner = stack.push(CleanerService(1, utilization_threshold=0.95))
+    disk = stack.push(LogicalDiskService(2))
+    for round_no in range(rounds):
+        for block in range(files):
+            data = bytes([(round_no * 29 + block * 7) % 256]) \
+                * (2048 + 37 * block)
+            disk.write(block, data)
+    stack.flush().wait()
+    stack.checkpoint_all()
+    before = sum(len(server.slots) for server in cluster.servers.values())
+    start = time.perf_counter()
+    cleaner.clean(target_stripes=1 << 20)
+    elapsed = time.perf_counter() - start
+    after = sum(len(server.slots) for server in cluster.servers.values())
+    reclaimed = max(0, before - after) * fragment_size
+    return reclaimed / max(elapsed, 1e-9) / 1e6
+
+
+def bench_opcounts() -> Dict[str, Dict[str, int]]:
+    """Deterministic retrieve-RPC and byte counts for fixed read paths.
+
+    No clocks anywhere: each scenario runs a fixed workload on a fresh
+    functional cluster and reports how many retrieve RPCs the servers
+    answered and how many payload bytes they shipped. The numbers are
+    identical in smoke and full mode and across machines, so the
+    regression gate holds them to a tight tolerance.
+    """
+    def counters(cluster) -> Dict[str, int]:
+        return {
+            "rpcs": sum(server.retrieve_ops
+                        for server in cluster.servers.values()),
+            "bytes": sum(server.bytes_retrieved
+                         for server in cluster.servers.values()),
+        }
+
+    def delta(cluster, before: Dict[str, int]) -> Dict[str, int]:
+        now = counters(cluster)
+        return {key: now[key] - before[key] for key in before}
+
+    out: Dict[str, Dict[str, int]] = {}
+
+    # Sequential scan of the whole log with the read-ahead window open.
+    cluster = build_local_cluster(num_servers=4, fragment_size=1 << 14,
+                                  server_slots=2048)
+    log = cluster.make_log(client_id=1)
+    payload = b"\x42" * 1024
+    for _ in range(96):
+        log.write_block(1, payload)
+    log.flush().wait()
+    before = counters(cluster)
+    reader = LogReader(cluster.transport, log.config.principal,
+                       locations=log.locations, max_inflight=4)
+    for _ in reader.fragments_from(make_fid(1, 1)):
+        pass
+    out["sequential_scan"] = delta(cluster, before)
+
+    # Scattered small reads batched into one multi-range RPC per server.
+    cluster = build_local_cluster(num_servers=4, fragment_size=1 << 14,
+                                  server_slots=2048)
+    stack = cluster.make_stack(client_id=1)
+    disk = stack.push(LogicalDiskService(2))
+    for block in range(48):
+        disk.write(block, bytes([block % 256]) * (512 + 16 * block))
+    stack.flush().wait()
+    before = counters(cluster)
+    disk.read_many(list(range(48)))
+    out["scattered_read"] = delta(cluster, before)
+
+    # One cleaning pass: batched header reads plus the live harvest.
+    cluster = build_local_cluster(num_servers=4, fragment_size=1 << 14,
+                                  server_slots=4096)
+    stack = cluster.make_stack(client_id=1)
+    cleaner = stack.push(CleanerService(1, utilization_threshold=0.95))
+    disk = stack.push(LogicalDiskService(2))
+    for round_no in range(4):
+        for block in range(16):
+            disk.write(block,
+                       bytes([(round_no * 31 + block) % 256]) * 1536)
+    stack.flush().wait()
+    stack.checkpoint_all()
+    before = counters(cluster)
+    cleaner.clean(target_stripes=1 << 20)
+    out["cleaner_pass"] = delta(cluster, before)
+    return out
+
+
 def bench_broadcast_holds(num_servers: int = 8,
                           num_fids: int = 32) -> Dict[str, int]:
     """RPCs needed to locate ``num_fids`` fragments over the cluster."""
@@ -387,6 +578,12 @@ def run_all(smoke: bool = False) -> Dict:
         fragment_size=1 << 16)
     metrics["write_pipeline"] = bench_write_pipeline(
         fragment_size=1 << 16, stripes=2 if smoke else 3)
+    read_pipeline = bench_read_pipeline(
+        fragment_size=1 << 16, stripes=2 if smoke else 4)
+    read_pipeline["cleaning_mb_s"] = round(bench_cleaning(
+        fragment_size=1 << 16, rounds=3 if smoke else 5), 3)
+    metrics["read_pipeline"] = read_pipeline
+    metrics["opcounts"] = bench_opcounts()
     return {
         "schema_version": SCHEMA_VERSION,
         "smoke": smoke,
@@ -447,6 +644,32 @@ def validate_bench_schema(doc: Dict) -> None:
             raise ValueError(
                 "write_pipeline.%s must be positive: %r"
                 % (key, pipeline[key]))
+    read_pipeline = metrics.get("read_pipeline")
+    if not isinstance(read_pipeline, dict):
+        raise ValueError("metric 'read_pipeline' must be an object")
+    for key in READ_PIPELINE_KEYS:
+        value = read_pipeline.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(
+                "read_pipeline.%s missing or non-numeric: %r" % (key, value))
+        if value <= 0:
+            raise ValueError(
+                "read_pipeline.%s must be positive: %r" % (key, value))
+    opcounts = metrics.get("opcounts")
+    if not isinstance(opcounts, dict):
+        raise ValueError("metric 'opcounts' must be an object")
+    for scenario in OPCOUNT_SCENARIOS:
+        entry = opcounts.get(scenario)
+        if not isinstance(entry, dict):
+            raise ValueError("opcounts.%s must be an object" % scenario)
+        for key in ("rpcs", "bytes"):
+            value = entry.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError("opcounts.%s.%s missing or non-integer: %r"
+                                 % (scenario, key, value))
+            if value <= 0:
+                raise ValueError("opcounts.%s.%s must be positive: %r"
+                                 % (scenario, key, value))
 
 
 def main(argv=None) -> int:
@@ -473,6 +696,13 @@ def main(argv=None) -> int:
     pipeline = doc["metrics"]["write_pipeline"]
     for key in WRITE_PIPELINE_KEYS:
         print("%-26s %s" % ("write_pipeline." + key, pipeline[key]))
+    read_pipeline = doc["metrics"]["read_pipeline"]
+    for key in READ_PIPELINE_KEYS:
+        print("%-26s %s" % ("read_pipeline." + key, read_pipeline[key]))
+    for scenario in OPCOUNT_SCENARIOS:
+        entry = doc["metrics"]["opcounts"][scenario]
+        print("%-26s rpcs=%d bytes=%d"
+              % ("opcounts." + scenario, entry["rpcs"], entry["bytes"]))
     print("wrote %s" % out)
     return 0
 

@@ -10,7 +10,15 @@ repository's ``BENCH_PERF.json``:
   above it (higher is worse);
 * ``write_pipeline.overlap_ratio`` must stay below 1.0 — an absolute
   property (pipelined stripe stores cost less than their serial sum),
-  not a relative one, so it is checked against the fresh run only.
+  not a relative one, so it is checked against the fresh run only;
+* ``read_pipeline.sequential_read_mb_s`` and
+  ``read_pipeline.cleaning_mb_s`` may not drop more than the tolerance
+  below baseline, and ``read_pipeline.overlap_ratio`` must stay below
+  1.0 (windowed read-ahead beats the serial scan), absolute like the
+  write-side ratio;
+* every ``opcounts`` counter is held to a *tight* tolerance (default
+  2%, ``PERF_OPCOUNT_TOLERANCE``): the counts are deterministic RPC and
+  byte totals, so any drift is a real protocol change, not noise.
 
 The tolerance defaults to 15% and is widened via the
 ``PERF_REGRESSION_TOLERANCE`` environment variable (CI machines are
@@ -27,12 +35,16 @@ import sys
 from typing import Dict, List
 
 from repro.bench.perf import (
+    bench_cleaning,
     bench_log_append,
+    bench_opcounts,
+    bench_read_pipeline,
     bench_reconstruct_latency,
     bench_write_pipeline,
 )
 
 DEFAULT_TOLERANCE = 0.15
+DEFAULT_OPCOUNT_TOLERANCE = 0.02
 
 #: The committed-baseline configuration (run_all's non-smoke settings);
 #: fresh numbers are only comparable when measured the same way.
@@ -51,12 +63,21 @@ def measure_fresh(smoke: bool = False) -> Dict:
     append = bench_log_append(total_bytes=append_bytes,
                               fragment_size=FULL_FRAGMENT_SIZE,
                               repeats=3)
+    # Always measured at the baseline configuration: the scan is
+    # simulated (deterministic and cheap) and the cleaning pass is
+    # sub-second, so smoke mode doesn't need to shrink them — and a
+    # config mismatch would show up as fake drift in the relative gates.
+    read_pipeline = bench_read_pipeline(fragment_size=1 << 16, stripes=4)
+    read_pipeline["cleaning_mb_s"] = bench_cleaning(
+        fragment_size=1 << 16, rounds=5)
     return {
         "log_append_mb_s": append["log_append_mb_s"],
         "reconstruct_latency": bench_reconstruct_latency(
             fragment_size=1 << 16),
         "write_pipeline": bench_write_pipeline(fragment_size=1 << 16,
                                                stripes=2 if smoke else 3),
+        "read_pipeline": read_pipeline,
+        "opcounts": bench_opcounts(),
     }
 
 
@@ -101,6 +122,60 @@ def compare(baseline: Dict, fresh: Dict,
             "write_pipeline.overlap_ratio is %.3f — pipelined stripe "
             "stores no longer beat the serial sum" % overlap)
 
+    base_read = baseline.get("read_pipeline") or {}
+    fresh_read = fresh["read_pipeline"]
+    for key in ("sequential_read_mb_s", "cleaning_mb_s"):
+        base_value = base_read.get(key)
+        if not isinstance(base_value, (int, float)) or base_value <= 0:
+            problems.append(
+                "baseline read_pipeline.%s missing or non-positive" % key)
+        elif fresh_read[key] < base_value * (1.0 - tolerance):
+            problems.append(
+                "read_pipeline.%s regressed: %.1f -> %.1f MB/s (%.0f%% "
+                "below baseline, tolerance %.0f%%)"
+                % (key, base_value, fresh_read[key],
+                   100.0 * (1.0 - fresh_read[key] / base_value),
+                   100.0 * tolerance))
+    read_overlap = fresh_read["overlap_ratio"]
+    if read_overlap >= 1.0:
+        problems.append(
+            "read_pipeline.overlap_ratio is %.3f — the read-ahead window "
+            "no longer beats the serial scan" % read_overlap)
+
+    return problems
+
+
+def compare_opcounts(baseline: Dict, fresh: Dict,
+                     tolerance: float = DEFAULT_OPCOUNT_TOLERANCE,
+                     ) -> List[str]:
+    """Problems in the deterministic opcount counters.
+
+    These are exact RPC/byte totals; ``tolerance`` is tight because any
+    drift means the protocol got chattier (or an optimization silently
+    stopped batching), not that the machine was busy.
+    """
+    problems: List[str] = []
+    base_counts = baseline.get("opcounts")
+    if not isinstance(base_counts, dict):
+        return ["baseline opcounts missing (regenerate BENCH_PERF.json)"]
+    for scenario, fresh_entry in sorted(fresh.get("opcounts", {}).items()):
+        base_entry = base_counts.get(scenario)
+        if not isinstance(base_entry, dict):
+            problems.append("baseline opcounts.%s missing" % scenario)
+            continue
+        for key in ("rpcs", "bytes"):
+            base_value = base_entry.get(key, 0)
+            fresh_value = fresh_entry.get(key, 0)
+            if base_value <= 0:
+                problems.append(
+                    "baseline opcounts.%s.%s missing or non-positive"
+                    % (scenario, key))
+            elif fresh_value > base_value * (1.0 + tolerance):
+                problems.append(
+                    "opcounts.%s.%s grew: %d -> %d (beyond %.0f%% "
+                    "tolerance) — the read path got chattier"
+                    % (scenario, key, base_value, fresh_value,
+                       100.0 * tolerance))
     return problems
 
 
@@ -115,6 +190,21 @@ def resolve_tolerance(cli_value=None) -> float:
             raise ValueError("PERF_REGRESSION_TOLERANCE must be >= 0")
         return value
     return DEFAULT_TOLERANCE
+
+
+def resolve_opcount_tolerance() -> float:
+    """Opcount tolerance from ``PERF_OPCOUNT_TOLERANCE`` or the default.
+
+    Deliberately *not* widened by ``PERF_REGRESSION_TOLERANCE``: the
+    counters are deterministic, so machine noise is no excuse.
+    """
+    raw = os.environ.get("PERF_OPCOUNT_TOLERANCE", "")
+    if raw.strip():
+        value = float(raw)
+        if value < 0:
+            raise ValueError("PERF_OPCOUNT_TOLERANCE must be >= 0")
+        return value
+    return DEFAULT_OPCOUNT_TOLERANCE
 
 
 def main(argv=None) -> int:
@@ -156,8 +246,26 @@ def main(argv=None) -> int:
              fresh["reconstruct_latency"]["ratio"]))
     print("%-28s %12s %12.3f" % ("write_pipeline.overlap_ratio", "<1.0",
                                  fresh["write_pipeline"]["overlap_ratio"]))
+    base_read = baseline.get("read_pipeline") or {}
+    fresh_read = fresh["read_pipeline"]
+    for key in ("sequential_read_mb_s", "cleaning_mb_s"):
+        print("%-28s %12.3f %12.3f"
+              % ("read_pipeline." + key, base_read.get(key, -1),
+                 fresh_read[key]))
+    print("%-28s %12s %12.3f" % ("read_pipeline.overlap_ratio", "<1.0",
+                                 fresh_read["overlap_ratio"]))
+    opcount_tolerance = resolve_opcount_tolerance()
+    for scenario, entry in sorted(fresh.get("opcounts", {}).items()):
+        base_entry = (baseline.get("opcounts") or {}).get(scenario, {})
+        print("%-28s %12s %12s"
+              % ("opcounts." + scenario,
+                 "%d/%d" % (base_entry.get("rpcs", -1),
+                            base_entry.get("bytes", -1)),
+                 "%d/%d" % (entry.get("rpcs", -1),
+                            entry.get("bytes", -1))))
 
     problems = compare(baseline, fresh, tolerance)
+    problems += compare_opcounts(baseline, fresh, opcount_tolerance)
     for problem in problems:
         print("REGRESSION: %s" % problem, file=sys.stderr)
     if problems:

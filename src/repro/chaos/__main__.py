@@ -16,8 +16,10 @@ from typing import Optional, Sequence
 from repro.chaos.runner import (
     generate_ops,
     replay_check,
+    replay_cleaner_check,
     replay_kill_check,
     run_chaos,
+    run_cleaner_churn,
     run_kill_server,
 )
 
@@ -40,6 +42,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "member permanently; require automatic reform "
                              "onto the spare, full background repair, and "
                              "zero data loss with the victim still down")
+    parser.add_argument("--cleaner", action="store_true",
+                        help="cleaner-under-churn scenario: overwrite-heavy "
+                             "workload with periodic cleaning passes under "
+                             "wire faults; require zero data loss across "
+                             "the cleaner's batched moves")
     parser.add_argument("--replay", action="store_true",
                         help="run twice and verify the schedule replays "
                              "identically")
@@ -49,12 +56,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         n_ops = args.ops if args.ops is not None else 64
         servers = args.servers if args.servers is not None else 5
         run_one, run_two = run_kill_server, replay_kill_check
+    elif args.cleaner:
+        n_ops = args.ops if args.ops is not None else 64
+        servers = args.servers if args.servers is not None else 4
+        run_one, run_two = run_cleaner_churn, replay_cleaner_check
     else:
         n_ops = args.ops if args.ops is not None else 48
         servers = args.servers if args.servers is not None else 4
         run_one, run_two = run_chaos, replay_check
 
-    ops = generate_ops(args.seed, n_ops=n_ops)
+    # The cleaner scenario churns a small block space so early stripes
+    # actually die; the other scenarios use the default spread.
+    max_blocks = 12 if args.cleaner else 24
+    ops = generate_ops(args.seed, n_ops=n_ops, max_blocks=max_blocks)
     if args.replay:
         first, second, identical = run_two(
             args.seed, ops=ops, num_servers=servers)

@@ -41,6 +41,7 @@ from repro.rpc import messages as m
 FAULTABLE_REQUESTS = (
     m.StoreRequest,
     m.RetrieveRequest,
+    m.MultiRetrieveRequest,
     m.DeleteRequest,
     m.PreallocateRequest,
     m.HoldsRequest,
@@ -222,7 +223,7 @@ class FaultPlan:
             threshold += rate
             if roll < threshold:
                 if kind == "drop_response" and isinstance(
-                        request, m.RetrieveRequest):
+                        request, (m.RetrieveRequest, m.MultiRetrieveRequest)):
                     # A lost retrieve reply is indistinguishable from a
                     # dropped request to the client and has no durable
                     # side effect; keep the cheaper shape.

@@ -47,10 +47,12 @@ from repro.log.config import LogConfig
 from repro.log.fragment import HEADER_SIZE
 from repro.log.layer import LogLayer
 from repro.rpc.retry import RetryPolicy
+from repro.services.cleaner import CleanerService
 from repro.services.logical_disk import LogicalDiskService
 from repro.services.stack import ServiceStack
 from repro.tools.fsck import check_client_log, repair_client_log
 
+SERVICE_CLEANER = 9
 SERVICE_DISK = 17
 CLIENT_ID = 1
 
@@ -244,7 +246,8 @@ def run_chaos(seed: int, ops: Optional[Sequence[Op]] = None,
     # oracle exactly.
     fresh_log = LogLayer(cluster.transport, cluster.stripe_group(),
                          LogConfig(client_id=CLIENT_ID,
-                                   fragment_size=fragment_size))
+                                   fragment_size=fragment_size,
+                                   **(log_overrides or {})))
     fresh_stack = ServiceStack(fresh_log)
     fresh_disk = fresh_stack.push(LogicalDiskService(SERVICE_DISK))
     fresh_stack.recover_all()
@@ -459,7 +462,8 @@ def run_kill_server(seed: int, ops: Optional[Sequence[Op]] = None,
     # victim still dead — and must reproduce the oracle exactly.
     fresh_log = LogLayer(cluster.transport, log.group,
                          LogConfig(client_id=CLIENT_ID,
-                                   fragment_size=fragment_size))
+                                   fragment_size=fragment_size,
+                                   **(log_overrides or {})))
     fresh_stack = ServiceStack(fresh_log)
     fresh_disk = fresh_stack.push(LogicalDiskService(SERVICE_DISK))
     fresh_stack.recover_all()
@@ -506,6 +510,171 @@ def replay_kill_check(seed: int, **kwargs,
     """Run the kill-server scenario twice; True when bit-identical."""
     first = run_kill_server(seed, **kwargs)
     second = run_kill_server(seed, **kwargs)
+    identical = (first.fault_history == second.fault_history
+                 and first.state_digest == second.state_digest
+                 and first.problems == second.problems)
+    return first, second, identical
+
+
+def run_cleaner_churn(seed: int, ops: Optional[Sequence[Op]] = None,
+                      spec: Optional[FaultSpec] = None, num_servers: int = 4,
+                      fragment_size: int = 1 << 12,
+                      clean_every: int = 16,
+                      utilization_threshold: float = 0.9,
+                      log_overrides: Optional[Dict[str, object]] = None,
+                      ) -> ChaosReport:
+    """Cleaner-under-churn scenario: clean live stripes mid-chaos.
+
+    A heavily overwriting workload (small block-number space, so early
+    stripes die fast) runs under wire faults with a cleaner in the
+    stack. Every ``clean_every`` ops the harness flushes, checkpoints
+    every service, and runs a cleaning pass — the cleaner's batched
+    multi-range harvest and pipelined re-append therefore execute while
+    faults are still being injected. Invariants: mid-run reads match the
+    fault-free oracle, cleaning actually reclaims stripes, fsck comes
+    back healthy once faults stop, and a fresh client (cleaner included)
+    recovers the oracle state exactly — no block lost to a move.
+    """
+    ops = (list(ops) if ops is not None
+           else generate_ops(seed, n_ops=64, max_blocks=12))
+    expected = oracle_state(ops)
+    report = ChaosReport(seed=seed)
+
+    cluster = build_local_cluster(num_servers=num_servers, num_clients=1,
+                                  fragment_size=fragment_size)
+    plan = FaultPlan(seed, spec)
+    faulty = FaultyTransport(cluster.transport, plan)
+    log = LogLayer(faulty, cluster.stripe_group(),
+                   LogConfig(client_id=CLIENT_ID,
+                             fragment_size=fragment_size,
+                             **(log_overrides or {})),
+                   retry_policy=RetryPolicy(seed=seed), verify_reads=True)
+    stack = ServiceStack(log)
+    cleaner = stack.push(CleanerService(
+        SERVICE_CLEANER, utilization_threshold=utilization_threshold))
+    disk = stack.push(LogicalDiskService(SERVICE_DISK))
+
+    model: Dict[int, bytes] = {}
+    flush_failures = 0
+    reads_checked = 0
+    clean_passes = 0
+
+    def checkpoint_degraded() -> None:
+        nonlocal flush_failures
+        for service in stack.layers:
+            ticket = stack.checkpoint(service)
+            ticket.wait(allow_degraded=True)
+            flush_failures += len(ticket.failures())
+
+    for index, op in enumerate(ops):
+        kind, block_no, payload_seed, size = op
+        if kind == "write":
+            data = _payload(payload_seed, size)
+            disk.write(block_no, data)
+            model[block_no] = data
+        elif kind == "trim":
+            disk.trim(block_no)
+            model.pop(block_no, None)
+        else:
+            reads_checked += 1
+            if disk.exists(block_no) != (block_no in model):
+                report.problems.append(
+                    "block %d existence diverged mid-run" % block_no)
+            elif block_no in model and disk.read(block_no) != model[block_no]:
+                report.problems.append(
+                    "read of block %d diverged mid-run" % block_no)
+        if (index + 1) % clean_every == 0:
+            ticket = stack.flush()
+            ticket.wait(allow_degraded=True)
+            flush_failures += len(ticket.failures())
+            checkpoint_degraded()
+            cleaner.clean(target_stripes=4)
+            clean_passes += 1
+            # Cleaning must never disturb the logical state.
+            for block_no in sorted(model):
+                if disk.read(block_no) != model[block_no]:
+                    report.problems.append(
+                        "block %d diverged after cleaning pass %d"
+                        % (block_no, clean_passes))
+                    break
+
+    ticket = stack.flush()
+    ticket.wait(allow_degraded=True)
+    flush_failures += len(ticket.failures())
+    checkpoint_degraded()
+    cleaner.clean(target_stripes=4)
+    clean_passes += 1
+
+    # Faults off: the surviving log must be fully repairable and a
+    # fresh client (with its own cleaner, so cleaner-state recovery is
+    # exercised too) must reproduce the oracle.
+    plan.stop()
+    fsck = check_client_log(cluster.transport, CLIENT_ID)
+    restored = 0
+    if not fsck.healthy:
+        if fsck.by_status("lost"):
+            report.problems.append("data loss before repair: %s"
+                                   % fsck.summary())
+        restored = repair_client_log(
+            cluster.transport, CLIENT_ID,
+            target_server=sorted(cluster.servers)[0])
+        fsck = check_client_log(cluster.transport, CLIENT_ID)
+    if not fsck.healthy:
+        report.problems.append("fsck unhealthy after repair: %s"
+                               % fsck.summary())
+
+    fresh_log = LogLayer(cluster.transport, cluster.stripe_group(),
+                         LogConfig(client_id=CLIENT_ID,
+                                   fragment_size=fragment_size,
+                                   **(log_overrides or {})))
+    fresh_stack = ServiceStack(fresh_log)
+    fresh_cleaner = fresh_stack.push(CleanerService(
+        SERVICE_CLEANER, utilization_threshold=utilization_threshold))
+    fresh_disk = fresh_stack.push(LogicalDiskService(SERVICE_DISK))
+    fresh_stack.recover_all()
+
+    recovered: Dict[int, bytes] = {}
+    for block_no in fresh_disk.block_numbers():
+        recovered[block_no] = fresh_disk.read(block_no)
+    if set(recovered) != set(expected):
+        report.problems.append(
+            "recovered block set %r != oracle %r"
+            % (sorted(recovered), sorted(expected)))
+    else:
+        for block_no in sorted(expected):
+            if recovered[block_no] != expected[block_no]:
+                report.problems.append(
+                    "recovered block %d differs from oracle" % block_no)
+    if fresh_cleaner._live != cleaner._live:
+        report.problems.append("cleaner liveness map did not recover")
+
+    retrying = log.transport
+    report.fault_history = tuple(plan.history)
+    report.state_digest = _digest(recovered)
+    report.stats = {
+        "ops": len(ops),
+        "reads_checked": reads_checked,
+        "faults_applied": faulty.faults_applied,
+        "retries": retrying.retries,
+        "backoff_charged_s": retrying.backoff_charged_s,
+        "exhausted": retrying.exhausted,
+        "ambiguous_resolutions": retrying.ambiguous_resolutions,
+        "flush_failures": flush_failures,
+        "clean_passes": clean_passes,
+        "stripes_cleaned": cleaner.stripes_cleaned,
+        "blocks_moved": cleaner.blocks_moved,
+        "bytes_moved": cleaner.bytes_moved,
+        "deletes_requeued": cleaner.deletes_requeued,
+        "fsck_restored": restored,
+    }
+    return report
+
+
+def replay_cleaner_check(seed: int, **kwargs,
+                         ) -> Tuple[ChaosReport, ChaosReport, bool]:
+    """Run the cleaner-churn scenario twice; True when bit-identical."""
+    first = run_cleaner_churn(seed, **kwargs)
+    second = run_cleaner_churn(seed, **kwargs)
     identical = (first.fault_history == second.fault_history
                  and first.state_digest == second.state_digest
                  and first.problems == second.problems)

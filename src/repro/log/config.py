@@ -64,6 +64,11 @@ class LogConfig:
     """Coalesce service records smaller than this into a client-side
     batch flushed before the next block append, checkpoint, or flush.
     0 disables group commit (every record hits a builder immediately)."""
+    max_inflight_reads: int = 2
+    """Read-ahead window: how many fragment retrieves a sequential
+    reader keeps in flight while consuming the log in order. Mirrors
+    ``max_inflight_stripes`` on the read side; 1 restores the strict
+    one-fragment-ahead prefetch."""
 
     def __post_init__(self) -> None:
         if self.client_id < 0:
@@ -74,6 +79,8 @@ class LogConfig:
             raise ConfigError("max_outstanding_fragments must be >= 1")
         if self.max_inflight_stripes < 1:
             raise ConfigError("max_inflight_stripes must be >= 1")
+        if self.max_inflight_reads < 1:
+            raise ConfigError("max_inflight_reads must be >= 1")
         if self.group_commit_bytes < 0:
             raise ConfigError("group_commit_bytes must be >= 0")
         if len(set(self.spare_servers)) != len(self.spare_servers):

@@ -53,7 +53,7 @@ from repro.rpc import messages as m
 from repro.util.idgen import IdGenerator
 
 CostHook = Callable[[str, int], None]
-UsageListener = Callable[[str, BlockAddress, int], None]
+UsageListener = Callable[[str, BlockAddress, int, int, bytes], None]
 
 
 class StripeTicket:
@@ -312,15 +312,19 @@ class LogLayer:
     def add_usage_listener(self, listener: UsageListener) -> None:
         """Subscribe to block lifecycle events.
 
-        The cleaner uses this to maintain its stripe-utilization table:
-        ``listener(event, addr, size)`` with event ``"create"`` or
-        ``"delete"``.
+        The cleaner uses this to maintain its stripe-utilization table
+        and its live-block index:
+        ``listener(event, addr, size, owner, info)`` with event
+        ``"create"`` or ``"delete"``; ``owner`` is the owning service id
+        and ``info`` the creation info the owner attached (what a move
+        notification hands back).
         """
         self._usage_listeners.append(listener)
 
-    def _notify_usage(self, event: str, addr: BlockAddress, size: int) -> None:
+    def _notify_usage(self, event: str, addr: BlockAddress, size: int,
+                      owner: int, info: bytes) -> None:
         for listener in self._usage_listeners:
-            listener(event, addr, size)
+            listener(event, addr, size, owner, info)
 
     # ------------------------------------------------------------------
     # Appends
@@ -362,7 +366,8 @@ class LogLayer:
         self.cost_hook("copy", len(data))
         self.cost_hook("block_op", 1)
         self.useful_bytes_written += len(data)
-        self._notify_usage("create", addr, len(data))
+        self._notify_usage("create", addr, len(data), owner_service,
+                           create_info)
         return addr
 
     def write_record(self, owner_service: int, rtype: int,
@@ -401,7 +406,8 @@ class LogLayer:
                         encode_record_payload_block(addr, owner_service,
                                                     create_info))
         self._append_record(record)
-        self._notify_usage("delete", addr, addr.length)
+        self._notify_usage("delete", addr, addr.length, owner_service,
+                           create_info)
         return record
 
     def _drain_records(self) -> None:
@@ -783,6 +789,101 @@ class LogLayer:
         image = Reconstructor(self.transport, self.config.principal,
                               locations=self.locations).fetch(fid)
         return bytes(image[offset:offset + length])
+
+    def read_ranges(self, ranges: List[Tuple[int, int, int]],
+                    ) -> List[Optional[bytes]]:
+        """Read many ``(fid, offset, length)`` ranges, batched per server.
+
+        Returns one owned ``bytes`` per range, in request order, or
+        ``None`` where the bytes could not be produced even through
+        reconstruction. Ranges in still-buffered fragments are served
+        from the builders. Everything else is grouped by located server
+        and fetched with *one* ``MultiRetrieveRequest`` per server, all
+        servers in one overlapped scatter — the cleaner harvesting a
+        stripe's live blocks or a service gathering scattered small
+        reads pays round trips proportional to the stripe width, not to
+        the block count. A failed batch falls back to the per-range
+        :meth:`read_range` ladder (reconstruction included), so one
+        sick server degrades the batch to the old cost, never to a
+        wrong answer.
+
+        With ``verify_reads`` the batched fast path is skipped the same
+        way :meth:`read_range` skips its partial-retrieve fast path:
+        the payload checksum covers whole fragments, so each distinct
+        fragment is fetched whole, verified, and sliced.
+        """
+        ranges = [(fid, offset, length) for fid, offset, length in ranges]
+        results: List[Optional[bytes]] = [None] * len(ranges)
+        remote: List[int] = []
+        for index, (fid, offset, length) in enumerate(ranges):
+            for builder in self._building:
+                if builder.fid == fid:
+                    results[index] = bytes(builder.peek_range(offset, length))
+                    break
+            else:
+                remote.append(index)
+        if not remote:
+            return results
+        if self.verify_reads:
+            images: Dict[int, Optional[bytes]] = {}
+            for index in remote:
+                fid, offset, length = ranges[index]
+                if fid not in images:
+                    try:
+                        images[fid] = self.read_fragment(fid)
+                    except SwarmError:
+                        images[fid] = None
+                image = images[fid]
+                if image is not None:
+                    results[index] = bytes(image[offset:offset + length])
+            return results
+        from repro.rpc.completion import scatter_call
+
+        located = self.locations.locate_many(
+            sorted({ranges[index][0] for index in remote}))
+        by_server: Dict[str, List[int]] = {}
+        fallback: List[int] = []
+        for index in remote:
+            server_id = located.get(ranges[index][0])
+            if server_id is None:
+                fallback.append(index)
+            else:
+                by_server.setdefault(server_id, []).append(index)
+        groups = sorted(by_server.items())
+        futures = scatter_call(self.transport, [
+            (server_id, m.MultiRetrieveRequest(
+                ranges=tuple(ranges[index] for index in indices),
+                principal=self.config.principal))
+            for server_id, indices in groups])
+        for (server_id, indices), future in zip(groups, futures):
+            if future.ok:
+                payload = memoryview(future.value.payload)
+                if len(payload) == sum(ranges[index][2] for index in indices):
+                    pos = 0
+                    for index in indices:
+                        length = ranges[index][2]
+                        results[index] = bytes(payload[pos:pos + length])
+                        pos += length
+                    continue
+                # Garbled reply length: re-read these ranges one by one.
+                fallback.extend(indices)
+                continue
+            if not isinstance(future.exception, SwarmError):
+                raise future.exception
+            # Stale placements or a downed server: evict so the
+            # per-range ladder broadcasts/reconstructs afresh.
+            for index in indices:
+                self.locations.evict(ranges[index][0])
+            fallback.extend(indices)
+        for index in fallback:
+            fid, offset, length = ranges[index]
+            try:
+                data = self.read_range(fid, offset, length)
+            except SwarmError:
+                continue
+            if len(data) == length:
+                results[index] = data
+        return results
 
     def read_fragment(self, fid: int) -> bytes:
         """Read a whole fragment image (cleaner / recovery paths).

@@ -8,13 +8,28 @@ fragment that is absent everywhere *and* unreconstructable marks the end
 of the log (or, mid-log, the boundary of an incompletely flushed tail —
 rollforward stops there, yielding a consistent prefix of the record
 stream).
+
+Read-ahead is windowed, mirroring the write path's write-behind: up to
+``max_inflight`` retrieves travel at once, dispatched as one
+:meth:`~repro.rpc.transport.Transport.submit_many` scatter so the
+simulated testbed charges the batch's *overlapped* elapsed time, and
+consumed strictly in FID order. A degraded fragment mid-window falls
+back to parity reconstruction without stalling its neighbors, and a
+prefetch the reader abandons still reports its failure — placement
+eviction plus a health-monitor observation — instead of vanishing.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional
 
-from repro.errors import CorruptFragmentError, ReconstructionError, SwarmError
+from repro.errors import (
+    ConfigError,
+    CorruptFragmentError,
+    ReconstructionError,
+    SwarmError,
+)
 from repro.log.fragment import Fragment
 from repro.log.location import LocationCache
 from repro.log.records import Record
@@ -55,13 +70,21 @@ class LogReader:
 
     def __init__(self, transport, principal: str = "",
                  locations: Optional[LocationCache] = None,
-                 retry_policy=None, verify: bool = False) -> None:
+                 retry_policy=None, verify: bool = False,
+                 max_inflight: int = 1, monitor=None) -> None:
         from repro.rpc.retry import wrap_transport
 
+        if max_inflight < 1:
+            raise ConfigError("max_inflight must be >= 1")
         transport = wrap_transport(transport, retry_policy)
         self.transport = transport
         self.principal = principal
         self.verify = verify
+        self.max_inflight = max_inflight
+        # Failed prefetches feed the failure detector exactly like
+        # synchronous failures would; the counters are per server.
+        self.monitor = monitor
+        self.prefetch_failures: Dict[str, int] = {}
         self.locator = FragmentLocator(transport, principal, locations)
         # Reconstruction shares the same placement cache, so stripe
         # descriptors learned either way serve both paths. The policy is
@@ -76,7 +99,8 @@ class LogReader:
         """Fetch and parse fragment ``fid``; None if it does not exist.
 
         Uses a ``prefetched`` completion (an in-flight retrieve started
-        by :meth:`prefetch`) when one is given, then the cached/learned
+        by :meth:`prefetch`, or a ``(server_id, future)`` pair from the
+        read-ahead window) when one is given, then the cached/learned
         placement, then a broadcast, then reconstruction from the
         stripe. In verified mode a direct fetch that fails its payload
         checksum also falls through to reconstruction — rollforward
@@ -84,7 +108,10 @@ class LogReader:
         """
         image: Optional[bytes] = None
         if prefetched is not None:
-            image = self._prefetched_image(fid, prefetched)
+            server_id = None
+            if isinstance(prefetched, tuple):
+                server_id, prefetched = prefetched
+            image = self._prefetched_image(fid, prefetched, server_id)
         if image is None:
             server_id = self.locator.locate(fid)
             if server_id is not None:
@@ -131,8 +158,9 @@ class LogReader:
                 add_callback(lambda _event: None)
         return future
 
-    def _prefetched_image(self, fid: int, prefetched) -> Optional[bytes]:
-        """Resolve a prefetch started by :meth:`prefetch`."""
+    def _prefetched_image(self, fid: int, prefetched,
+                          server_id: Optional[str] = None) -> Optional[bytes]:
+        """Resolve a prefetch started by :meth:`prefetch` or the window."""
         from repro.rpc.completion import gather
 
         try:
@@ -142,7 +170,7 @@ class LogReader:
         if not future.ok:
             if not isinstance(future.exception, SwarmError):
                 raise future.exception
-            self.locator.forget(fid)
+            self._note_prefetch_failure(fid, server_id, future.exception)
             return None
         image = future.value.payload
         if self.verify:
@@ -153,24 +181,108 @@ class LogReader:
                 return None
         return image
 
+    def _note_prefetch_failure(self, fid: int, server_id: Optional[str],
+                               exc: SwarmError) -> None:
+        """Account one failed prefetched retrieve.
+
+        The placement is evicted (it pointed somewhere that could not
+        answer) and the outcome is folded into the health monitor the
+        same way the retry layer scores synchronous calls: a definitive
+        application error is still proof of life, only transient
+        unreachability counts against the server.
+        """
+        from repro.rpc.retry import TRANSIENT_ERRORS
+
+        self.locator.forget(fid)
+        if server_id is None:
+            return
+        self.prefetch_failures[server_id] = \
+            self.prefetch_failures.get(server_id, 0) + 1
+        if self.monitor is not None:
+            self.monitor.observe(
+                server_id, ok=not isinstance(exc, TRANSIENT_ERRORS))
+
+    def _refill_window(self, pending: "OrderedDict", next_fid: int) -> None:
+        """Dispatch the next read-ahead window as one scatter.
+
+        Prefetches the contiguous run of fids from ``next_fid`` whose
+        placements are already cached (learned from stripe descriptors
+        as the reader walks), up to ``max_inflight`` deep, in a single
+        ``submit_many`` — on the simulated transport the batch is
+        charged its overlapped elapsed time, not one round trip per
+        fragment. The run stops at the first unknown placement:
+        consumption is strictly in order, so fetching past a gap would
+        race a broadcast the gap itself may obviate.
+        """
+        plan = []
+        fid = next_fid
+        while len(plan) < self.max_inflight:
+            server_id = self.locator.locations.get(fid)
+            if server_id is None:
+                break
+            plan.append((fid, server_id))
+            fid += 1
+        if not plan:
+            return
+        futures = self.transport.submit_many(
+            [(server_id, m.RetrieveRequest(fid=fid, principal=self.principal))
+             for fid, server_id in plan])
+        for (fid, server_id), future in zip(plan, futures):
+            if not future.triggered:
+                # Abandoned or failed prefetches must not re-raise out
+                # of somebody else's sim.run(); waiters contain them.
+                add_callback = getattr(future, "add_callback", None)
+                if add_callback is not None:
+                    add_callback(lambda _event: None)
+            pending[fid] = (server_id, future)
+
+    def _abandon_window(self, pending: "OrderedDict") -> None:
+        """Release prefetches the caller will never consume.
+
+        Cancellation must not mask errors: a prefetch that already
+        failed still evicts its placement and feeds the failure
+        detector, and a non-protocol exception (a programming error)
+        is re-raised rather than swallowed.
+        """
+        try:
+            for fid, (server_id, future) in pending.items():
+                if not future.triggered or future.ok:
+                    continue
+                if not isinstance(future.exception, SwarmError):
+                    raise future.exception
+                self._note_prefetch_failure(fid, server_id, future.exception)
+        finally:
+            pending.clear()
+
     def fragments_from(self, start_fid: int) -> Iterator[Fragment]:
         """Yield fragments starting at ``start_fid`` until the log ends.
 
-        Streams: while the caller parses fragment ``fid``, the retrieve
-        for ``fid+1`` is already in flight (its placement is known from
-        the stripe descriptor just learned), so rollforward overlaps
-        parsing with the next network round trip instead of strictly
-        alternating them.
+        Streams with bounded read-ahead: while the caller parses
+        fragment ``fid``, retrieves for up to ``max_inflight`` of its
+        successors are already in flight (their placements known from
+        the stripe descriptors just learned). The window refills as a
+        batch when it drains and is consumed strictly in FID order;
+        ``max_inflight=1`` is exactly the old one-fragment-ahead
+        prefetch. A fragment whose prefetch failed falls back to the
+        locate/broadcast/reconstruct ladder without disturbing the rest
+        of the window, and in-flight prefetches left over when the log
+        ends (or the caller stops early) are abandoned without masking
+        their errors.
         """
+        pending: "OrderedDict" = OrderedDict()
         fid = start_fid
-        prefetched = None
-        while True:
-            fragment = self.read_fragment(fid, prefetched=prefetched)
-            if fragment is None:
-                return
-            fid += 1
-            prefetched = self.prefetch(fid)
-            yield fragment
+        try:
+            while True:
+                fragment = self.read_fragment(
+                    fid, prefetched=pending.pop(fid, None))
+                if fragment is None:
+                    return
+                fid += 1
+                if not pending:
+                    self._refill_window(pending, fid)
+                yield fragment
+        finally:
+            self._abandon_window(pending)
 
     def records_from(self, start_fid: int, min_lsn: int = 0) -> List[Record]:
         """All records in fragments >= ``start_fid`` with LSN > ``min_lsn``,

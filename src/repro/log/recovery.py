@@ -105,6 +105,7 @@ def recover_service_state(transport, client_id: int, service_id: int,
                           include_all_block_records: bool = False,
                           reader: Optional[LogReader] = None,
                           locations: Optional[LocationCache] = None,
+                          max_inflight: int = 1,
                           ) -> RecoveredState:
     """Recover one service's state from the log.
 
@@ -120,8 +121,12 @@ def recover_service_state(transport, client_id: int, service_id: int,
         When no ``reader`` is given, build one around this shared
         :class:`LocationCache` (e.g. the restarting client's own cache)
         instead of an empty one.
+    max_inflight:
+        Read-ahead window depth for the rollforward scan when no
+        ``reader`` is given (a given reader keeps its own).
     """
-    reader = reader or LogReader(transport, principal, locations=locations)
+    reader = reader or LogReader(transport, principal, locations=locations,
+                                 max_inflight=max_inflight)
     marked_fid = find_newest_marked_fid(transport, client_id, principal)
     table: Dict[int, Tuple[BlockAddress, int]] = {}
     checkpoint_state: Optional[bytes] = None

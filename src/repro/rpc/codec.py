@@ -37,6 +37,7 @@ _TAGS = {
     m.DeleteAclRequest: 9,
     m.EvalScriptRequest: 10,
     m.ListFidsRequest: 11,
+    m.MultiRetrieveRequest: 12,
     m.Response: 20,
     m.ErrorResponse: 21,
 }
@@ -92,6 +93,12 @@ def encode_message(msg: Message) -> bytes:
     if isinstance(msg, m.RetrieveRequest):
         return (head + struct.pack(">Qqq", msg.fid, msg.offset, msg.length)
                 + pack_str(msg.principal))
+    if isinstance(msg, m.MultiRetrieveRequest):
+        body = [head, struct.pack(">I", len(msg.ranges))]
+        body.extend(struct.pack(">QII", fid, offset, length)
+                    for fid, offset, length in msg.ranges)
+        body.append(pack_str(msg.principal))
+        return b"".join(body)
     if isinstance(msg, (m.DeleteRequest, m.PreallocateRequest)):
         return head + struct.pack(">Q", msg.fid) + pack_str(msg.principal)
     if isinstance(msg, m.HoldsRequest):
@@ -145,6 +152,17 @@ def decode_message(buf: bytes) -> Message:
         principal, pos = unpack_str(buf, pos)
         return m.RetrieveRequest(fid=fid, offset=offset, length=length,
                                  principal=principal)
+    if cls is m.MultiRetrieveRequest:
+        (count,) = struct.unpack_from(">I", buf, pos)
+        pos += 4
+        ranges = []
+        for _ in range(count):
+            fid, offset, length = struct.unpack_from(">QII", buf, pos)
+            ranges.append((fid, offset, length))
+            pos += 16
+        principal, pos = unpack_str(buf, pos)
+        return m.MultiRetrieveRequest(ranges=tuple(ranges),
+                                      principal=principal)
     if cls in (m.DeleteRequest, m.PreallocateRequest):
         (fid,) = struct.unpack_from(">Q", buf, pos)
         pos += 8
@@ -213,6 +231,8 @@ def wire_size(msg: Message) -> int:
         return 30 + len(msg.principal) + 16 * len(msg.acl_ranges) + len(msg.data)
     if isinstance(msg, m.RetrieveRequest):
         return 29 + len(msg.principal)
+    if isinstance(msg, m.MultiRetrieveRequest):
+        return 9 + 16 * len(msg.ranges) + len(msg.principal)
     if isinstance(msg, (m.DeleteRequest, m.PreallocateRequest)):
         return 13 + len(msg.principal)
     if isinstance(msg, m.HoldsRequest):

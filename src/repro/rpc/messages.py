@@ -35,6 +35,22 @@ class RetrieveRequest:
 
 
 @dataclass(frozen=True)
+class MultiRetrieveRequest:
+    """Read many ``(fid, offset, length)`` ranges in one round trip.
+
+    Batched like :class:`HoldsRequest`: the cleaner harvesting a
+    stripe's live blocks or a service gathering scattered small reads
+    pays one request per *server*, not one per range. Lengths must be
+    explicit (no ``-1`` tail reads) so the reply needs no framing: the
+    payload is the ranges' bytes concatenated in request order and
+    ``value`` is the range count.
+    """
+
+    ranges: Tuple[Tuple[int, int, int], ...]
+    principal: str = ""
+
+
+@dataclass(frozen=True)
 class DeleteRequest:
     """Delete fragment ``fid``."""
 
@@ -142,4 +158,5 @@ REQUEST_TYPES = (
     StoreRequest, RetrieveRequest, DeleteRequest, PreallocateRequest,
     LastMarkedRequest, HoldsRequest, CreateAclRequest, ModifyAclRequest,
     DeleteAclRequest, EvalScriptRequest, ListFidsRequest,
+    MultiRetrieveRequest,
 )

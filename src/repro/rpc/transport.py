@@ -52,6 +52,13 @@ def dispatch(server, request) -> Any:
             data = server.retrieve(request.fid, request.offset, request.length,
                                    principal=request.principal)
             return m.Response(value=len(data), payload=data)
+        if isinstance(request, m.MultiRetrieveRequest):
+            parts = server.retrieve_many(request.ranges,
+                                         principal=request.principal)
+            # Lengths are explicit in the request, so the concatenated
+            # payload needs no framing; value is the range count.
+            return m.Response(value=len(parts),
+                              payload=b"".join(bytes(part) for part in parts))
         if isinstance(request, m.DeleteRequest):
             server.delete(request.fid, principal=request.principal)
             return m.Response()
@@ -318,6 +325,13 @@ class SimTransport(Transport):
             length = (request.length if request.length >= 0
                       else node.server.config.fragment_size)
             return model.access_time(length, sequential=False)
+        if isinstance(request, m.MultiRetrieveRequest):
+            # One positioned access per uncached fragment the batch
+            # touched (the server coalesced each fragment's ranges into
+            # a span); cached fragments cost no disk time.
+            return sum(model.access_time(max(span_len, 1), sequential=False)
+                       for _fid, _offset, span_len
+                       in node.server.last_multi_disk_spans)
         if isinstance(request, m.DeleteRequest):
             return model.access_time(4096, sequential=False)
         return 0.0
@@ -418,6 +432,13 @@ class SimTransport(Transport):
             position = float(slot) + max(0, request.offset) / float(1 << 20)
             yield from node.disk.positioned_access(
                 max(len(response.payload), 1), position, write=False)
+        elif isinstance(request, m.MultiRetrieveRequest) and isinstance(
+                response, m.Response):
+            for fid, offset, span_len in node.server.last_multi_disk_spans:
+                slot = node.server.slots.slot_of(fid) or 0
+                position = float(slot) + max(0, offset) / float(1 << 20)
+                yield from node.disk.positioned_access(
+                    max(span_len, 1), position, write=False)
         elif isinstance(request, m.DeleteRequest):
             yield from node.disk.positioned_access(4096, self._MAP_REGION)
 

@@ -67,6 +67,11 @@ class StorageServer:
         self.store_ops = 0
         self.retrieve_ops = 0
         self.delete_ops = 0
+        # Disk spans touched by the last retrieve_many, one
+        # (fid, start_offset, total_bytes) per uncached fragment — the
+        # simulated transport charges one positioned access per span
+        # instead of one per range.
+        self.last_multi_disk_spans: List[Tuple[int, int, int]] = []
 
     @property
     def server_id(self) -> str:
@@ -156,6 +161,76 @@ class StorageServer:
         if offset == 0 and length == len(data):
             return data
         return memoryview(data)[offset:offset + length]
+
+    def retrieve_many(self, ranges, principal: str = "") -> List[bytes]:
+        """Serve many ``(fid, offset, length)`` ranges in one call.
+
+        The batched form of :meth:`retrieve` behind
+        :class:`~repro.rpc.messages.MultiRetrieveRequest`. All ranges
+        are validated before any byte is served — explicit non-negative
+        lengths (no ``-1`` tail reads: the reply carries no framing),
+        in-bounds against the fragment, and non-overlapping within one
+        fragment — so a bad batch fails whole, never half-answered.
+        Each distinct fragment's slot is visited once; the spans read
+        from disk are recorded in ``last_multi_disk_spans`` for the
+        simulated transport's disk-time model.
+        """
+        self._require_available()
+        self.last_multi_disk_spans = []
+        ranges = [(int(fid), int(offset), int(length))
+                  for fid, offset, length in ranges]
+        infos = {}
+        per_fid: dict = {}
+        for fid, offset, length in ranges:
+            if offset < 0 or length < 0:
+                raise BadRequestError(
+                    "multi-retrieve needs explicit non-negative ranges, "
+                    "got [%d, +%d) in fragment %d" % (offset, length, fid))
+            info = infos.get(fid)
+            if info is None:
+                info = infos[fid] = self._info_or_raise(fid)
+            if offset + length > info["length"]:
+                raise BadRequestError(
+                    "range [%d, %d) outside fragment of %d bytes"
+                    % (offset, offset + length, info["length"]))
+            per_fid.setdefault(fid, []).append((offset, length))
+        for fid, spans in per_fid.items():
+            spans = sorted(spans)
+            for (off_a, len_a), (off_b, _len_b) in zip(spans, spans[1:]):
+                if off_a + len_a > off_b:
+                    raise BadRequestError(
+                        "overlapping ranges [%d, %d) and [%d, ...) in "
+                        "fragment %d" % (off_a, off_a + len_a, off_b, fid))
+        for fid, offset, length in ranges:
+            self.acls.check_access(infos[fid].get("acl_ranges", []), offset,
+                                   length, principal, "r")
+        images = {}
+        for fid in per_fid:
+            data = self._cache.get(fid)
+            if data is not None:
+                self._cache.move_to_end(fid)
+                self.cache_hits += 1
+            else:
+                if self.config.cache_fragments:
+                    self.cache_misses += 1
+                data = self.backend.read_slot(infos[fid]["slot"])
+                if data is None:
+                    raise FragmentNotFoundError(
+                        "fragment %d has no slot data" % fid)
+                self._cache_insert(fid, data)
+                spans = per_fid[fid]
+                self.last_multi_disk_spans.append(
+                    (fid, min(offset for offset, _length in spans),
+                     sum(length for _offset, length in spans)))
+            images[fid] = data
+        parts: List[bytes] = []
+        total = 0
+        for fid, offset, length in ranges:
+            parts.append(memoryview(images[fid])[offset:offset + length])
+            total += length
+        self.bytes_retrieved += total
+        self.retrieve_ops += 1
+        return parts
 
     def delete(self, fid: int, principal: str = "") -> None:
         """Delete fragment ``fid``, freeing its slot."""

@@ -54,6 +54,22 @@ class LogicalDiskService(Service):
             raise ServiceError("logical block %d not written" % block_no)
         return self.stack.read_block(self, addr)
 
+    def read_many(self, block_nos: List[int]) -> List[bytes]:
+        """Read several logical blocks in one batched round of retrieves.
+
+        The scattered-small-read path: the blocks' log addresses are
+        handed to the stack as one batch, which groups them into one
+        multi-range retrieve per server instead of one round trip per
+        block. Results come back in request order.
+        """
+        addrs = []
+        for block_no in block_nos:
+            addr = self._map.get(block_no)
+            if addr is None:
+                raise ServiceError("logical block %d not written" % block_no)
+            addrs.append(addr)
+        return self.stack.read_blocks(self, addrs)
+
     def trim(self, block_no: int) -> None:
         """Discard logical block ``block_no``."""
         addr = self._map.pop(block_no, None)

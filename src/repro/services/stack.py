@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.errors import ServiceError
+from repro.errors import BlockNotFoundError, ServiceError
 from repro.log.address import BlockAddress
 from repro.log.layer import FlushTicket, LogLayer
 from repro.log.reader import LogReader
@@ -131,6 +131,48 @@ class ServiceStack:
             data = layer.transform_block_up(service.service_id, data)
         return data
 
+    def read_blocks(self, service: Service,
+                    addrs: List[BlockAddress]) -> List[bytes]:
+        """Batched :meth:`read_block`: many addresses, few round trips.
+
+        Cache hits are taken layer by layer as usual; every miss joins
+        one batched log read (:meth:`~repro.log.layer.LogLayer.read_ranges`,
+        one multi-range retrieve per server) instead of one synchronous
+        round trip per block. Results come back in request order, each
+        passed up through the lower layers' transforms; a block that
+        cannot be read even through reconstruction raises
+        ``BlockNotFoundError`` just like the single-block path.
+        """
+        below = self._layers_below(service)
+        staged: List = [None] * len(addrs)
+        missing: List[int] = []
+        for index, addr in enumerate(addrs):
+            for layer in below:
+                cached = layer.cache_lookup(addr)
+                if cached is not None:
+                    staged[index] = cached
+                    break
+            else:
+                missing.append(index)
+        if missing:
+            fetched = self.log.read_ranges(
+                [(addrs[index].fid, addrs[index].offset, addrs[index].length)
+                 for index in missing])
+            for index, data in zip(missing, fetched):
+                if data is None:
+                    raise BlockNotFoundError("no data at %s" % (addrs[index],))
+                for layer in below:
+                    layer.cache_insert(addrs[index], data)
+                staged[index] = data
+        results: List[bytes] = []
+        for data in staged:
+            if not isinstance(data, bytes):
+                data = bytes(data)
+            for layer in reversed(below):
+                data = layer.transform_block_up(service.service_id, data)
+            results.append(data)
+        return results
+
     # ------------------------------------------------------------------
     # Cleaner integration
     # ------------------------------------------------------------------
@@ -164,7 +206,12 @@ class ServiceStack:
         """
         transport = transport or self.log.transport
         client_id = self.log.config.client_id
-        reader = LogReader(transport, self.log.config.principal)
+        # Rollforward shares one reader so every service's scan reuses
+        # the placement cache and the configured read-ahead window;
+        # prefetch failures feed the client's health monitor.
+        reader = LogReader(transport, self.log.config.principal,
+                           max_inflight=self.log.config.max_inflight_reads,
+                           monitor=self.log.monitor)
         highest_fid = 0
         highest_lsn = 0
         table = {}

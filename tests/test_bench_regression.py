@@ -5,18 +5,28 @@ import json
 import pytest
 
 from repro.bench.regression import (
+    DEFAULT_OPCOUNT_TOLERANCE,
     DEFAULT_TOLERANCE,
     compare,
+    compare_opcounts,
     main,
+    resolve_opcount_tolerance,
     resolve_tolerance,
 )
 
 
-def metrics(append=200.0, ratio=2.4, overlap=0.5):
+def metrics(append=200.0, ratio=2.4, overlap=0.5, seq_read=3.3,
+            cleaning=300.0, read_overlap=0.5, scan_rpcs=11,
+            scan_bytes=160000):
     return {
         "log_append_mb_s": append,
         "reconstruct_latency": {"ratio": ratio},
         "write_pipeline": {"overlap_ratio": overlap},
+        "read_pipeline": {"sequential_read_mb_s": seq_read,
+                          "cleaning_mb_s": cleaning,
+                          "overlap_ratio": read_overlap},
+        "opcounts": {"sequential_scan": {"rpcs": scan_rpcs,
+                                         "bytes": scan_bytes}},
     }
 
 
@@ -58,6 +68,48 @@ class TestCompare:
         problems = compare({}, metrics())
         assert any("log_append_mb_s" in p for p in problems)
         assert any("reconstruct_latency" in p for p in problems)
+        assert any("read_pipeline" in p for p in problems)
+
+    def test_sequential_read_regression_fails(self):
+        fresh = metrics(seq_read=3.3 * 0.70)
+        problems = compare(metrics(), fresh, tolerance=0.15)
+        assert len(problems) == 1
+        assert "sequential_read_mb_s" in problems[0]
+
+    def test_cleaning_regression_fails(self):
+        fresh = metrics(cleaning=300.0 * 0.70)
+        problems = compare(metrics(), fresh, tolerance=0.15)
+        assert len(problems) == 1
+        assert "cleaning_mb_s" in problems[0]
+
+    def test_read_overlap_ratio_must_stay_below_one(self):
+        problems = compare(metrics(), metrics(read_overlap=1.02))
+        assert len(problems) == 1
+        assert "read_pipeline.overlap_ratio" in problems[0]
+
+
+class TestCompareOpcounts:
+    def test_identical_counts_pass(self):
+        assert compare_opcounts(metrics(), metrics()) == []
+
+    def test_rpc_growth_beyond_tolerance_fails(self):
+        fresh = metrics(scan_rpcs=13)  # 11 -> 13 is ~18% chattier
+        problems = compare_opcounts(metrics(), fresh, tolerance=0.02)
+        assert len(problems) == 1
+        assert "sequential_scan.rpcs" in problems[0]
+
+    def test_byte_growth_beyond_tolerance_fails(self):
+        fresh = metrics(scan_bytes=200000)
+        problems = compare_opcounts(metrics(), fresh, tolerance=0.02)
+        assert problems and "sequential_scan.bytes" in problems[0]
+
+    def test_shrinking_counts_pass(self):
+        fresh = metrics(scan_rpcs=5, scan_bytes=80000)
+        assert compare_opcounts(metrics(), fresh, tolerance=0.0) == []
+
+    def test_missing_baseline_counts_flagged(self):
+        problems = compare_opcounts({}, metrics())
+        assert problems and "opcounts" in problems[0]
 
 
 class TestToleranceResolution:
@@ -77,6 +129,21 @@ class TestToleranceResolution:
         monkeypatch.setenv("PERF_REGRESSION_TOLERANCE", "-1")
         with pytest.raises(ValueError):
             resolve_tolerance()
+
+    def test_opcount_default(self, monkeypatch):
+        monkeypatch.delenv("PERF_OPCOUNT_TOLERANCE", raising=False)
+        assert resolve_opcount_tolerance() == DEFAULT_OPCOUNT_TOLERANCE
+
+    def test_opcount_env_var_overrides(self, monkeypatch):
+        monkeypatch.setenv("PERF_OPCOUNT_TOLERANCE", "0.1")
+        assert resolve_opcount_tolerance() == 0.1
+
+    def test_opcount_ignores_wide_regression_tolerance(self, monkeypatch):
+        # CI widens PERF_REGRESSION_TOLERANCE for noisy machines; the
+        # deterministic counters must not inherit that slack.
+        monkeypatch.setenv("PERF_REGRESSION_TOLERANCE", "0.5")
+        monkeypatch.delenv("PERF_OPCOUNT_TOLERANCE", raising=False)
+        assert resolve_opcount_tolerance() == DEFAULT_OPCOUNT_TOLERANCE
 
 
 class TestMain:

@@ -24,7 +24,8 @@ except ImportError:  # pragma: no cover - hypothesis is in the dev env
 
 from repro.chaos.plan import FaultSpec
 from repro.chaos.runner import generate_ops, oracle_state, replay_check, \
-    replay_kill_check, run_chaos, run_kill_server
+    replay_cleaner_check, replay_kill_check, run_chaos, run_cleaner_churn, \
+    run_kill_server
 
 SEEDS = [int(s) for s in
          os.environ.get("CHAOS_SEEDS", "101,202,303").split(",") if s.strip()]
@@ -176,6 +177,119 @@ def test_kill_server_replays_identically_with_write_behind(seed):
     assert identical, (
         "chaos seed=%d: kill-server write-behind replay diverged"
         % seed)
+
+
+#: Read-ahead wide open: recovery and verification scans keep up to
+#: four retrieves in flight.
+READ_AHEAD = {"max_inflight_reads": 4}
+
+#: The pre-windowing read path: one fragment ahead, exactly today's
+#: serial prefetch.
+SERIAL_READS = {"max_inflight_reads": 1}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_zero_data_loss_with_read_ahead(seed):
+    """The full chaos matrix must hold with the read window open —
+    recovery rollforward prefetches through wire faults and torn
+    stores, falling back to parity mid-window."""
+    report = run_chaos(seed, log_overrides=READ_AHEAD)
+    if not report.ok:
+        _fail(report, "invariants violated with max_inflight_reads=4")
+
+
+@pytest.mark.parametrize("seed", SEEDS[:1])
+def test_chaos_replays_identically_with_read_ahead(seed):
+    first, second, identical = replay_check(seed, log_overrides=READ_AHEAD)
+    if not (first.ok and second.ok):
+        _fail(first if not first.ok else second,
+              "invariants violated with max_inflight_reads=4")
+    assert identical, (
+        "chaos seed=%d: read-ahead replay diverged (histories %s, "
+        "digests %s vs %s)"
+        % (seed, "equal" if first.fault_history == second.fault_history
+           else "differ", first.state_digest[:12], second.state_digest[:12]))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_outcome_invariant_across_read_window(seed):
+    """The read window must change overlap only, never outcomes:
+    window=1 is exactly the old one-ahead prefetch, and any deeper
+    window recovers the identical state, digest for digest."""
+    base = run_chaos(seed)
+    assert base.ok, base.problems
+    for overrides in (SERIAL_READS, READ_AHEAD,
+                      {**WRITE_BEHIND, **READ_AHEAD}):
+        other = run_chaos(seed, log_overrides=overrides)
+        assert other.ok, (
+            "chaos seed=%d overrides=%r: %s"
+            % (seed, overrides, other.problems))
+        assert other.state_digest == base.state_digest, (
+            "chaos seed=%d: recovered state depends on %r"
+            % (seed, overrides))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_kill_server_self_heals_with_read_ahead(seed):
+    """Degraded reads mid-window: with a stripe-group member dead for
+    good, every window the recovery scan dispatches contains fragments
+    only parity can produce."""
+    report = run_kill_server(seed, log_overrides=READ_AHEAD)
+    if not report.ok:
+        _fail(report, "self-healing invariants violated with "
+                      "max_inflight_reads=4")
+    assert report.stats["fragments_repaired"] > 0, (
+        "chaos seed=%d: repair daemon did no work under read-ahead — "
+        "the scenario is vacuous" % seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:1])
+def test_kill_server_replays_identically_with_both_windows(seed):
+    first, second, identical = replay_kill_check(
+        seed, log_overrides={**WRITE_BEHIND, **READ_AHEAD})
+    if not (first.ok and second.ok):
+        _fail(first if not first.ok else second,
+              "self-healing invariants violated with write-behind + "
+              "read-ahead")
+    assert identical, (
+        "chaos seed=%d: kill-server replay diverged with both windows "
+        "open" % seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cleaner_churn_zero_data_loss(seed):
+    """The cleaner's batched harvest + pipelined re-append under wire
+    faults: periodic cleaning passes move live blocks through the
+    windowed read path and nothing is lost."""
+    report = run_cleaner_churn(seed)
+    if not report.ok:
+        _fail(report, "cleaner-churn invariants violated (reproduce "
+                      "with --cleaner)")
+    assert report.stats["clean_passes"] > 0, (
+        "chaos seed=%d: no cleaning pass ran — the scenario is vacuous"
+        % seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:1])
+def test_cleaner_churn_replays_identically(seed):
+    first, second, identical = replay_cleaner_check(seed)
+    if not (first.ok and second.ok):
+        _fail(first if not first.ok else second,
+              "cleaner-churn invariants violated (reproduce with "
+              "--cleaner)")
+    assert identical, (
+        "chaos seed=%d: cleaner-churn replay diverged (histories %s, "
+        "digests %s vs %s)"
+        % (seed, "equal" if first.fault_history == second.fault_history
+           else "differ", first.state_digest[:12], second.state_digest[:12]))
+
+
+@pytest.mark.parametrize("seed", SEEDS[:1])
+def test_cleaner_churn_with_read_ahead(seed):
+    report = run_cleaner_churn(seed, log_overrides=READ_AHEAD)
+    if not report.ok:
+        _fail(report, "cleaner-churn invariants violated with "
+                      "max_inflight_reads=4")
 
 
 def test_ops_and_oracle_are_deterministic():

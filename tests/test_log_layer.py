@@ -121,10 +121,11 @@ class TestStriping:
 class TestDeleteAndUsage:
     def test_usage_listener_events(self, log4):
         events = []
-        log4.add_usage_listener(lambda e, a, s: events.append((e, s)))
+        log4.add_usage_listener(
+            lambda e, a, s, owner, info: events.append((e, s, owner)))
         addr = log4.write_block(SVC, b"watched")
         log4.delete_block(addr, SVC)
-        assert events == [("create", 7), ("delete", 7)]
+        assert events == [("create", 7, SVC), ("delete", 7, SVC)]
 
     def test_delete_writes_record(self, log4):
         addr = log4.write_block(SVC, b"dying")

@@ -1,0 +1,401 @@
+"""Windowed read pipeline: bounded read-ahead, batched multi-range
+retrieves, and the cleaner's pipelined harvest.
+
+Covers the read-side pipelining contract end to end:
+
+* the reader's bounded in-flight window — identical record streams at
+  any window depth, degraded fragments mid-window falling back to
+  parity, abandoned prefetches still accounted (placement eviction,
+  health-monitor fold-in) and never masking programming errors;
+* ``LogLayer.read_ranges`` — one ``MultiRetrieveRequest`` per server,
+  builder-served unflushed ranges, per-range reconstruction fallback,
+  ``None`` for genuinely missing fragments;
+* ``LogicalDiskService.read_many`` — the scattered-small-read path;
+* retry re-scatter of multi-range retrieves — only the dropped
+  operations are retried, per seed;
+* the cleaner's batched harvest — one flush fence per batch, and an
+  unreadable stripe skipped rather than deleted;
+* the acceptance bound: on the simulated testbed a windowed sequential
+  scan beats the serial one (overlap ratio below 1.0).
+
+Seeds come from ``CHAOS_SEEDS`` (comma-separated), matching the chaos
+property suite.
+"""
+
+import os
+import struct
+from collections import OrderedDict
+
+import pytest
+
+from repro import errors
+from repro.bench.perf import bench_read_pipeline
+from repro.chaos.plan import FaultPlan, FaultSpec
+from repro.chaos.transport import FaultyTransport
+from repro.cluster import build_local_cluster
+from repro.log.config import LogConfig
+from repro.log.fragment import HEADER_SIZE
+from repro.log.reader import LogReader
+from repro.rpc import messages as m
+from repro.rpc.retry import RetryPolicy, RetryingTransport
+from repro.services.cleaner import CleanerService
+from repro.services.logical_disk import LogicalDiskService
+from repro.util.fids import make_fid
+
+SEEDS = [int(s) for s in
+         os.environ.get("CHAOS_SEEDS", "101,202,303").split(",") if s.strip()]
+
+DROP_ALL_SPEC = FaultSpec(drop_request=1.0, drop_response=0.0, delay=0.0,
+                          duplicate=0.0, torn_store=0.0, bit_flip=0.0)
+
+
+def _cluster(num_servers=4, fragment_size=1 << 12):
+    """Small fragments so a modest workload spans several stripes."""
+    return build_local_cluster(num_servers=num_servers,
+                               fragment_size=fragment_size,
+                               server_slots=512)
+
+
+def _seeded_log(cluster, blocks=30, block_size=1500):
+    """A flushed log whose blocks span multiple stripes."""
+    log = cluster.make_log(client_id=1)
+    written = []
+    for i in range(blocks):
+        data = bytes([(i * 7 + 3) % 256]) * (block_size + 11 * (i % 5))
+        addr = log.write_block(2, data, struct.pack(">I", i))
+        written.append((addr, data))
+    log.flush().wait()
+    return log, written
+
+
+def _reader(cluster, log, **kwargs):
+    """A fresh reader (own placement cache) over the cluster."""
+    return LogReader(cluster.transport, log.config.principal, **kwargs)
+
+
+def _record_stream(reader):
+    return [(r.lsn, bytes(r.payload)) for r in
+            reader.records_from(make_fid(1, 1))]
+
+
+def _retrieve_ops(cluster):
+    return sum(server.retrieve_ops for server in cluster.servers.values())
+
+
+class _FakeFuture:
+    """A pre-triggered completion with a chosen outcome."""
+
+    def __init__(self, exception=None, value=None):
+        self.triggered = True
+        self.exception = exception
+        self.value = value
+        self.ok = exception is None
+
+
+class _RecordingMonitor:
+    def __init__(self):
+        self.observations = []
+
+    def observe(self, server_id, ok):
+        self.observations.append((server_id, ok))
+
+
+def _churn_stack(cluster, rounds=6, files=40, threshold=0.95, cold=8):
+    """Overwrite the same blocks repeatedly so early stripes die.
+
+    A handful of ``cold`` blocks written first and never overwritten
+    keep the earliest stripes *partially* live — the batch-harvest
+    tests need eligible stripes with blocks to move, not just pure
+    garbage.
+    """
+    stack = cluster.make_stack(client_id=1)
+    cleaner = stack.push(CleanerService(1, utilization_threshold=threshold))
+    disk = stack.push(LogicalDiskService(2))
+    contents = {}
+    for i in range(cold):
+        data = bytes([201 + i % 5]) * (3000 + 97 * i)
+        disk.write(1000 + i, data)
+        contents[1000 + i] = data
+    for round_no in range(rounds):
+        for block in range(files):
+            data = bytes([round_no * 17 + block % 7]) * (2000 + 41 * block)
+            disk.write(block, data)
+            contents[block] = data
+    return stack, cleaner, disk, contents
+
+
+# ----------------------------------------------------------------------
+# The bounded read-ahead window
+# ----------------------------------------------------------------------
+
+class TestReadWindow:
+    def test_zero_window_is_a_config_error(self, cluster4):
+        with pytest.raises(errors.ConfigError):
+            LogReader(cluster4.transport, max_inflight=0)
+        with pytest.raises(errors.ConfigError):
+            LogConfig(client_id=1, fragment_size=1 << 16,
+                      max_inflight_reads=0)
+
+    def test_windowed_scan_matches_serial(self):
+        cluster = _cluster()
+        log, _written = _seeded_log(cluster)
+        serial = _record_stream(_reader(cluster, log, max_inflight=1))
+        assert serial, "workload produced no records"
+        for window in (2, 4, 16):
+            windowed = _record_stream(
+                _reader(cluster, log, max_inflight=window))
+            assert windowed == serial, "window=%d diverged" % window
+
+    def test_windowed_fragments_arrive_in_fid_order(self):
+        cluster = _cluster()
+        log, _written = _seeded_log(cluster)
+        reader = _reader(cluster, log, max_inflight=4)
+        fids = [f.header.fid for f in reader.fragments_from(make_fid(1, 1))]
+        assert fids == list(range(make_fid(1, 1), make_fid(1, 1) + len(fids)))
+        assert len(fids) >= 8, "workload should span several stripes"
+
+    def test_degraded_fragment_mid_window_recovers_via_parity(self):
+        cluster = _cluster()
+        log, _written = _seeded_log(cluster)
+        expected = _record_stream(_reader(cluster, log, max_inflight=1))
+        victim = sorted(cluster.servers)[1]
+        cluster.servers[victim].crash()
+        monitor = _RecordingMonitor()
+        reader = _reader(cluster, log, max_inflight=4, monitor=monitor)
+        assert _record_stream(reader) == expected
+        # The victim's prefetches failed, were counted, evicted their
+        # placements, and fed the failure detector as transient.
+        assert reader.prefetch_failures.get(victim, 0) >= 1
+        assert set(reader.prefetch_failures) == {victim}
+        assert (victim, False) in monitor.observations
+        assert all(server_id == victim
+                   for server_id, _ok in monitor.observations)
+
+    def test_abandoned_window_still_accounts_failures(self):
+        cluster = _cluster()
+        log, _written = _seeded_log(cluster)
+        # Crash the server holding the *second* fragment: the first
+        # read succeeds and fills the window, and the in-flight
+        # prefetch for fid 2 is the one the early exit abandons.
+        victim = log.locations.get(make_fid(1, 1) + 1)
+        cluster.servers[victim].crash()
+        reader = _reader(cluster, log, max_inflight=4)
+        stream = reader.fragments_from(make_fid(1, 1))
+        next(stream)
+        stream.close()
+        assert reader.prefetch_failures.get(victim, 0) >= 1
+
+    def test_abandoned_window_reraises_programming_errors(self, cluster4):
+        reader = LogReader(cluster4.transport)
+        pending = OrderedDict()
+        pending[7] = ("s0", _FakeFuture(exception=ValueError("boom")))
+        with pytest.raises(ValueError):
+            reader._abandon_window(pending)
+        assert not pending
+
+    def test_abandoned_swarm_failures_feed_the_accounting(self, cluster4):
+        monitor = _RecordingMonitor()
+        reader = LogReader(cluster4.transport, monitor=monitor)
+        pending = OrderedDict()
+        pending[7] = ("s2", _FakeFuture(
+            exception=errors.ServerUnavailableError("down")))
+        pending[8] = ("s3", _FakeFuture(value=object()))  # consumed later: kept
+        reader._abandon_window(pending)
+        assert reader.prefetch_failures == {"s2": 1}
+        assert monitor.observations == [("s2", False)]
+        assert not pending
+
+
+# ----------------------------------------------------------------------
+# Batched multi-range reads
+# ----------------------------------------------------------------------
+
+class TestReadRanges:
+    def test_matches_single_range_reads(self):
+        cluster = _cluster()
+        log, written = _seeded_log(cluster)
+        ranges = [(addr.fid, addr.offset, addr.length)
+                  for addr, _data in written]
+        batched = log.read_ranges(ranges)
+        assert batched == [data for _addr, data in written]
+        assert batched == [log.read_range(*r) for r in ranges]
+
+    def test_one_multi_retrieve_per_server(self):
+        cluster = _cluster()
+        log, written = _seeded_log(cluster)
+        ranges = [(addr.fid, addr.offset, addr.length)
+                  for addr, _data in written]
+        before = _retrieve_ops(cluster)
+        log.read_ranges(ranges)
+        delta = _retrieve_ops(cluster) - before
+        assert 1 <= delta <= len(cluster.servers), (
+            "%d ranges cost %d retrieve RPCs; batching should cap the "
+            "cost at the stripe width" % (len(ranges), delta))
+
+    def test_unflushed_ranges_come_from_the_builders(self):
+        cluster = _cluster()
+        log = cluster.make_log(client_id=1)
+        data = b"\x5a" * 500
+        addr = log.write_block(2, data)
+        before = _retrieve_ops(cluster)
+        assert log.read_ranges([(addr.fid, addr.offset, addr.length)]) == \
+            [data]
+        assert _retrieve_ops(cluster) == before
+
+    def test_degraded_ranges_fall_back_per_range(self):
+        cluster = _cluster()
+        log, written = _seeded_log(cluster)
+        victim = sorted(cluster.servers)[1]
+        cluster.servers[victim].crash()
+        ranges = [(addr.fid, addr.offset, addr.length)
+                  for addr, _data in written]
+        assert log.read_ranges(ranges) == [data for _addr, data in written]
+
+    def test_missing_fragment_yields_none(self):
+        cluster = _cluster()
+        log, written = _seeded_log(cluster)
+        addr = written[0][0]
+        results = log.read_ranges([
+            (addr.fid, addr.offset, addr.length),
+            (make_fid(1, 4000), 0, 8),
+        ])
+        assert results == [written[0][1], None]
+
+
+class TestLogicalDiskReadMany:
+    def test_matches_single_reads_and_batches(self, cluster4):
+        stack = cluster4.make_stack(client_id=1)
+        disk = stack.push(LogicalDiskService(2))
+        contents = {}
+        for block in range(24):
+            data = bytes([block % 13 + 1]) * (1200 + 31 * block)
+            disk.write(block, data)
+            contents[block] = data
+        stack.flush().wait()
+        before = _retrieve_ops(cluster4)
+        batch = disk.read_many(list(range(24)))
+        delta = _retrieve_ops(cluster4) - before
+        assert batch == [contents[block] for block in range(24)]
+        assert delta <= len(cluster4.servers)
+        assert batch == [disk.read(block) for block in range(24)]
+
+    def test_unwritten_block_raises(self, cluster4):
+        stack = cluster4.make_stack(client_id=1)
+        disk = stack.push(LogicalDiskService(2))
+        disk.write(0, b"present")
+        stack.flush().wait()
+        with pytest.raises(errors.ServiceError):
+            disk.read_many([0, 99])
+
+
+# ----------------------------------------------------------------------
+# Retry re-scatter of multi-range retrieves
+# ----------------------------------------------------------------------
+
+class TestMultiRetrieveRetry:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_only_dropped_batches_are_rescattered(self, seed):
+        cluster = _cluster()
+        log, written = _seeded_log(cluster)
+        by_server = {}
+        for addr, _data in written:
+            server_id = log.locations.get(addr.fid)
+            assert server_id is not None
+            by_server.setdefault(server_id, []).append(
+                (addr.fid, addr.offset, addr.length))
+        plan = [(server_id, m.MultiRetrieveRequest(
+            ranges=tuple(ranges), principal=log.config.principal))
+            for server_id, ranges in sorted(by_server.items())]
+        faulty = FaultyTransport(cluster.transport,
+                                 FaultPlan(seed, DROP_ALL_SPEC))
+        retrying = RetryingTransport(faulty, RetryPolicy(
+            max_attempts=6, jitter=0.0, seed=seed))
+        victim = faulty.plan.current_victim
+        futures = retrying.submit_many(plan)
+        assert all(f.ok for f in futures), \
+            "seed=%d: retried multi-retrieve scatter left failures" % seed
+        for (server_id, request), future in zip(plan, futures):
+            expected = b"".join(
+                data for addr, data in written
+                if (addr.fid, addr.offset, addr.length) in request.ranges)
+            assert bytes(future.value.payload) == expected
+            assert future.value.value == len(request.ranges)
+        # Only the victim's batch burned retries; the healthy batches
+        # were not re-sent (the re-scatter is per failed operation).
+        assert retrying.retries > 0
+        assert retrying.exhausted == 0
+        for server_id, stats in retrying.per_server.items():
+            if server_id != victim:
+                assert stats["retries"] == 0, \
+                    "seed=%d: healthy server %s was re-scattered" \
+                    % (seed, server_id)
+
+
+# ----------------------------------------------------------------------
+# The cleaner's pipelined harvest
+# ----------------------------------------------------------------------
+
+class TestCleanerPipelinedReads:
+    def test_one_flush_fence_per_batch(self, cluster4, monkeypatch):
+        stack, cleaner, disk, contents = _churn_stack(cluster4)
+        stack.checkpoint_all()
+        flushes = []
+        real_flush = stack.log.flush
+
+        def counting_flush(*args, **kwargs):
+            flushes.append(1)
+            return real_flush(*args, **kwargs)
+
+        monkeypatch.setattr(stack.log, "flush", counting_flush)
+        moved = cleaner.clean(target_stripes=1 << 20)
+        assert moved > 0
+        assert cleaner.stripes_cleaned >= 2
+        assert len(flushes) == 1, (
+            "cleaning %d stripes issued %d flush fences; the batch "
+            "should pay exactly one" % (cleaner.stripes_cleaned,
+                                        len(flushes)))
+        for block, data in contents.items():
+            assert disk.read(block) == data
+
+    def test_unreadable_stripe_is_skipped_not_deleted(self, cluster4,
+                                                      monkeypatch):
+        stack, cleaner, disk, contents = _churn_stack(cluster4)
+        stack.checkpoint_all()
+        candidates = cleaner.candidate_stripes()
+        target = next(c for c in candidates if c.live_bytes > 0)
+        doomed = set(range(target.base_fid, target.base_fid + target.width))
+        real_read_ranges = stack.log.read_ranges
+
+        def failing_read_ranges(ranges):
+            results = real_read_ranges(ranges)
+            # Header peeks stay readable so stripe selection is
+            # unchanged; only the live-block harvest fails.
+            return [None if (fid in doomed and
+                             not (offset == 0 and length == HEADER_SIZE))
+                    else image
+                    for (fid, offset, length), image in zip(ranges, results)]
+
+        monkeypatch.setattr(stack.log, "read_ranges", failing_read_ranges)
+        cleaner.clean(target_stripes=len(candidates))
+        # The unreadable stripe was neither counted nor deleted...
+        assert doomed & set(cleaner._total), \
+            "unreadable stripe was forgotten by the cleaner"
+        assert cleaner.stripes_cleaned < len(candidates)
+        # ...and every live block is still readable.
+        monkeypatch.setattr(stack.log, "read_ranges", real_read_ranges)
+        for block, data in contents.items():
+            assert disk.read(block) == data
+
+
+# ----------------------------------------------------------------------
+# Acceptance: the windowed scan beats the serial one
+# ----------------------------------------------------------------------
+
+class TestReadOverlapBound:
+    def test_windowed_scan_overlaps_on_the_testbed(self):
+        metrics = bench_read_pipeline(fragment_size=1 << 16, stripes=2)
+        assert metrics["serial_read_mb_s"] > 0
+        assert metrics["sequential_read_mb_s"] > metrics["serial_read_mb_s"]
+        assert metrics["overlap_ratio"] < 1.0, (
+            "windowed scan cost %.3f× the serial scan; the read-ahead "
+            "window should overlap retrieves" % metrics["overlap_ratio"])

@@ -22,6 +22,11 @@ def all_message_examples():
                        acl_ranges=((0, 4, 1), (4, 7, 2))),
         m.StoreRequest(fid=0, data=b""),
         m.RetrieveRequest(fid=9, offset=12, length=-1, principal="c2"),
+        m.MultiRetrieveRequest(ranges=()),
+        m.MultiRetrieveRequest(ranges=((7, 0, 64),), principal="c1"),
+        m.MultiRetrieveRequest(ranges=((1, 0, 16), (1, 100, 200),
+                                       (2**63 - 1, 2**31 - 1, 2**31 - 1)),
+                               principal="batch"),
         m.DeleteRequest(fid=3, principal="x"),
         m.PreallocateRequest(fid=44),
         m.LastMarkedRequest(client_id=5, principal="p"),
@@ -101,6 +106,44 @@ class TestDispatch:
         held, _end = unpack_fids(response.payload)
         assert held == (5, 9)
         assert response.value == 2
+
+    def test_multi_retrieve_through_dispatch(self, server):
+        dispatch(server, m.StoreRequest(fid=5, data=b"abcdefgh"))
+        dispatch(server, m.StoreRequest(fid=9, data=b"01234567"))
+        response = dispatch(server, m.MultiRetrieveRequest(
+            ranges=((5, 2, 3), (9, 0, 4), (5, 0, 2))))
+        assert isinstance(response, m.Response)
+        # Ranges' bytes concatenated in request order; value = count.
+        assert response.payload == b"cde" + b"0123" + b"ab"
+        assert response.value == 3
+
+    def test_multi_retrieve_rejects_out_of_bounds_range(self, server):
+        dispatch(server, m.StoreRequest(fid=5, data=b"abcdefgh"))
+        response = dispatch(server, m.MultiRetrieveRequest(
+            ranges=((5, 0, 4), (5, 6, 10))))
+        assert isinstance(response, m.ErrorResponse)
+        assert response.error_class == "BadRequestError"
+
+    def test_multi_retrieve_rejects_overlapping_ranges(self, server):
+        dispatch(server, m.StoreRequest(fid=5, data=b"abcdefgh"))
+        response = dispatch(server, m.MultiRetrieveRequest(
+            ranges=((5, 0, 4), (5, 2, 3))))
+        assert isinstance(response, m.ErrorResponse)
+        assert response.error_class == "BadRequestError"
+        assert "overlap" in response.message
+
+    def test_multi_retrieve_rejects_negative_length(self, server):
+        dispatch(server, m.StoreRequest(fid=5, data=b"abcdefgh"))
+        response = dispatch(server, m.MultiRetrieveRequest(
+            ranges=((5, 0, -1),)))
+        assert isinstance(response, m.ErrorResponse)
+        assert response.error_class == "BadRequestError"
+
+    def test_multi_retrieve_missing_fragment(self, server):
+        response = dispatch(server, m.MultiRetrieveRequest(
+            ranges=((404, 0, 4),)))
+        assert isinstance(response, m.ErrorResponse)
+        assert response.error_class == "FragmentNotFoundError"
 
 
 class TestLocalTransport:
