@@ -14,10 +14,10 @@ Usage::
     python -m repro.bench.perf --smoke    # seconds-long sanity run (CI)
     python -m repro.bench.perf --out x.json
 
-Output schema (``schema_version`` 4)::
+Output schema (``schema_version`` 5)::
 
     {
-      "schema_version": 4,
+      "schema_version": 5,
       "smoke": bool,
       "config": {"fragment_size": int, "num_servers": int, ...},
       "metrics": {
@@ -52,6 +52,14 @@ Output schema (``schema_version`` 4)::
           "sequential_scan": {"rpcs": int, "bytes": int},
           "scattered_read": {"rpcs": int, "bytes": int},
           "cleaner_pass": {"rpcs": int, "bytes": int}
+        },
+        "erasure": {                     # coding-engine costs
+          "parity_fragments": int,       # m measured (2)
+          "xor_encode_mb_s": float,      # XOR engine data MB/s
+          "rs_encode_mb_s": float,       # RS m=2 engine data MB/s
+          "rs_vs_xor_ratio": float,      # rs / xor throughput
+          "degraded_read_ratio": float   # m=2 double-erasure rebuild /
+                                         # healthy retrieve (simulated)
         }
       }
     }
@@ -83,6 +91,13 @@ payload bytes they shipped. The counts are deterministic — identical in
 smoke and full mode, on any machine — so the regression gate can hold
 them to a tight tolerance where wall-clock numbers would be noise.
 
+``erasure`` tracks the pluggable coding engines: encode throughput of
+the table-driven Reed–Solomon engine at ``m = 2`` against the XOR
+single-parity engine over identical data (the ratio is the price of
+double-failure tolerance on the write path), plus the simulated cost
+of a double-erasure degraded read — one fragment rebuilt with two
+stripe members crashed — relative to a healthy retrieve.
+
 ``validate_bench_schema`` checks exactly this shape (no external JSON
 schema dependency), and CI runs it against the smoke output.
 """
@@ -96,6 +111,7 @@ from typing import Dict, List
 
 from repro.cluster import ClusterConfig, SimCluster, build_local_cluster
 from repro.log.address import make_fid
+from repro.log.coding import make_engine
 from repro.log.config import LogConfig
 from repro.log.layer import LogLayer
 from repro.log.reader import LogReader
@@ -109,7 +125,7 @@ from repro.server.server import StorageServer
 from repro.services.cleaner import CleanerService
 from repro.services.logical_disk import LogicalDiskService
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 REQUIRED_METRICS = (
     "log_append_mb_s",
@@ -150,6 +166,14 @@ OPCOUNT_SCENARIOS = (
     "cleaner_pass",
 )
 
+ERASURE_KEYS = (
+    "parity_fragments",
+    "xor_encode_mb_s",
+    "rs_encode_mb_s",
+    "rs_vs_xor_ratio",
+    "degraded_read_ratio",
+)
+
 
 class _CountingTransport(LocalTransport):
     """LocalTransport that counts RPCs issued through :meth:`call`."""
@@ -178,6 +202,79 @@ def bench_parity(fragment_size: int = 1 << 20, width: int = 4,
     elapsed = time.perf_counter() - start
     total = fragment_size * (width - 1) * repeats
     return total / elapsed / 1e6
+
+
+def bench_erasure(fragment_size: int = 1 << 20, width: int = 6,
+                  parity: int = 2, repeats: int = 16) -> Dict[str, float]:
+    """Coding-engine costs: RS-vs-XOR encode rate, m=2 degraded read.
+
+    Encode throughput is measured through the engines' shared
+    interface over identical data members (``width - parity`` of
+    them), so the ratio isolates the extra translate passes the
+    Reed–Solomon rows cost over the single XOR fold. The degraded-read
+    ratio runs on the simulated testbed: a stripe written at ``m = 2``
+    loses two members to crashes, and rebuilding one fragment through
+    the double-erasure decode is compared against a healthy retrieve.
+    """
+    ndata = width - parity
+    images = [bytes([i + 1]) * fragment_size for i in range(ndata)]
+    xor_engine = make_engine("xor", 1)
+    rs_engine = make_engine("rs", parity)
+    xor_engine.encode(images)  # warm up
+    rs_engine.encode(images)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        xor_engine.encode(images)
+    xor_elapsed = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(repeats):
+        rs_engine.encode(images)
+    rs_elapsed = time.perf_counter() - start
+    total = fragment_size * ndata * repeats
+    xor_mb_s = total / xor_elapsed / 1e6
+    rs_mb_s = total / rs_elapsed / 1e6
+
+    # Simulated double-erasure degraded read at m = parity.
+    sim_fragment = 1 << 16
+    cluster = SimCluster(ClusterConfig(
+        num_servers=width, num_clients=1, fragment_size=sim_fragment))
+    log = cluster.make_log(0, deferred_mode=True,
+                           parity_fragments=parity, coding="rs")
+    transport = log.transport
+    block_size = 4096
+    blocks_per_stripe = ndata * (sim_fragment // (block_size + 64))
+    payload = b"\x6e" * block_size
+    addresses = [log.write_block(1, payload)
+                 for _ in range(3 * blocks_per_stripe)]
+    log.flush().wait()
+    placements = log.locations.locate_many(
+        sorted({address.fid for address in addresses}))
+    victims = sorted(cluster.server_nodes)[:parity]
+    healthy_fid, healthy_server = next(
+        (fid, sid) for fid, sid in sorted(placements.items())
+        if sid not in victims)
+    transport.take_deferred_time()  # drain the write-path charges
+    transport.call(healthy_server, m.RetrieveRequest(
+        fid=healthy_fid, principal=log.config.principal))
+    single_s = transport.take_deferred_time()
+    for victim in victims:
+        cluster.crash_server(victim)
+        log.locations.evict_server(victim)
+    target = next(fid for fid, sid in sorted(placements.items())
+                  if sid == victims[0]
+                  and (log.locations.get(fid + 1) is not None
+                       or log.locations.get(fid - 1) is not None))
+    rebuilder = Reconstructor(transport, principal=log.config.principal,
+                              locations=log.locations)
+    rebuilder.reconstruct(target)
+    reconstruct_s = transport.take_deferred_time()
+    return {
+        "parity_fragments": parity,
+        "xor_encode_mb_s": round(xor_mb_s, 3),
+        "rs_encode_mb_s": round(rs_mb_s, 3),
+        "rs_vs_xor_ratio": round(rs_mb_s / xor_mb_s, 3),
+        "degraded_read_ratio": round(reconstruct_s / single_s, 3),
+    }
 
 
 def bench_log_append(total_bytes: int = 32 << 20, block_size: int = 4096,
@@ -584,6 +681,9 @@ def run_all(smoke: bool = False) -> Dict:
         fragment_size=1 << 16, rounds=3 if smoke else 5), 3)
     metrics["read_pipeline"] = read_pipeline
     metrics["opcounts"] = bench_opcounts()
+    metrics["erasure"] = bench_erasure(
+        fragment_size=1 << 18 if smoke else 1 << 20,
+        repeats=4 if smoke else 16)
     return {
         "schema_version": SCHEMA_VERSION,
         "smoke": smoke,
@@ -670,6 +770,19 @@ def validate_bench_schema(doc: Dict) -> None:
             if value <= 0:
                 raise ValueError("opcounts.%s.%s must be positive: %r"
                                  % (scenario, key, value))
+    erasure = metrics.get("erasure")
+    if not isinstance(erasure, dict):
+        raise ValueError("metric 'erasure' must be an object")
+    for key in ERASURE_KEYS:
+        value = erasure.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(
+                "erasure.%s missing or non-numeric: %r" % (key, value))
+        if value <= 0:
+            raise ValueError(
+                "erasure.%s must be positive: %r" % (key, value))
+    if not isinstance(erasure["parity_fragments"], int):
+        raise ValueError("erasure.parity_fragments must be an integer")
 
 
 def main(argv=None) -> int:
@@ -703,6 +816,9 @@ def main(argv=None) -> int:
         entry = doc["metrics"]["opcounts"][scenario]
         print("%-26s rpcs=%d bytes=%d"
               % ("opcounts." + scenario, entry["rpcs"], entry["bytes"]))
+    erasure = doc["metrics"]["erasure"]
+    for key in ERASURE_KEYS:
+        print("%-26s %s" % ("erasure." + key, erasure[key]))
     print("wrote %s" % out)
     return 0
 

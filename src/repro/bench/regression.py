@@ -18,7 +18,12 @@ repository's ``BENCH_PERF.json``:
   write-side ratio;
 * every ``opcounts`` counter is held to a *tight* tolerance (default
   2%, ``PERF_OPCOUNT_TOLERANCE``): the counts are deterministic RPC and
-  byte totals, so any drift is a real protocol change, not noise.
+  byte totals, so any drift is a real protocol change, not noise;
+* ``erasure.rs_encode_mb_s`` may not drop more than the tolerance
+  below baseline (the table-driven Reed–Solomon encode is a hot write
+  path at ``m ≥ 2``), and ``erasure.degraded_read_ratio`` — the
+  simulated cost of a double-erasure rebuild over a healthy retrieve —
+  may not rise more than the tolerance above it.
 
 The tolerance defaults to 15% and is widened via the
 ``PERF_REGRESSION_TOLERANCE`` environment variable (CI machines are
@@ -36,6 +41,7 @@ from typing import Dict, List
 
 from repro.bench.perf import (
     bench_cleaning,
+    bench_erasure,
     bench_log_append,
     bench_opcounts,
     bench_read_pipeline,
@@ -78,6 +84,9 @@ def measure_fresh(smoke: bool = False) -> Dict:
                                                stripes=2 if smoke else 3),
         "read_pipeline": read_pipeline,
         "opcounts": bench_opcounts(),
+        "erasure": bench_erasure(
+            fragment_size=(1 << 18) if smoke else (1 << 20),
+            repeats=4 if smoke else 16),
     }
 
 
@@ -141,6 +150,32 @@ def compare(baseline: Dict, fresh: Dict,
         problems.append(
             "read_pipeline.overlap_ratio is %.3f — the read-ahead window "
             "no longer beats the serial scan" % read_overlap)
+
+    base_erasure = baseline.get("erasure") or {}
+    fresh_erasure = fresh["erasure"]
+    base_rs = base_erasure.get("rs_encode_mb_s")
+    if not isinstance(base_rs, (int, float)) or base_rs <= 0:
+        problems.append("baseline erasure.rs_encode_mb_s missing or "
+                        "non-positive")
+    elif fresh_erasure["rs_encode_mb_s"] < base_rs * (1.0 - tolerance):
+        problems.append(
+            "erasure.rs_encode_mb_s regressed: %.1f -> %.1f MB/s (%.0f%% "
+            "below baseline, tolerance %.0f%%)"
+            % (base_rs, fresh_erasure["rs_encode_mb_s"],
+               100.0 * (1.0 - fresh_erasure["rs_encode_mb_s"] / base_rs),
+               100.0 * tolerance))
+    base_degraded = base_erasure.get("degraded_read_ratio")
+    fresh_degraded = fresh_erasure["degraded_read_ratio"]
+    if not isinstance(base_degraded, (int, float)) or base_degraded <= 0:
+        problems.append("baseline erasure.degraded_read_ratio missing or "
+                        "non-positive")
+    elif fresh_degraded > base_degraded * (1.0 + tolerance):
+        problems.append(
+            "erasure.degraded_read_ratio regressed: %.3f -> %.3f (%.0f%% "
+            "above baseline, tolerance %.0f%%)"
+            % (base_degraded, fresh_degraded,
+               100.0 * (fresh_degraded / base_degraded - 1.0),
+               100.0 * tolerance))
 
     return problems
 
@@ -254,6 +289,12 @@ def main(argv=None) -> int:
                  fresh_read[key]))
     print("%-28s %12s %12.3f" % ("read_pipeline.overlap_ratio", "<1.0",
                                  fresh_read["overlap_ratio"]))
+    base_erasure = baseline.get("erasure") or {}
+    fresh_erasure = fresh["erasure"]
+    for key in ("rs_encode_mb_s", "degraded_read_ratio"):
+        print("%-28s %12.3f %12.3f"
+              % ("erasure." + key, base_erasure.get(key, -1),
+                 fresh_erasure[key]))
     opcount_tolerance = resolve_opcount_tolerance()
     for scenario, entry in sorted(fresh.get("opcounts", {}).items()):
         base_entry = (baseline.get("opcounts") or {}).get(scenario, {})

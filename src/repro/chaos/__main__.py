@@ -38,10 +38,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="storage servers in the cluster "
                              "(default 4; 5 with --kill-server)")
     parser.add_argument("--kill-server", action="store_true",
-                        help="self-healing scenario: crash one stripe-group "
-                             "member permanently; require automatic reform "
-                             "onto the spare, full background repair, and "
-                             "zero data loss with the victim still down")
+                        help="self-healing scenario: crash stripe-group "
+                             "members permanently; require automatic reform "
+                             "onto the spares, full background repair, and "
+                             "zero data loss with the victims still down")
+    parser.add_argument("--victims", type=int, default=1,
+                        help="servers to kill in --kill-server (default 1; "
+                             "2+ switches the log to Reed-Solomon coding "
+                             "with m = victims parity members per stripe)")
     parser.add_argument("--cleaner", action="store_true",
                         help="cleaner-under-churn scenario: overwrite-heavy "
                              "workload with periodic cleaning passes under "
@@ -52,9 +56,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "identically")
     args = parser.parse_args(argv)
 
+    if args.victims != 1 and not args.kill_server:
+        parser.error("--victims only applies to --kill-server")
     if args.kill_server:
         n_ops = args.ops if args.ops is not None else 64
-        servers = args.servers if args.servers is not None else 5
+        # Default server count is scenario-derived (5 for one victim,
+        # enough group + spares for more); an explicit --servers wins.
+        servers = args.servers
         run_one, run_two = run_kill_server, replay_kill_check
     elif args.cleaner:
         n_ops = args.ops if args.ops is not None else 64
@@ -69,9 +77,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # actually die; the other scenarios use the default spread.
     max_blocks = 12 if args.cleaner else 24
     ops = generate_ops(args.seed, n_ops=n_ops, max_blocks=max_blocks)
+    kwargs = {"ops": ops, "num_servers": servers}
+    if args.kill_server:
+        kwargs["victims"] = args.victims
     if args.replay:
-        first, second, identical = run_two(
-            args.seed, ops=ops, num_servers=servers)
+        first, second, identical = run_two(args.seed, **kwargs)
         print(first.summary())
         print(second.summary())
         for problem in first.problems + second.problems:
@@ -80,7 +90,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("REPLAY DIVERGED for seed %d" % args.seed)
         status = 0 if (first.ok and second.ok and identical) else 1
     else:
-        report = run_one(args.seed, ops=ops, num_servers=servers)
+        report = run_one(args.seed, **kwargs)
         print(report.summary())
         for problem in report.problems:
             print("  problem: %s" % problem)

@@ -52,18 +52,33 @@ WIRE_FAULTS = ("drop_request", "drop_response", "delay", "duplicate")
 DURABLE_FAULTS = ("torn_store", "bit_flip")
 
 
-def choose_kill_victim(seed: int, candidates: Sequence[str]) -> str:
-    """Pick the server a kill-server scenario will crash.
+def choose_kill_victims(seed: int, candidates: Sequence[str],
+                        count: int = 1) -> List[str]:
+    """Pick the servers a kill-server scenario will crash.
 
     Drawn from a dedicated RNG stream (not the plan's), so adding the
     kill decision never perturbs the wire-fault schedule of the same
     seed — the property replay checks depend on. Candidates are sorted
     first: the choice depends on the seed and the membership, never on
-    dict ordering.
+    dict ordering. ``count == 1`` reproduces the draw historical
+    single-kill seeds were pinned against; larger counts sample without
+    replacement and return the victims sorted.
     """
-    if not candidates:
-        raise ConfigError("no candidates for a kill victim")
-    return random.Random(seed ^ 0xD1ED).choice(sorted(candidates))
+    pool = sorted(candidates)
+    if count < 1:
+        raise ConfigError("kill-victim count must be >= 1")
+    if count > len(pool):
+        raise ConfigError("cannot kill %d of %d candidate servers"
+                          % (count, len(pool)))
+    rng = random.Random(seed ^ 0xD1ED)
+    if count == 1:
+        return [rng.choice(pool)]
+    return sorted(rng.sample(pool, count))
+
+
+def choose_kill_victim(seed: int, candidates: Sequence[str]) -> str:
+    """Single-victim compatibility wrapper for :func:`choose_kill_victims`."""
+    return choose_kill_victims(seed, candidates, 1)[0]
 
 
 @dataclass(frozen=True)

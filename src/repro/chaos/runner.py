@@ -37,7 +37,7 @@ from repro.chaos.plan import (
     FaultEvent,
     FaultPlan,
     FaultSpec,
-    choose_kill_victim,
+    choose_kill_victims,
 )
 from repro.chaos.transport import FaultyTransport
 from repro.cluster.cluster import build_local_cluster
@@ -299,16 +299,21 @@ def replay_check(seed: int, **kwargs) -> Tuple[ChaosReport, ChaosReport, bool]:
 
 
 def run_kill_server(seed: int, ops: Optional[Sequence[Op]] = None,
-                    spec: Optional[FaultSpec] = None, num_servers: int = 5,
+                    spec: Optional[FaultSpec] = None,
+                    num_servers: Optional[int] = None,
                     fragment_size: int = 1 << 12,
                     flush_every: int = 4,
+                    victims: int = 1,
                     log_overrides: Optional[Dict[str, object]] = None,
                     ) -> ChaosReport:
-    """The self-healing scenario: crash a member, never restart it.
+    """The self-healing scenario: crash members, never restart them.
 
-    One server of the stripe group is crashed mid-workload *and stays
-    down*; everything that follows must happen without operator
-    intervention:
+    ``victims`` servers of the stripe group are crashed simultaneously
+    mid-workload *and stay down*; with ``victims > 1`` the log is
+    configured with Reed–Solomon coding carrying ``m = victims`` parity
+    members per stripe (and one spare per victim), so even a stripe
+    that lost a member to every kill stays recoverable. Everything that
+    follows must happen without operator intervention:
 
     1. the failure detector declares the member dead from RPC outcomes
        alone (retry exhaustions and failed probes);
@@ -323,8 +328,18 @@ def run_kill_server(seed: int, ops: Optional[Sequence[Op]] = None,
        client recovers the exact oracle state.
 
     The write-availability gap — ops applied between the crash and the
-    automatic reform — is measured and reported in ``stats``.
+    last automatic reform — is measured and reported in ``stats``.
     """
+    if victims < 1:
+        raise ValueError("victims must be >= 1")
+    if num_servers is None:
+        num_servers = 5 if victims == 1 else 2 * victims + 4
+    overrides = dict(log_overrides or {})
+    if victims > 1:
+        # Surviving a simultaneous multi-kill needs one parity member
+        # per victim in every stripe: Reed–Solomon with m = victims.
+        overrides.setdefault("coding", "rs")
+        overrides.setdefault("parity_fragments", victims)
     ops = list(ops) if ops is not None else generate_ops(seed, n_ops=64)
     expected = oracle_state(ops)
     report = ChaosReport(seed=seed)
@@ -332,11 +347,13 @@ def run_kill_server(seed: int, ops: Optional[Sequence[Op]] = None,
     cluster = build_local_cluster(num_servers=num_servers, num_clients=1,
                                   fragment_size=fragment_size)
     all_servers = sorted(cluster.servers)
-    group_servers, spare = all_servers[:-1], all_servers[-1]
-    victim = choose_kill_victim(seed, group_servers)
-    # Pin durable damage to the server that is going to die: its torn /
-    # flipped fragments vanish with it, so the scenario proves repair
-    # rebuilds them from survivors rather than quietly re-reading them.
+    group_servers, spares = all_servers[:-victims], all_servers[-victims:]
+    kill_list = choose_kill_victims(seed, group_servers, victims)
+    victim = kill_list[0]
+    # Pin durable damage to the first server that is going to die: its
+    # torn / flipped fragments vanish with it, so the scenario proves
+    # repair rebuilds them from survivors rather than quietly
+    # re-reading them.
     base_spec = spec if spec is not None else FaultSpec()
     plan = FaultPlan(seed, dataclasses.replace(base_spec,
                                                pinned_victim=victim))
@@ -346,8 +363,8 @@ def run_kill_server(seed: int, ops: Optional[Sequence[Op]] = None,
     log = LogLayer(faulty, cluster.stripe_group(group_servers),
                    LogConfig(client_id=CLIENT_ID,
                              fragment_size=fragment_size,
-                             spare_servers=(spare,),
-                             **(log_overrides or {})),
+                             spare_servers=tuple(spares),
+                             **overrides),
                    retry_policy=RetryPolicy(seed=seed), verify_reads=True,
                    health_monitor=monitor)
     stack = ServiceStack(log)
@@ -388,12 +405,13 @@ def run_kill_server(seed: int, ops: Optional[Sequence[Op]] = None,
         apply_op(op)
     flush_degraded()
 
-    # Phase 2: kill the victim — it never comes back. Keep the workload
-    # flowing in small flushed chunks: the flushes' failed stores and
-    # the reads' failed retrieves are exactly the evidence the failure
-    # detector needs. Measure how many ops land before the automatic
-    # reform kicks in.
-    injector.crash_server(victim)
+    # Phase 2: kill the victims — they never come back. Keep the
+    # workload flowing in small flushed chunks: the flushes' failed
+    # stores and the reads' failed retrieves are exactly the evidence
+    # the failure detector needs. Measure how many ops land before the
+    # automatic reforms complete.
+    for dead in kill_list:
+        injector.crash_server(dead)
     reform_gap_ops: Optional[int] = None
     daemon: Optional[RepairDaemon] = None
     ops_since_crash = 0
@@ -402,13 +420,14 @@ def run_kill_server(seed: int, ops: Optional[Sequence[Op]] = None,
         ops_since_crash += 1
         if (index + 1) % flush_every == 0:
             flush_degraded()
-        if log.reforms and reform_gap_ops is None:
+        if len(log.reforms) >= victims and reform_gap_ops is None:
             reform_gap_ops = ops_since_crash
-            # Phase 3 (overlapped): the moment the group has reformed,
-            # start background repair onto the spare and interleave it
-            # with the remaining foreground ops — wire faults still on.
+            # Phase 3 (overlapped): the moment the group has reformed
+            # away from every victim, start background repair onto the
+            # spares and interleave it with the remaining foreground
+            # ops — wire faults still on.
             daemon = RepairDaemon(log.transport, CLIENT_ID,
-                                  replacement=spare,
+                                  replacement=list(spares),
                                   principal=log.config.principal,
                                   locations=log.locations)
             daemon.discover(dead_server=victim)
@@ -423,23 +442,32 @@ def run_kill_server(seed: int, ops: Optional[Sequence[Op]] = None,
         report.problems.append(
             "no automatic reform: %s died but the group never changed"
             % victim)
-    else:
-        if victim in log.group.servers:
-            report.problems.append(
-                "dead server %s still in the stripe group after reform"
-                % victim)
-        if spare not in log.group.servers:
-            report.problems.append(
-                "spare %s was not drafted into the reformed group" % spare)
-    if monitor.status(victim) != "dead":
+    elif len(log.reforms) < victims:
         report.problems.append(
-            "detector verdict for crashed %s is %r, expected dead"
-            % (victim, monitor.status(victim)))
+            "only %d reforms for %d killed servers"
+            % (len(log.reforms), victims))
+    else:
+        for dead in kill_list:
+            if dead in log.group.servers:
+                report.problems.append(
+                    "dead server %s still in the stripe group after reform"
+                    % dead)
+        for spare in spares:
+            if spare not in log.group.servers:
+                report.problems.append(
+                    "spare %s was not drafted into the reformed group"
+                    % spare)
+    for dead in kill_list:
+        if monitor.status(dead) != "dead":
+            report.problems.append(
+                "detector verdict for crashed %s is %r, expected dead"
+                % (dead, monitor.status(dead)))
 
     # Drain the repair queue (a final sweep catches stripes flushed
     # after the first discovery), still under wire faults.
     if daemon is None and log.reforms:
-        daemon = RepairDaemon(log.transport, CLIENT_ID, replacement=spare,
+        daemon = RepairDaemon(log.transport, CLIENT_ID,
+                              replacement=list(spares),
                               principal=log.config.principal,
                               locations=log.locations)
     repaired = 0
@@ -458,12 +486,12 @@ def run_kill_server(seed: int, ops: Optional[Sequence[Op]] = None,
             "fsck not fully healthy after repair (victim down): %s"
             % fsck.summary())
 
-    # Phase 5: a fresh client recovers from the log alone — with the
+    # Phase 5: a fresh client recovers from the log alone — with every
     # victim still dead — and must reproduce the oracle exactly.
     fresh_log = LogLayer(cluster.transport, log.group,
                          LogConfig(client_id=CLIENT_ID,
                                    fragment_size=fragment_size,
-                                   **(log_overrides or {})))
+                                   **overrides))
     fresh_stack = ServiceStack(fresh_log)
     fresh_disk = fresh_stack.push(LogicalDiskService(SERVICE_DISK))
     fresh_stack.recover_all()
@@ -494,6 +522,7 @@ def run_kill_server(seed: int, ops: Optional[Sequence[Op]] = None,
         "ambiguous_resolutions": retrying.ambiguous_resolutions,
         "flush_failures": flush_failures,
         "reform_gap_ops": -1 if reform_gap_ops is None else reform_gap_ops,
+        "victims_killed": len(kill_list),
         "fragments_repaired": repaired,
         "bytes_repaired": 0 if daemon is None else daemon.bytes_repaired,
         "repair_throttle_s": 0.0 if daemon is None

@@ -69,27 +69,33 @@ class LocalCluster:
 
     def make_log(self, client_id: int,
                  group: Optional[StripeGroup] = None,
-                 retry_policy=None, verify_reads: bool = False) -> LogLayer:
+                 retry_policy=None, verify_reads: bool = False,
+                 **config_overrides) -> LogLayer:
         """A log layer for one client over this cluster.
 
         ``retry_policy`` interposes a
         :class:`~repro.rpc.retry.RetryingTransport`; ``verify_reads``
         checks every fetched fragment's payload CRC and falls back to
-        parity reconstruction on a mismatch.
+        parity reconstruction on a mismatch. Extra keyword arguments
+        (``parity_fragments``, ``coding``, ``spare_servers``, ...)
+        pass straight through to :class:`LogConfig`.
         """
         return LogLayer(self.transport, group or self.stripe_group(),
                         LogConfig(client_id=client_id,
-                                  fragment_size=self.config.fragment_size),
+                                  fragment_size=self.config.fragment_size,
+                                  **config_overrides),
                         retry_policy=retry_policy, verify_reads=verify_reads)
 
     def make_stack(self, client_id: int,
                    group: Optional[StripeGroup] = None,
                    retry_policy=None,
-                   verify_reads: bool = False) -> ServiceStack:
+                   verify_reads: bool = False,
+                   **config_overrides) -> ServiceStack:
         """An empty service stack for one client."""
         return ServiceStack(self.make_log(client_id, group,
                                           retry_policy=retry_policy,
-                                          verify_reads=verify_reads))
+                                          verify_reads=verify_reads,
+                                          **config_overrides))
 
 
 def build_local_cluster(num_servers: int = 4, num_clients: int = 1,
@@ -151,15 +157,21 @@ class SimCluster:
                  group: Optional[StripeGroup] = None,
                  cost_hook: Optional[Callable[[str, int], None]] = None,
                  deferred_mode: bool = False,
-                 retry_policy=None, verify_reads: bool = False) -> LogLayer:
-        """A log layer for one simulated client."""
+                 retry_policy=None, verify_reads: bool = False,
+                 **config_overrides) -> LogLayer:
+        """A log layer for one simulated client.
+
+        Extra keyword arguments (``parity_fragments``, ``coding``, ...)
+        pass straight through to :class:`LogConfig`.
+        """
         transport = self.make_transport(client_index, deferred_mode)
         return LogLayer(
             transport, group or self.stripe_group(),
             LogConfig(client_id=client_index + 1,
                       fragment_size=self.config.fragment_size,
                       max_outstanding_fragments=self.config.max_outstanding_fragments,
-                      max_inflight_stripes=self.config.max_inflight_stripes),
+                      max_inflight_stripes=self.config.max_inflight_stripes,
+                      **config_overrides),
             cost_hook=cost_hook,
             retry_policy=retry_policy, verify_reads=verify_reads)
 

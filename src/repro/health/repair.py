@@ -60,7 +60,7 @@ class RepairDaemon:
     repeatedly.
     """
 
-    def __init__(self, transport, client_id: int, replacement: str,
+    def __init__(self, transport, client_id: int, replacement,
                  principal: str = "",
                  locations: Optional[LocationCache] = None,
                  throttle_bytes_per_s: float = DEFAULT_THROTTLE_BYTES_PER_S,
@@ -73,7 +73,17 @@ class RepairDaemon:
             raise ValueError("batch_fragments must be >= 1")
         self.transport = transport
         self.client_id = client_id
-        self.replacement = replacement
+        # One replacement server, or several: a multi-parity group that
+        # lost two members needs its rebuilt fragments spread across
+        # *distinct* spares (two members of one stripe on one server
+        # would recreate a double-loss single point of failure).
+        self.replacements: List[str] = ([replacement]
+                                        if isinstance(replacement, str)
+                                        else list(replacement))
+        if not self.replacements:
+            raise ValueError("repair needs at least one replacement server")
+        if len(set(self.replacements)) != len(self.replacements):
+            raise ValueError("duplicate replacement server")
         self.principal = principal or "client-%d" % client_id
         self.locations = locations if locations is not None else \
             LocationCache(transport, self.principal)
@@ -100,11 +110,17 @@ class RepairDaemon:
     # Progress (resume after a crashed repair)
     # ------------------------------------------------------------------
 
+    @property
+    def replacement(self) -> str:
+        """The first replacement server (single-spare compatibility)."""
+        return self.replacements[0]
+
     def progress(self) -> Dict[str, object]:
         """Serializable snapshot; feed it to a successor's ``resume``."""
         return {
             "client_id": self.client_id,
             "replacement": self.replacement,
+            "replacements": list(self.replacements),
             "completed": sorted(self.completed),
             "pending": sorted(self.pending),
         }
@@ -254,8 +270,30 @@ class RepairDaemon:
         return total
 
     def _repair_one(self, fid: int) -> bytes:
-        """Rebuild one fragment onto the replacement, fully verified."""
-        return self.reconstructor.rebuild_to_server(fid, self.replacement)
+        """Rebuild one fragment onto its replacement, fully verified."""
+        return self.reconstructor.rebuild_to_server(fid,
+                                                    self._target_for(fid))
+
+    def _target_for(self, fid: int) -> str:
+        """The replacement server a lost fragment is rebuilt onto.
+
+        A stripe's lost members are assigned round-robin by their rank
+        in the stripe's sorted lost set (queued *or* already repaired,
+        so a resumed daemon keeps spreading where its predecessor left
+        off) — guaranteeing distinct targets for members of the same
+        stripe whenever enough replacements were provided. Deterministic
+        for replay: depends only on the discovered loss set.
+        """
+        if len(self.replacements) == 1:
+            return self.replacements[0]
+        shape = self._stripe_of.get(fid)
+        if shape is None:
+            return self.replacements[0]
+        base, width = shape
+        lost = sorted(f for f in range(base, base + width)
+                      if f == fid or f in self.completed
+                      or f in self.pending)
+        return self.replacements[lost.index(fid) % len(self.replacements)]
 
     def repair_batch_scattered(self, fids: Iterable[int]) -> int:
         """Repair ``fids`` with batch-level scatters (fast path).
@@ -271,18 +309,19 @@ class RepairDaemon:
         todo = [fid for fid in fids if fid not in self.completed]
         if not todo:
             return 0
+        targets = {fid: self._target_for(fid) for fid in todo}
         images: Dict[int, bytes] = {}
         for fid in todo:
             images[fid] = bytes(self.reconstructor.fetch(fid))
         pre_futures = scatter_call(self.transport, [
-            (self.replacement, m.PreallocateRequest(
+            (targets[fid], m.PreallocateRequest(
                 fid=fid, principal=self.principal)) for fid in todo])
         for future in pre_futures:
             if not future.ok and not isinstance(
                     future.exception, SwarmError):
                 raise future.exception
         store_futures = scatter_call(self.transport, [
-            (self.replacement, m.StoreRequest(
+            (targets[fid], m.StoreRequest(
                 fid=fid, data=images[fid], principal=self.principal,
                 marked=Fragment.decode(images[fid]).header.marked))
             for fid in todo])
@@ -299,11 +338,11 @@ class RepairDaemon:
             if fid in collided:
                 # Existing bytes on the replacement: let the careful
                 # path compare / replace / verify this one.
-                self.reconstructor.rebuild_to_server(fid, self.replacement)
+                self.reconstructor.rebuild_to_server(fid, targets[fid])
             else:
                 self.reconstructor._verify_read_back(
-                    fid, self.replacement, images[fid])
-                self.locations.record(fid, self.replacement)
+                    fid, targets[fid], images[fid])
+                self.locations.record(fid, targets[fid])
             repaired_bytes += len(images[fid])
             self.completed.add(fid)
             self.pending = [p for p in self.pending if p != fid]

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from repro.errors import ConfigError
+from repro.log.fragment import MAX_STRIPE_WIDTH
 from repro.server.config import DEFAULT_FRAGMENT_SIZE
 
 
@@ -69,6 +70,16 @@ class LogConfig:
     reader keeps in flight while consuming the log in order. Mirrors
     ``max_inflight_stripes`` on the read side; 1 restores the strict
     one-fragment-ahead prefetch."""
+    parity_fragments: int = 1
+    """Parity members per stripe (``m`` of the k-of-n code). 1 is the
+    paper's rotated single parity; 0 writes replication-free stripes
+    (no redundancy); 2+ requires ``coding="rs"`` and tolerates that
+    many simultaneous member losses per stripe. Clamped at stripe
+    close so a group always keeps at least one data member."""
+    coding: str = "xor"
+    """Erasure-coding engine: ``"xor"`` (single parity, the original
+    byte-identical path) or ``"rs"`` (Reed-Solomon over GF(256), any
+    ``parity_fragments``)."""
 
     def __post_init__(self) -> None:
         if self.client_id < 0:
@@ -85,5 +96,14 @@ class LogConfig:
             raise ConfigError("group_commit_bytes must be >= 0")
         if len(set(self.spare_servers)) != len(self.spare_servers):
             raise ConfigError("duplicate server in spare_servers")
+        if not 0 <= self.parity_fragments < MAX_STRIPE_WIDTH:
+            raise ConfigError("parity_fragments must be in [0, %d)"
+                              % MAX_STRIPE_WIDTH)
+        if self.coding not in ("xor", "rs"):
+            raise ConfigError("unknown coding scheme %r" % (self.coding,))
+        if self.coding == "xor" and self.parity_fragments > 1:
+            raise ConfigError(
+                "xor coding supports at most one parity fragment; use "
+                "coding='rs' for parity_fragments=%d" % self.parity_fragments)
         if not self.principal:
             object.__setattr__(self, "principal", "client-%d" % self.client_id)

@@ -426,27 +426,34 @@ class FragmentBuilder:
 def make_parity_fragment(fid: int, client_id: int, data_images: List[bytes],
                          stripe_base_fid: int, stripe_width: int,
                          stripe_index: int, servers: Tuple[str, ...],
-                         payload: Optional[bytes] = None) -> Fragment:
-    """Build the parity fragment for a stripe.
+                         payload: Optional[bytes] = None,
+                         parity_index: Optional[int] = None) -> Fragment:
+    """Build one parity fragment for a stripe.
 
-    The payload is the byte-wise XOR of the data fragments' complete
-    images, zero-padded to the longest image, so any single missing data
-    fragment's full image can be recovered by XOR-ing the parity payload
-    with the surviving images. XOR runs through the fast word-wise
-    implementation; ``parity_of`` remains only as the reference oracle.
+    With the default single-parity layout the payload is the byte-wise
+    XOR of the data fragments' complete images, zero-padded to the
+    longest image, so any single missing data fragment's full image can
+    be recovered by XOR-ing the parity payload with the surviving
+    images. Multi-parity stripes (``coding="rs"``) pass the Reed-Solomon
+    slot payload explicitly, plus ``parity_index`` — the stripe index of
+    the *first* parity member (data members sit below it). When omitted,
+    ``parity_index`` defaults to ``stripe_index``, the single-parity
+    convention, which keeps pre-refactor headers bit-identical.
 
-    Callers that kept a running XOR as the stripe filled (the
+    Callers that kept a running accumulator as the stripe filled (the
     incremental-parity write path) pass the finished ``payload``
-    directly; it must equal ``parity_of_fast(data_images)``.
+    directly; for XOR it must equal ``parity_of_fast(data_images)``.
     """
     from repro.log.stripe import parity_of_fast  # local import to avoid a cycle
 
     if payload is None:
         payload = parity_of_fast(data_images)
+    if parity_index is None:
+        parity_index = stripe_index
     header = FragmentHeader(
         fid=fid, client_id=client_id, is_parity=True, marked=False,
         stripe_base_fid=stripe_base_fid, stripe_width=stripe_width,
-        stripe_index=stripe_index, parity_index=stripe_index,
+        stripe_index=stripe_index, parity_index=parity_index,
         payload_len=len(payload), item_count=0, first_lsn=0, last_lsn=0,
         servers=tuple(servers), payload_crc=crc32_of(payload))
     return Fragment(header, payload, image=header.encode() + payload)

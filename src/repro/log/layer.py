@@ -48,7 +48,8 @@ from repro.log.records import (
     encode_checkpoint_table,
     encode_record_payload_block,
 )
-from repro.log.stripe import ParityAccumulator, StripeGroup, StripeLayout
+from repro.log.coding import make_engine
+from repro.log.stripe import StripeGroup, StripeLayout
 from repro.rpc import messages as m
 from repro.util.idgen import IdGenerator
 
@@ -146,7 +147,12 @@ class LogLayer:
         self.verify_reads = verify_reads
         self.group = group
         self.config = config
-        self.layout = StripeLayout(group)
+        self.layout = StripeLayout(group, config.parity_fragments)
+        # The erasure-coding engine for this layout's effective parity
+        # count (None when stripes carry no redundancy). Rebuilt on
+        # reform: a shrunken group may clamp the parity count.
+        self._engine = make_engine(config.coding,
+                                   self.layout.parity_fragments)
         self.cost_hook = cost_hook or (lambda kind, n: None)
         self._seq = IdGenerator(1)
         self._lsn = IdGenerator(1)
@@ -159,9 +165,10 @@ class LogLayer:
         # (their stripe descriptor is patched at stripe close).
         self._building: List[FragmentBuilder] = []
         self._pending: List = []
-        # Running XOR of the open stripe's data images (None when the
-        # group has no parity member, or mid-stripe after recovery).
-        self._parity_acc: Optional[ParityAccumulator] = None
+        # Running parity of the open stripe's data images — the coding
+        # engine's incremental accumulator (None when the group has no
+        # parity member, or mid-stripe after recovery).
+        self._parity_acc = None
         # Write-behind: stripes whose stores are still in flight, oldest
         # first, bounded by config.max_inflight_stripes.
         self._inflight: List[StripeTicket] = []
@@ -443,8 +450,8 @@ class LogLayer:
         return builder
 
     def _open_fragment(self) -> None:
-        if not self._building and self.group.supports_parity:
-            self._parity_acc = ParityAccumulator()
+        if not self._building and self._engine is not None:
+            self._parity_acc = self._engine.make_accumulator()
         fid = make_fid(self.config.client_id, self._seq.next())
         self._building.append(FragmentBuilder(fid, self.config.client_id,
                                               self.config.fragment_size))
@@ -455,21 +462,22 @@ class LogLayer:
         if len(self._building) >= self.layout.max_data_fragments():
             self._close_stripe()
         else:
-            self._fold_parity(self._building[-1])
+            self._fold_parity(self._building[-1], len(self._building) - 1)
         self._open_fragment()
 
-    def _fold_parity(self, builder: FragmentBuilder) -> None:
+    def _fold_parity(self, builder: FragmentBuilder, index: int) -> None:
         """Fold a filled (still unsealed) fragment into the running
-        parity XOR. The payload region is final once written, so it
-        folds the moment the fragment fills; the header — only known at
-        seal — folds at stripe close. By then every fragment but the
-        open tail has already been XOR-ed, so the close-time stall
-        shrinks from the whole stripe to one fragment."""
+        parity accumulator as data member ``index``. The payload region
+        is final once written, so it folds the moment the fragment
+        fills; the header — only known at seal — folds at stripe close.
+        By then every fragment but the open tail has already been
+        folded, so the close-time stall shrinks from the whole stripe
+        to one fragment."""
         acc = self._parity_acc
         if acc is None or builder.parity_folded or builder.item_count == 0:
             return
         with builder.buffered_image() as view:
-            acc.add_range(HEADER_SIZE, view[HEADER_SIZE:])
+            acc.add_range(index, HEADER_SIZE, view[HEADER_SIZE:])
         builder.parity_folded = True
 
     # ------------------------------------------------------------------
@@ -497,9 +505,8 @@ class LogLayer:
         width = self.layout.width_for(ndata)
         base_fid = builders[0].fid
         servers = self.layout.servers_for_stripe(self._stripe_number, width)
-        has_parity = width > ndata
-        parity_index = (self.layout.parity_index(width) if has_parity
-                        else NO_PARITY)
+        nparity = width - ndata
+        parity_index = ndata if nparity else NO_PARITY
         fragments: List[Fragment] = []
         images: List[bytes] = []
         for index, builder in enumerate(builders):
@@ -512,24 +519,29 @@ class LogLayer:
                 # Fold what the accumulator has not seen: the header
                 # (only known now) for fragments folded as they filled,
                 # the whole image for the open tail fragment. The tail
-                # folds as two ranges so the accumulator keeps exactly
+                # folds as two ranges so each parity slot keeps exactly
                 # two non-overlapping buckets (headers at 0, payloads
                 # at HEADER_SIZE) and emits parity by concatenation.
-                acc.add_range(0, image[:HEADER_SIZE])
+                acc.add_range(index, 0, image[:HEADER_SIZE])
                 if not builder.parity_folded:
-                    acc.add_range(HEADER_SIZE, image[HEADER_SIZE:])
-        if has_parity:
-            parity_fid = make_fid(self.config.client_id, self._seq.next())
-            if parity_fid != base_fid + width - 1:
-                raise LogError("non-consecutive stripe FIDs (internal bug)")
-            parity = make_parity_fragment(
-                parity_fid, self.config.client_id, images, base_fid, width,
-                parity_index, servers,
-                payload=acc.parity_payload() if acc is not None else None)
-            fragments.append(parity)
-            images.append(parity.encode())
-            self.cost_hook("xor", acc.consumed if acc is not None
-                           else sum(len(img) for img in images[:-1]))
+                    acc.add_range(index, HEADER_SIZE, image[HEADER_SIZE:])
+        if nparity:
+            data_images = list(images)
+            payloads = (acc.payloads() if acc is not None
+                        else self._engine.encode(data_images))
+            self.cost_hook(self._engine.name,
+                           acc.consumed if acc is not None
+                           else nparity * sum(len(img) for img in data_images))
+            for slot, payload in enumerate(payloads):
+                parity_fid = make_fid(self.config.client_id, self._seq.next())
+                if parity_fid != base_fid + ndata + slot:
+                    raise LogError("non-consecutive stripe FIDs (internal bug)")
+                parity = make_parity_fragment(
+                    parity_fid, self.config.client_id, data_images, base_fid,
+                    width, ndata + slot, servers, payload=payload,
+                    parity_index=parity_index)
+                fragments.append(parity)
+                images.append(parity.encode())
         if self.config.preallocate_stripes:
             self._preallocate(fragments, servers)
         self._make_room()
@@ -636,7 +648,9 @@ class LogLayer:
         for server_id in departed:
             self.locations.evict_server(server_id)
         self.group = group
-        self.layout = StripeLayout(group)
+        self.layout = StripeLayout(group, self.config.parity_fragments)
+        self._engine = make_engine(self.config.coding,
+                                   self.layout.parity_fragments)
         self._stripe_number = self.config.client_id % max(1, group.size)
 
     # ------------------------------------------------------------------
@@ -658,9 +672,10 @@ class LogLayer:
         not already in the group, not previously drafted, and not
         itself under a bad verdict steps in at the dead member's
         position. With no usable spare the group shrinks, never below
-        the two-server parity minimum — then the verdict is recorded
-        but the group is kept (writes stay degraded-but-recoverable
-        rather than unprotected).
+        ``parity_fragments + 1`` servers (the minimum that still holds
+        one data member plus full parity) — then the verdict is
+        recorded but the group is kept (writes stay
+        degraded-but-recoverable rather than unprotected).
 
         Buffered data is unaffected either way: fragments of the stripe
         currently being filled pick their servers at stripe close, so
@@ -676,7 +691,7 @@ class LogLayer:
         else:
             new_servers = tuple(sid for sid in self.group.servers
                                 if sid != server_id)
-            if len(new_servers) < 2:
+            if len(new_servers) < max(2, self.config.parity_fragments + 1):
                 self.reforms.append({"departed": server_id,
                                      "replacement": None,
                                      "kept_group": True,

@@ -36,9 +36,15 @@ from repro.errors import (
     SwarmError,
     UnrecoverableError,
 )
-from repro.log.fragment import Fragment, FragmentHeader, make_parity_fragment
+from repro.log.coding import decode_data, engine_for_stripe
+from repro.log.fragment import (
+    Fragment,
+    FragmentHeader,
+    MAX_STRIPE_WIDTH,
+    NO_PARITY,
+    make_parity_fragment,
+)
 from repro.log.location import LocationCache
-from repro.log.stripe import recover_data_image
 from repro.rpc import messages as m
 from repro.rpc.completion import scatter_call
 
@@ -141,6 +147,11 @@ class Reconstructor:
         costs roughly one overlapped round trip (plus the descriptor
         probe), not width−1 serial ones. Probed neighbor images are
         reused as survivors rather than fetched twice.
+
+        Any erasure pattern of at most ``m`` members (``m`` = the
+        stripe's parity count, from its descriptor) is recoverable:
+        missing siblings discovered along the way simply join the
+        erased set handed to the coding engine's decoder.
         """
         header, probed = self._find_stripe_descriptor(fid)
         if header is None:
@@ -149,6 +160,10 @@ class Reconstructor:
                 % fid)
         base = header.stripe_base_fid
         width = header.stripe_width
+        if header.parity_index == NO_PARITY or header.parity_index >= width:
+            nparity = 0
+        else:
+            nparity = width - header.parity_index
         missing_index = fid - base
         survivors: Dict[int, bytes] = {}
         wanted: List[Tuple[int, str]] = []
@@ -162,6 +177,7 @@ class Reconstructor:
             else:
                 wanted.append((sibling, header.server_of_index(index)))
         fetched = self._scatter_fetch(wanted)
+        erased = {missing_index}
         for sibling, _descriptor_server in wanted:
             image = fetched.get(sibling)
             if image is None:
@@ -169,73 +185,122 @@ class Reconstructor:
                 # a broadcast before declaring the member gone.
                 image = self._try_direct(sibling)
             if image is None:
-                raise UnrecoverableError(
-                    "two members of stripe %d..%d unavailable or corrupt "
-                    "(%d and %d): single parity cannot recover both"
-                    % (base, base + width - 1, fid, sibling))
-            survivors[sibling - base] = image
+                erased.add(sibling - base)
+                if len(erased) > nparity:
+                    if nparity == 1:
+                        raise UnrecoverableError(
+                            "two members of stripe %d..%d unavailable or "
+                            "corrupt (%d and %d): single parity cannot "
+                            "recover both"
+                            % (base, base + width - 1, fid, sibling))
+                    raise UnrecoverableError(
+                        "%d members of stripe %d..%d unavailable or corrupt "
+                        "(%s): %d parity fragment(s) cannot recover them"
+                        % (len(erased), base, base + width - 1,
+                           ", ".join(str(base + i) for i in sorted(erased)),
+                           nparity))
+            else:
+                survivors[sibling - base] = image
         self.reconstructions += 1
-        if missing_index == header.parity_index:
-            return self._rebuild_parity(fid, header, survivors)
-        return self._rebuild_data(header, survivors)
+        rebuilt = self._decode_erased(header, survivors, erased)
+        for index, image in rebuilt.items():
+            # A multi-erasure decode rebuilds every missing member in
+            # one solve; cache the siblings so a scan that trips over
+            # the next dead fragment of the same stripe pays nothing.
+            self.cache.setdefault(base + index, image)
+        return rebuilt[missing_index]
 
     def _find_stripe_descriptor(
             self, fid: int,
     ) -> Tuple[Optional[FragmentHeader], Dict[int, bytes]]:
         """Race ``fid``'s neighbors for a stripe descriptor.
 
-        Fragments of a stripe have consecutive FIDs, so fragment
-        ``fid−1`` or ``fid+1`` carries the descriptor. Both candidates
-        are fetched *concurrently* and the first (lowest-fid) parseable
-        same-stripe header wins — deterministically, so a replayed
-        chaos schedule makes identical choices. Returns the header
-        (None when neither neighbor answers) plus every probed image,
-        keyed by fid, so the caller can reuse in-stripe neighbors as
-        survivors instead of fetching them a second time.
+        Fragments of a stripe have consecutive FIDs, so some fragment
+        within ``MAX_STRIPE_WIDTH − 1`` of ``fid`` carries the
+        descriptor. The nearest candidates (``fid±1``) are fetched
+        *concurrently* and the first (lowest-fid) parseable same-stripe
+        header wins — deterministically, so a replayed chaos schedule
+        makes identical choices. When both immediate neighbors are down
+        too (multi-erasure stripes), the probe ring widens one distance
+        at a time — the single-failure fast path costs exactly the two
+        probes it always did. Returns the header (None when no
+        neighbor answers) plus every probed image, keyed by fid, so
+        the caller can reuse in-stripe neighbors as survivors instead
+        of fetching them a second time.
         """
-        neighbors = [n for n in (fid - 1, fid + 1) if n > 0]
-        found = self.locations.locate_many(neighbors)
-        probed = self._scatter_fetch(sorted(found.items()))
-        for neighbor in sorted(probed):
-            try:
-                header = FragmentHeader.decode(probed[neighbor])
-            except SwarmError:
+        probed_all: Dict[int, bytes] = {}
+        for distance in range(1, MAX_STRIPE_WIDTH):
+            neighbors = [n for n in (fid - distance, fid + distance)
+                         if n > 0 and n not in probed_all]
+            if not neighbors:
                 continue
-            if header.stripe_base_fid <= fid < (header.stripe_base_fid
-                                                + header.stripe_width):
-                self.locations.learn(header)
-                # The fragment being reconstructed just failed a direct
-                # fetch — do not resurrect its stale placement from the
-                # descriptor we learned.
-                self.locations.evict(fid)
-                return header, probed
-        return None, probed
+            found = self.locations.locate_many(neighbors)
+            probed = self._scatter_fetch(sorted(found.items()))
+            probed_all.update(probed)
+            for neighbor in sorted(probed):
+                try:
+                    header = FragmentHeader.decode(probed[neighbor])
+                except SwarmError:
+                    continue
+                if header.stripe_base_fid <= fid < (header.stripe_base_fid
+                                                    + header.stripe_width):
+                    self.locations.learn(header)
+                    # The fragment being reconstructed just failed a
+                    # direct fetch — do not resurrect its stale
+                    # placement from the descriptor we learned.
+                    self.locations.evict(fid)
+                    return header, probed_all
+        return None, probed_all
 
-    def _rebuild_data(self, header: FragmentHeader,
-                      survivors: Dict[int, bytes]) -> bytes:
-        parity_payload = self._parity_payload(
-            survivors[header.parity_index])
-        data_images = [image for index, image in sorted(survivors.items())
-                       if index != header.parity_index]
-        image = recover_data_image(parity_payload, data_images)
-        # Validate: the recovered bytes must parse as a fragment (and
-        # match their recorded payload CRC — an undetected-corrupt
-        # survivor would poison the XOR).
-        try:
-            Fragment.decode(image, verify_crc=True)
-        except CorruptFragmentError as exc:
-            raise ReconstructionError(
-                "reconstructed fragment failed validation (%s); a stripe "
-                "member is silently corrupt" % exc) from exc
-        return image
+    def _decode_erased(self, header: FragmentHeader,
+                       survivors: Dict[int, bytes],
+                       erased) -> Dict[int, bytes]:
+        """Rebuild every erased member's image from the survivors.
 
-    def _rebuild_parity(self, fid: int, header: FragmentHeader,
-                        survivors: Dict[int, bytes]) -> bytes:
-        data_images = [image for _index, image in sorted(survivors.items())]
-        parity = make_parity_fragment(
-            fid, header.client_id, data_images, header.stripe_base_fid,
-            header.stripe_width, header.parity_index, header.servers)
-        return parity.encode()
+        ``survivors`` maps stripe indices to images; ``erased`` is the
+        set of missing stripe indices (at most the stripe's parity
+        count). Data members are recovered through the coding engine's
+        cached decode matrices and validated (parse + payload CRC — an
+        undetected-corrupt survivor would poison the combine); missing
+        parity members are re-encoded from the full set of data images
+        afterwards.
+        """
+        base = header.stripe_base_fid
+        width = header.stripe_width
+        engine = engine_for_stripe(width, header.parity_index)
+        if engine is None:
+            raise UnrecoverableError(
+                "stripe %d..%d was written without parity; member %s "
+                "cannot be reconstructed"
+                % (base, base + width - 1,
+                   ", ".join(str(base + i) for i in sorted(erased))))
+        ndata = header.parity_index
+        present: Dict[int, bytes] = {}
+        for index, image in survivors.items():
+            present[index] = (self._parity_payload(image)
+                              if index >= ndata else image)
+        recovered = decode_data(ndata, engine.parity_count, present)
+        rebuilt: Dict[int, bytes] = {}
+        for index, image in recovered.items():
+            try:
+                Fragment.decode(image, verify_crc=True)
+            except CorruptFragmentError as exc:
+                raise ReconstructionError(
+                    "reconstructed fragment failed validation (%s); a stripe "
+                    "member is silently corrupt" % exc) from exc
+            rebuilt[index] = image
+        erased_parity = sorted(i for i in erased if i >= ndata)
+        if erased_parity:
+            data_images = [survivors[i] if i in survivors else rebuilt[i]
+                           for i in range(ndata)]
+            for index in erased_parity:
+                payload = engine.encode_slot(data_images, index - ndata)
+                parity = make_parity_fragment(
+                    base + index, header.client_id, data_images, base,
+                    width, index, header.servers, payload=payload,
+                    parity_index=ndata)
+                rebuilt[index] = parity.encode()
+        return rebuilt
 
     @staticmethod
     def _parity_payload(parity_image: bytes) -> bytes:

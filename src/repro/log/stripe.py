@@ -170,32 +170,32 @@ class StripeLayout:
     """Deterministic fragment→server placement with rotated parity.
 
     Stripe ``k`` places its member with stripe index ``i`` on
-    ``servers[(k + i) % group_size]``. The parity member is always the
-    stripe's last index, so the parity *server* advances by one slot per
-    stripe — balancing both capacity and reconstruction load.
+    ``servers[(k + i) % group_size]``. Parity members are always the
+    stripe's last indices, so the parity *servers* advance by one slot
+    per stripe — balancing both capacity and reconstruction load.
+
+    ``parity_fragments`` is the configured parity count ``m``; the
+    effective count is clamped to the group size minus one (a stripe
+    needs at least one data member), so the default ``m=1`` over a
+    one-server group degenerates to the paper's raw unprotected
+    stripes, exactly as before.
     """
 
-    def __init__(self, group: StripeGroup) -> None:
+    def __init__(self, group: StripeGroup, parity_fragments: int = 1) -> None:
+        if parity_fragments < 0:
+            raise ConfigError("parity_fragments must be >= 0")
         self.group = group
+        self.parity_fragments = min(parity_fragments, group.size - 1)
 
     def width_for(self, data_fragments: int) -> int:
-        """Total stripe width for ``data_fragments`` data members.
-
-        Adds one parity member when the group can hold it; a one-server
-        group stores data without redundancy (as in the paper's raw
-        one-server measurements).
-        """
+        """Total stripe width for ``data_fragments`` data members."""
         if data_fragments < 1:
             raise ValueError("a stripe needs at least one data fragment")
-        if not self.group.supports_parity:
-            return data_fragments
-        return data_fragments + 1
+        return data_fragments + self.parity_fragments
 
     def max_data_fragments(self) -> int:
         """Most data fragments a full-width stripe can carry."""
-        if not self.group.supports_parity:
-            return 1
-        return self.group.size - 1
+        return max(1, self.group.size - self.parity_fragments)
 
     def servers_for_stripe(self, stripe_number: int, width: int) -> Tuple[str, ...]:
         """Server names, in stripe-index order, for stripe ``stripe_number``."""
@@ -206,8 +206,14 @@ class StripeLayout:
                      for i in range(width))
 
     def parity_index(self, width: int) -> int:
-        """Stripe index of the parity member (the last one)."""
-        return width - 1
+        """Stripe index of the *first* parity member.
+
+        Data members occupy indices ``0..parity_index-1``, parity
+        members ``parity_index..width-1``; with one parity fragment
+        this is the stripe's last index, matching the original header
+        convention bit for bit.
+        """
+        return width - self.parity_fragments
 
 
 def recover_data_image(parity_payload: bytes,

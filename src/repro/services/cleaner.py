@@ -232,7 +232,10 @@ class CleanerService(Service):
         live = total = 0
         max_lsn = 0
         for index in range(width):
-            if index == header.parity_index:
+            # parity_index is the stripe's *first* parity member: every
+            # index at or past it is parity (one for XOR, several for
+            # Reed-Solomon) and carries no live blocks.
+            if index >= header.parity_index:
                 continue
             member = headers.get(base + index)
             if member is None:

@@ -7,10 +7,13 @@ checks three invariant families:
 * **Integrity** — every fragment image parses and its header checksum
   matches (payload structure is walked item by item).
 * **Stripe consistency** — every member of a stripe agrees on the
-  stripe descriptor, and the parity fragment's payload equals the XOR
-  of its data siblings' images.
-* **Availability** — stripes with one missing member are *degraded*
-  (still recoverable); with two or more missing they are *lost*.
+  stripe descriptor, and every parity member's payload equals the
+  coding engine's encode of its data siblings' images (XOR for single
+  parity, Reed–Solomon slots for ``m ≥ 2``).
+* **Availability** — stripes missing at most ``m`` members (``m`` =
+  the stripe's parity count) are *degraded* (still recoverable); with
+  more missing — or any member missing from a replication-free
+  ``m=0`` stripe — they are *lost*.
 
 ``repair_client_log`` re-materializes missing-but-recoverable fragments
 onto a designated server, returning the log to full redundancy.
@@ -19,13 +22,13 @@ onto a designated server, returning the log to full redundancy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import SwarmError
-from repro.log.fragment import Fragment, FragmentHeader
+from repro.log.coding import engine_for_stripe
+from repro.log.fragment import Fragment, FragmentHeader, NO_PARITY
 from repro.log.location import LocationCache
 from repro.log.reconstruct import Reconstructor
-from repro.log.stripe import parity_of_fast
 from repro.rpc import messages as m
 from repro.rpc.completion import scatter_call
 from repro.util.packing import unpack_fids
@@ -41,6 +44,10 @@ class StripeFinding:
     missing: List[int] = field(default_factory=list)
     corrupt: List[int] = field(default_factory=list)
     parity_valid: Optional[bool] = None
+    parity_count: int = 1
+    """Parity members this stripe carries (``m`` of its k-of-n code);
+    bounds how many bad members stay recoverable. 0 for
+    replication-free stripes, whose every loss is final."""
 
     @property
     def status(self) -> str:
@@ -48,7 +55,7 @@ class StripeFinding:
         bad = len(self.missing) + len(self.corrupt)
         if bad == 0 and self.parity_valid is not False:
             return "healthy"
-        if bad <= 1 and self.width >= 2:
+        if self.parity_count and bad <= self.parity_count:
             return "degraded"
         return "lost"
 
@@ -146,14 +153,19 @@ def check_client_log(transport, client_id: int,
     # Group into stripes by descriptor. A corrupt fragment cannot name
     # its own stripe, but a surviving sibling's descriptor covers it
     # (consecutive FIDs), so known stripes absorb corrupt members below.
-    stripe_shapes: Dict[int, int] = {}
+    stripe_shapes: Dict[int, Tuple[int, int]] = {}
     for header in headers.values():
-        stripe_shapes[header.stripe_base_fid] = header.stripe_width
+        stripe_shapes[header.stripe_base_fid] = (header.stripe_width,
+                                                 header.parity_index)
 
-    for base, width in sorted(stripe_shapes.items()):
-        finding = StripeFinding(base_fid=base, width=width)
+    for base, (width, parity_index) in sorted(stripe_shapes.items()):
+        if parity_index == NO_PARITY or parity_index >= width:
+            nparity = 0
+        else:
+            nparity = width - parity_index
+        finding = StripeFinding(base_fid=base, width=width,
+                                parity_count=nparity)
         member_images: Dict[int, bytes] = {}
-        parity_index = None
         for offset in range(width):
             fid = base + offset
             if fid in corrupt:
@@ -161,29 +173,40 @@ def check_client_log(transport, client_id: int,
             elif fid in images:
                 finding.present.append(fid)
                 member_images[offset] = images[fid]
-                if headers[fid].is_parity:
-                    parity_index = offset
             else:
                 finding.missing.append(fid)
-        if not finding.missing and not finding.corrupt \
-                and parity_index is not None:
-            data_images = [img for off, img in sorted(member_images.items())
-                           if off != parity_index]
-            parity_payload = Fragment.decode(
-                member_images[parity_index]).payload
-            finding.parity_valid = (
-                parity_of_fast(data_images) == parity_payload)
+        if not finding.missing and not finding.corrupt and nparity:
+            ndata = width - nparity
+            data_images = [member_images[off] for off in range(ndata)]
+            engine = engine_for_stripe(width, ndata)
+            expected = engine.encode(data_images)
+            finding.parity_valid = all(
+                bytes(Fragment.decode(member_images[ndata + slot]).payload)
+                == expected[slot]
+                for slot in range(nparity))
         report.stripes.append(finding)
     return report
 
 
-def repair_client_log(transport, client_id: int, target_server: str,
+def repair_client_log(transport, client_id: int,
+                      target_server: Union[str, Sequence[str]],
                       principal: str = "") -> int:
     """Re-materialize every recoverable missing/corrupt fragment.
 
     Returns the number of fragments restored. Corrupt fragments are
     deleted from their servers first, then rebuilt like missing ones.
+
+    ``target_server`` may be one server name or a sequence of them;
+    with several targets, a stripe's lost members are spread
+    round-robin in stripe order, so a double-erasure stripe's two
+    rebuilt fragments land on *distinct* servers (two members of one
+    stripe on one server would turn that server back into a
+    double-loss single point of failure).
     """
+    targets = ([target_server] if isinstance(target_server, str)
+               else list(target_server))
+    if not targets:
+        raise ValueError("repair needs at least one target server")
     report = check_client_log(transport, client_id, principal)
     # Seed a shared location cache from one listing sweep so the
     # reconstructions below need no further broadcasts, and look up
@@ -209,11 +232,12 @@ def repair_client_log(transport, client_id: int, target_server: str,
             raise future.exception
         locations.evict(fid)
     for finding in degraded:
-        for fid in finding.corrupt + finding.missing:
+        for position, fid in enumerate(sorted(finding.corrupt
+                                              + finding.missing)):
             # rebuild_to_server takes the atomic preallocate+store
             # path, carries the marked flag from the rebuilt image's
             # own header, verifies the rewrite with a CRC read-back,
             # and records the new placement in the shared cache.
-            rebuilder.rebuild_to_server(fid, target_server)
+            rebuilder.rebuild_to_server(fid, targets[position % len(targets)])
             restored += 1
     return restored

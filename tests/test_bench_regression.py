@@ -16,8 +16,8 @@ from repro.bench.regression import (
 
 
 def metrics(append=200.0, ratio=2.4, overlap=0.5, seq_read=3.3,
-            cleaning=300.0, read_overlap=0.5, scan_rpcs=11,
-            scan_bytes=160000):
+            cleaning=300.0, read_overlap=0.5, rs_encode=270.0,
+            degraded=2.9, scan_rpcs=11, scan_bytes=160000):
     return {
         "log_append_mb_s": append,
         "reconstruct_latency": {"ratio": ratio},
@@ -25,6 +25,11 @@ def metrics(append=200.0, ratio=2.4, overlap=0.5, seq_read=3.3,
         "read_pipeline": {"sequential_read_mb_s": seq_read,
                           "cleaning_mb_s": cleaning,
                           "overlap_ratio": read_overlap},
+        "erasure": {"parity_fragments": 2,
+                    "xor_encode_mb_s": 620.0,
+                    "rs_encode_mb_s": rs_encode,
+                    "rs_vs_xor_ratio": round(rs_encode / 620.0, 3),
+                    "degraded_read_ratio": degraded},
         "opcounts": {"sequential_scan": {"rpcs": scan_rpcs,
                                          "bytes": scan_bytes}},
     }
@@ -86,6 +91,29 @@ class TestCompare:
         problems = compare(metrics(), metrics(read_overlap=1.02))
         assert len(problems) == 1
         assert "read_pipeline.overlap_ratio" in problems[0]
+
+    def test_rs_encode_regression_fails(self):
+        fresh = metrics(rs_encode=270.0 * 0.70)
+        problems = compare(metrics(), fresh, tolerance=0.15)
+        assert len(problems) == 1
+        assert "erasure.rs_encode_mb_s" in problems[0]
+
+    def test_degraded_read_ratio_rise_fails(self):
+        fresh = metrics(degraded=2.9 * 1.30)
+        problems = compare(metrics(), fresh, tolerance=0.15)
+        assert len(problems) == 1
+        assert "erasure.degraded_read_ratio" in problems[0]
+
+    def test_erasure_improvements_pass(self):
+        fresh = metrics(rs_encode=500.0, degraded=2.0)
+        assert compare(metrics(), fresh, tolerance=0.0) == []
+
+    def test_missing_baseline_erasure_is_a_problem(self):
+        baseline = metrics()
+        del baseline["erasure"]
+        problems = compare(baseline, metrics())
+        assert any("erasure.rs_encode_mb_s" in p for p in problems)
+        assert any("erasure.degraded_read_ratio" in p for p in problems)
 
 
 class TestCompareOpcounts:

@@ -289,6 +289,61 @@ class TestLogicalDiskReadMany:
 
 
 # ----------------------------------------------------------------------
+# Double-erasure degraded reads (m = 2 Reed–Solomon stripes)
+# ----------------------------------------------------------------------
+
+def _seeded_rs_log(cluster, blocks=30, block_size=1500):
+    """A flushed m=2 Reed–Solomon log spanning multiple stripes."""
+    log = cluster.make_log(client_id=1, parity_fragments=2, coding="rs")
+    written = []
+    for i in range(blocks):
+        data = bytes([(i * 7 + 3) % 256]) * (block_size + 11 * (i % 5))
+        addr = log.write_block(2, data, struct.pack(">I", i))
+        written.append((addr, data))
+    log.flush().wait()
+    return log, written
+
+
+class TestDoubleErasureReads:
+    def test_windowed_scan_with_two_erasures_matches_healthy(self):
+        """Two dead servers mid-window: same records as a healthy scan."""
+        cluster = _cluster(num_servers=5)
+        log, _written = _seeded_rs_log(cluster)
+        healthy = _record_stream(_reader(cluster, log, max_inflight=1))
+        assert healthy, "workload produced no records"
+        for victim in ("s1", "s3"):
+            cluster.servers[victim].crash()
+        monitor = _RecordingMonitor()
+        reader = _reader(cluster, log, max_inflight=4, monitor=monitor)
+        assert _record_stream(reader) == healthy
+        # Both victims' prefetches failed and were accounted; nothing
+        # was blamed on the survivors.
+        assert set(reader.prefetch_failures) <= {"s1", "s3"}
+        assert reader.prefetch_failures, "no degraded prefetch was seen"
+        assert all(server_id in ("s1", "s3")
+                   for server_id, _ok in monitor.observations)
+
+    def test_read_ranges_falls_back_per_range_with_two_erasures(self):
+        cluster = _cluster(num_servers=5)
+        log, written = _seeded_rs_log(cluster)
+        for victim in ("s1", "s3"):
+            cluster.servers[victim].crash()
+        ranges = [(addr.fid, addr.offset, addr.length)
+                  for addr, _data in written]
+        assert log.read_ranges(ranges) == [data for _addr, data in written]
+
+    def test_three_erasures_at_m2_are_unrecoverable(self):
+        cluster = _cluster(num_servers=5)
+        log, written = _seeded_rs_log(cluster)
+        for victim in ("s1", "s2", "s3"):
+            cluster.servers[victim].crash()
+            log.locations.evict_server(victim)
+        with pytest.raises(errors.UnrecoverableError):
+            for addr, _data in written:
+                log.read(addr)
+
+
+# ----------------------------------------------------------------------
 # Retry re-scatter of multi-range retrieves
 # ----------------------------------------------------------------------
 

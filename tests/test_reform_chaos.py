@@ -5,23 +5,41 @@ writes are in flight under an adversarial fault schedule, the failure
 detector declares it dead from RPC outcomes alone, and the log layer
 reforms onto the spare — with every write that raced the reform landing
 safely on the new group.
+
+The multi-failure section exercises the same loop at ``m = 2``: two
+members crash *simultaneously*, the group reforms onto two spares, the
+repair daemon re-materializes every lost fragment onto *distinct*
+spares, and fsck reports full health with both victims still down —
+replayed bit-identically per ``CHAOS_SEEDS`` seed.
 """
+
+import os
 
 import pytest
 
 from repro import errors
-from repro.chaos.plan import FaultPlan, FaultSpec, choose_kill_victim
+from repro.chaos.plan import (
+    FaultPlan,
+    FaultSpec,
+    choose_kill_victim,
+    choose_kill_victims,
+)
+from repro.chaos.runner import replay_kill_check
 from repro.chaos.transport import FaultyTransport
 from repro.cluster import build_local_cluster
 from repro.cluster.failures import FailureInjector
-from repro.health import HealthMonitor
+from repro.health import HealthMonitor, RepairDaemon
 from repro.log.config import LogConfig
 from repro.log.layer import LogLayer
 from repro.log.stripe import StripeGroup
 from repro.rpc.retry import RetryPolicy
+from repro.tools.fsck import check_client_log
 
 SVC = 3
 FRAGMENT = 1 << 12
+
+SEEDS = [int(s) for s in
+         os.environ.get("CHAOS_SEEDS", "101,202,303").split(",") if s.strip()]
 
 
 def healing_log(cluster, plan=None, seed=5):
@@ -186,3 +204,77 @@ class TestAutoReform:
             log.write_block(SVC, bytes([block]) * 900)
         log.flush().wait()
         assert cluster.servers["s4"].list_fids()
+
+
+class TestMultiFailure:
+    """Two simultaneous kills against an m=2 Reed–Solomon group."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_double_kill_self_heals_and_replays(self, seed):
+        """The full scenario at victims=2, twice, bit-identical.
+
+        ``run_kill_server`` itself asserts the hard invariants (auto
+        reform away from both victims, spares drafted, mid-run reads
+        match the oracle, fsck fully healthy with both victims still
+        down, fresh-client recovery equals the oracle); this test adds
+        the determinism property on top.
+        """
+        first, second, identical = replay_kill_check(seed, victims=2)
+        assert first.ok, "seed %d: %s" % (seed, "; ".join(first.problems))
+        assert second.ok, "seed %d: %s" % (seed, "; ".join(second.problems))
+        assert identical, \
+            "seed %d: double-kill run did not replay bit-identically" % seed
+        assert first.stats["victims_killed"] == 2
+        assert first.stats["fragments_repaired"] > 0
+
+    def test_choose_kill_victims_deterministic_and_distinct(self):
+        candidates = ["s3", "s0", "s2", "s1", "s4"]
+        picks = choose_kill_victims(9, candidates, 2)
+        assert picks == choose_kill_victims(9, list(reversed(candidates)), 2)
+        assert len(set(picks)) == 2
+        assert all(p in candidates for p in picks)
+        # count=1 reproduces the historical single-victim draw.
+        assert choose_kill_victims(9, candidates, 1) \
+            == [choose_kill_victim(9, candidates)]
+        with pytest.raises(errors.ConfigError):
+            choose_kill_victims(9, candidates, 6)
+
+    def test_double_repair_lands_on_distinct_spares(self):
+        """A stripe's two rebuilt members must not share a server.
+
+        Deterministic (no chaos transport): write an m=2 log over
+        s0..s4, crash two members, repair with two replacements, then
+        check per stripe that the lost pair went to different spares —
+        and that fsck is fully healthy with both victims still down.
+        """
+        cluster = build_local_cluster(num_servers=7, fragment_size=FRAGMENT,
+                                      server_slots=512)
+        group = cluster.stripe_group(["s0", "s1", "s2", "s3", "s4"])
+        log = cluster.make_log(client_id=1, group=group,
+                               parity_fragments=2, coding="rs")
+        for block in range(30):
+            log.write_block(SVC, bytes([(block * 7 + 3) % 256]) * 900)
+        log.flush().wait()
+
+        injector = FailureInjector(cluster)
+        for victim in ("s1", "s3"):
+            injector.crash_server(victim)
+            log.locations.evict_server(victim)
+        before = check_client_log(cluster.transport, 1)
+        doubly_degraded = [f for f in before.by_status("degraded")
+                           if len(f.missing) == 2]
+        assert doubly_degraded, "no stripe lost members to both victims"
+        assert not before.by_status("lost")
+
+        daemon = RepairDaemon(cluster.transport, 1,
+                              replacement=["s5", "s6"],
+                              locations=log.locations)
+        repaired = daemon.run(dead_server="s1")
+        assert repaired > 0
+        for finding in doubly_degraded:
+            homes = {daemon.locations.get(fid) for fid in finding.missing}
+            assert homes <= {"s5", "s6"} and len(homes) == 2, \
+                "stripe %d lost pair landed on %r" % (finding.base_fid,
+                                                      homes)
+        after = check_client_log(cluster.transport, 1)
+        assert after.healthy, after.summary()

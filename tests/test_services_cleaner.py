@@ -7,13 +7,15 @@ from repro.services.cleaner import CleanerService
 from repro.services.logical_disk import LogicalDiskService
 
 
-def churn_stack(cluster, rounds=6, files=40, threshold=0.6):
+def churn_stack(cluster, rounds=6, files=40, threshold=0.6, **log_overrides):
     """Overwrite the same blocks repeatedly so early stripes die.
 
     Sized to span several stripes before the first checkpoint, so the
     cleaner has genuinely old, mostly-dead stripes to work with.
+    Extra keyword arguments (``parity_fragments``, ``coding``, ...)
+    configure the underlying log.
     """
-    stack = cluster.make_stack(client_id=1)
+    stack = cluster.make_stack(client_id=1, **log_overrides)
     cleaner = stack.push(CleanerService(1, utilization_threshold=threshold))
     disk = stack.push(LogicalDiskService(2))
     contents = {}
@@ -198,3 +200,90 @@ class TestSpilledCreationRecords:
                         if addr.fid == fid:
                             covered.add(addr.offset)
                 assert blocks <= covered
+
+
+class TestParityLayouts:
+    """Cleaning must not bake in the one-parity-member assumption.
+
+    Regression tests for the coding-engine refactor: the cleaner's
+    stripe accounting and whole-stripe deletes have to be driven by
+    the header's ``parity_index`` (first of ``m`` parity members, or
+    none at all), not by a hardwired ``width - 1``.
+    """
+
+    def _assert_stripes_fully_reclaimed(self, cluster, cleaner):
+        """Every cleaned stripe's members — parity included — are gone."""
+        held = {fid for server in cluster.servers.values()
+                for fid in server.list_fids()}
+        cleaned = cleaner.stripes_cleaned
+        assert cleaned > 0
+        # _forget_stripe dropped the cleaned bases from tracking, so
+        # recompute the doomed set from what deletion left behind: no
+        # fid below the lowest surviving tracked fid may linger.
+        if cleaner._total:
+            floor = min(cleaner._total)
+            assert not [fid for fid in held if fid < floor]
+
+    def test_cleaning_m2_rs_layout(self):
+        from repro.cluster import build_local_cluster
+
+        cluster = build_local_cluster(num_servers=5,
+                                      fragment_size=1 << 16,
+                                      server_slots=512)
+        stack, cleaner, disk, contents = churn_stack(
+            cluster, parity_fragments=2, coding="rs")
+        stack.checkpoint_all()
+        before = used_slots(cluster)
+        cleaner.clean(target_stripes=100)
+        assert cleaner.stripes_cleaned > 0
+        assert used_slots(cluster) < before
+        for block, data in contents.items():
+            assert disk.read(block) == data
+        self._assert_stripes_fully_reclaimed(cluster, cleaner)
+
+    def test_cleaning_m0_layout(self):
+        """No parity at all: stripes still clean, and deleting a
+        stripe removes exactly its data members (there is nothing
+        else)."""
+        from repro.cluster import build_local_cluster
+
+        cluster = build_local_cluster(num_servers=4,
+                                      fragment_size=1 << 16,
+                                      server_slots=512)
+        stack, cleaner, disk, contents = churn_stack(
+            cluster, parity_fragments=0)
+        stack.checkpoint_all()
+        before = used_slots(cluster)
+        cleaner.clean(target_stripes=100)
+        assert cleaner.stripes_cleaned > 0
+        assert used_slots(cluster) < before
+        for block, data in contents.items():
+            assert disk.read(block) == data
+        self._assert_stripes_fully_reclaimed(cluster, cleaner)
+
+    def test_m2_utilization_counts_data_members_only(self):
+        """Both parity members are excluded from stripe accounting:
+        a stripe whose data is fully dead reports zero utilization
+        even though its two parity fragments physically exist."""
+        from repro.cluster import build_local_cluster
+
+        cluster = build_local_cluster(num_servers=5,
+                                      fragment_size=1 << 16,
+                                      server_slots=512)
+        stack, cleaner, disk, _contents = churn_stack(
+            cluster, parity_fragments=2, coding="rs")
+        stack.checkpoint_all()
+        candidates = cleaner.candidate_stripes()
+        assert candidates
+        deadest = candidates[0]
+        assert deadest.width == 5
+        assert deadest.utilization < 0.5
+        # Parity fids never enter the live/total ledgers.
+        from repro.log.fragment import Fragment
+
+        for server in cluster.servers.values():
+            for fid in server.list_fids():
+                header = Fragment.decode(server.retrieve(fid)).header
+                if header.is_parity:
+                    assert fid not in cleaner._total
+                    assert fid not in cleaner._live

@@ -254,3 +254,107 @@ class TestClusterStatus:
         cluster.sim.run()
         status = collect_status(cluster)
         assert status.total_fragments > 0
+
+
+class TestParityLayouts:
+    """fsck status and repair across m=0 and m=2 stripe layouts.
+
+    Regression tests for the coding-engine refactor: stripe health is
+    judged against the stripe's actual parity budget (``parity_count``
+    from the header geometry), not a hardwired single-parity rule, and
+    repair can spread a multi-erasure stripe over several targets.
+    """
+
+    def _populate(self, cluster, **overrides):
+        log = cluster.make_log(client_id=1, **overrides)
+        payloads = {i: bytes([(i * 13 + 1) % 256]) * 22000
+                    for i in range(12)}
+        addresses = {i: log.write_block(SVC, data)
+                     for i, data in payloads.items()}
+        log.flush().wait()
+        return log, payloads, addresses
+
+    def _stripe_members(self, cluster, server_id):
+        """Some full stripe's member fids, via a surviving header."""
+        from repro.log.fragment import Fragment
+
+        server = cluster.servers[server_id]
+        fid = server.list_fids()[0]
+        header = Fragment.decode(server.retrieve(fid)).header
+        return header.sibling_fids()
+
+    def _delete_everywhere(self, cluster, fids):
+        for doomed in fids:
+            for server in cluster.servers.values():
+                if server.holds(doomed):
+                    server.delete(doomed)
+
+    def test_m0_single_loss_is_lost_not_degraded(self):
+        """With no parity members, every loss is final — the old
+        ``bad <= 1`` rule would have called this recoverable."""
+        from repro.cluster import build_local_cluster
+
+        cluster = build_local_cluster(num_servers=4, fragment_size=1 << 16,
+                                      server_slots=512)
+        self._populate(cluster, parity_fragments=0)
+        healthy = check_client_log(cluster.transport, 1)
+        assert healthy.healthy
+        assert all(s.parity_count == 0 for s in healthy.stripes)
+        victim = cluster.servers["s1"]
+        doomed = victim.list_fids()[0]
+        victim.delete(doomed)
+        report = check_client_log(cluster.transport, 1)
+        assert not report.by_status("degraded")
+        lost = report.by_status("lost")
+        assert len(lost) == 1
+        assert lost[0].missing == [doomed]
+
+    def test_m2_degraded_until_third_loss(self):
+        """An m=2 stripe absorbs two losses; the third makes it lost."""
+        from repro.cluster import build_local_cluster
+
+        cluster = build_local_cluster(num_servers=5, fragment_size=1 << 16,
+                                      server_slots=512)
+        self._populate(cluster, parity_fragments=2, coding="rs")
+        members = self._stripe_members(cluster, "s0")
+        assert len(members) == 5
+        for losses, expected in ((1, "degraded"), (2, "degraded"),
+                                 (3, "lost")):
+            self._delete_everywhere(cluster, members[:losses])
+            report = check_client_log(cluster.transport, 1)
+            assert all(s.parity_count == 2 for s in report.stripes)
+            wounded = [s for s in report.stripes
+                       if s.base_fid == members[0]]
+            assert len(wounded) == 1
+            assert wounded[0].status == expected, \
+                "%d losses -> %s" % (losses, wounded[0].status)
+
+    def test_m2_repair_round_robins_over_target_list(self):
+        """A doubly-degraded stripe's rebuilt pair lands on distinct
+        targets, and the repaired log is fully healthy and readable."""
+        from repro.cluster import build_local_cluster
+
+        cluster = build_local_cluster(num_servers=5, fragment_size=1 << 16,
+                                      server_slots=512)
+        log, payloads, addresses = self._populate(
+            cluster, parity_fragments=2, coding="rs")
+        members = self._stripe_members(cluster, "s0")
+        self._delete_everywhere(cluster, members[:2])
+        for spare_id in ("spare_a", "spare_b"):
+            cluster.transport.add_server(StorageServer(ServerConfig(
+                spare_id, fragment_size=1 << 16)))
+        restored = repair_client_log(cluster.transport, 1,
+                                     ["spare_a", "spare_b"])
+        assert restored == 2
+        homes = set()
+        for fid in members[:2]:
+            holders = [sid for sid in ("spare_a", "spare_b")
+                       if cluster.transport.servers[sid].holds(fid)]
+            assert len(holders) == 1
+            homes.add(holders[0])
+        assert homes == {"spare_a", "spare_b"}
+        assert check_client_log(cluster.transport, 1).healthy
+        fresh = cluster.make_log(client_id=1, parity_fragments=2,
+                                 coding="rs")
+        for i, addr in addresses.items():
+            assert fresh.read(addr) == payloads[i]
