@@ -14,7 +14,7 @@ Usage::
     python -m repro.bench.perf --smoke    # seconds-long sanity run (CI)
     python -m repro.bench.perf --out x.json
 
-Output schema (``schema_version`` 5)::
+Output schema (``schema_version`` 6)::
 
     {
       "schema_version": 5,
@@ -60,6 +60,18 @@ Output schema (``schema_version`` 5)::
           "rs_vs_xor_ratio": float,      # rs / xor throughput
           "degraded_read_ratio": float   # m=2 double-erasure rebuild /
                                          # healthy retrieve (simulated)
+        },
+        "placement": {                   # reallocation-free scale-out
+          "stripe_width": int,           # fragments per stripe (8)
+          "scaling": [                   # 4 clients per fleet size
+            {"servers": int, "append_mb_s": float}, ...  # 16/64/256
+          ],
+          "scaling_efficiency_64": float,# 64-server MB/s / 16-server
+          "multi_client_overlap_ratio": float, # 4 concurrent / 4
+                                         # serial elapsed; < 1.0
+          "view_change_rpcs": int,       # store RPCs a 16->64 grow
+          "view_change_bytes": int       # costs: the whole data-
+                                         # movement bill (deterministic)
         }
       }
     }
@@ -98,6 +110,15 @@ double-failure tolerance on the write path), plus the simulated cost
 of a double-erasure degraded read — one fragment rebuilt with two
 stripe members crashed — relative to a healthy retrieve.
 
+``placement`` measures reallocation-free scale-out on the simulated
+testbed: aggregate useful append bandwidth of four concurrent clients
+striping width-8 over 16-, 64-, and 256-server fleets through
+:class:`~repro.placement.SequentialCheckingPlacement` (a plain stripe
+group cannot even be built past ``MAX_STRIPE_WIDTH``), the concurrency
+win of those four clients against the same work run serially, and the
+deterministic opcount bill of a 16 → 64 view change — which is the
+*entire* data-movement cost, because no pre-existing stripe moves.
+
 ``validate_bench_schema`` checks exactly this shape (no external JSON
 schema dependency), and CI runs it against the smoke output.
 """
@@ -110,6 +131,7 @@ import time
 from typing import Dict, List
 
 from repro.cluster import ClusterConfig, SimCluster, build_local_cluster
+from repro.cluster.client import SimClientDriver
 from repro.log.address import make_fid
 from repro.log.coding import make_engine
 from repro.log.config import LogConfig
@@ -125,7 +147,7 @@ from repro.server.server import StorageServer
 from repro.services.cleaner import CleanerService
 from repro.services.logical_disk import LogicalDiskService
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 REQUIRED_METRICS = (
     "log_append_mb_s",
@@ -173,6 +195,17 @@ ERASURE_KEYS = (
     "rs_vs_xor_ratio",
     "degraded_read_ratio",
 )
+
+PLACEMENT_KEYS = (
+    "stripe_width",
+    "scaling",
+    "scaling_efficiency_64",
+    "multi_client_overlap_ratio",
+    "view_change_rpcs",
+    "view_change_bytes",
+)
+
+PLACEMENT_FLEETS = (16, 64, 256)
 
 
 class _CountingTransport(LocalTransport):
@@ -626,6 +659,104 @@ def bench_opcounts() -> Dict[str, Dict[str, int]]:
     return out
 
 
+def bench_placement(smoke: bool = False,
+                    stripe_width: int = 8) -> Dict[str, object]:
+    """Reallocation-free scale-out on the simulated testbed.
+
+    Three measurements:
+
+    * ``scaling`` — aggregate useful append MB/s of four concurrent
+      clients, each striping ``stripe_width`` wide over the whole fleet
+      through its own :class:`SequentialCheckingPlacement`, at 16, 64,
+      and 256 servers. A plain stripe group cannot be built past
+      ``MAX_STRIPE_WIDTH``, so these points only exist because the
+      placement layer decouples stripe width from fleet size.
+    * ``multi_client_overlap_ratio`` — elapsed simulated time of the
+      four concurrent 64-server clients against the same work run as
+      four serial single-client rounds; below 1.0 means the clients
+      genuinely overlap in the shared testbed rather than serialize.
+    * ``view_change_rpcs`` / ``view_change_bytes`` — the deterministic
+      opcount delta of growing a 16-server view to 64 on a functional
+      cluster. Because no pre-existing stripe moves, this is the whole
+      data-movement bill: the VIEW_CHANGE record's own stripe, and
+      nothing proportional to data already written.
+    """
+    blocks = 250 if smoke else 1500
+    block_size = 4096
+    clients = 4
+
+    def aggregate_run(servers: int, nclients: int) -> Dict[str, float]:
+        cluster = SimCluster(ClusterConfig(num_servers=servers,
+                                           num_clients=nclients))
+        drivers = [
+            SimClientDriver(cluster, index,
+                            group=cluster.make_placement(
+                                stripe_width=stripe_width))
+            for index in range(nclients)]
+        processes = [cluster.sim.process(
+            driver.write_blocks(blocks, block_size), name="client-%d" % i)
+            for i, driver in enumerate(drivers)]
+        cluster.sim.run()
+        useful = 0
+        for process in processes:
+            if process.exception is not None:
+                raise process.exception
+            useful += process.value[0]
+        return {"elapsed_s": cluster.sim.now,
+                "mb_s": useful / cluster.sim.now / 1e6}
+
+    scaling = []
+    by_servers: Dict[int, float] = {}
+    elapsed_64 = 0.0
+    for servers in PLACEMENT_FLEETS:
+        run = aggregate_run(servers, clients)
+        by_servers[servers] = run["mb_s"]
+        if servers == 64:
+            elapsed_64 = run["elapsed_s"]
+        scaling.append({"servers": servers,
+                        "append_mb_s": round(run["mb_s"], 3)})
+
+    # Same total work, one client at a time: four serial rounds.
+    serial_elapsed = sum(aggregate_run(64, 1)["elapsed_s"]
+                         for _ in range(clients))
+    overlap_ratio = elapsed_64 / serial_elapsed
+
+    # View-change bill: deterministic store-side opcounts of a 16 -> 64
+    # grow, measured after a fixed workload so the cost visibly does
+    # NOT scale with data already written.
+    cluster = build_local_cluster(num_servers=64, fragment_size=1 << 14,
+                                  server_slots=2048)
+    fleet = cluster.fleet()
+    group = cluster.make_placement(stripe_width=stripe_width,
+                                   view_servers=fleet[:16])
+    log = cluster.make_log(client_id=1, group=group)
+    payload = b"\x9c" * 1024
+    for _ in range(96):
+        log.write_block(1, payload)
+    log.flush().wait()
+    before_rpcs = sum(server.store_ops
+                      for server in cluster.servers.values())
+    before_bytes = sum(server.bytes_stored
+                       for server in cluster.servers.values())
+    log.grow_fleet(fleet[16:])
+    log.flush().wait()
+    view_change_rpcs = sum(server.store_ops
+                           for server in cluster.servers.values()) \
+        - before_rpcs
+    view_change_bytes = sum(server.bytes_stored
+                            for server in cluster.servers.values()) \
+        - before_bytes
+
+    return {
+        "stripe_width": stripe_width,
+        "scaling": scaling,
+        "scaling_efficiency_64": round(by_servers[64] / by_servers[16], 3),
+        "multi_client_overlap_ratio": round(overlap_ratio, 3),
+        "view_change_rpcs": view_change_rpcs,
+        "view_change_bytes": view_change_bytes,
+    }
+
+
 def bench_broadcast_holds(num_servers: int = 8,
                           num_fids: int = 32) -> Dict[str, int]:
     """RPCs needed to locate ``num_fids`` fragments over the cluster."""
@@ -684,6 +815,7 @@ def run_all(smoke: bool = False) -> Dict:
     metrics["erasure"] = bench_erasure(
         fragment_size=1 << 18 if smoke else 1 << 20,
         repeats=4 if smoke else 16)
+    metrics["placement"] = bench_placement(smoke=smoke)
     return {
         "schema_version": SCHEMA_VERSION,
         "smoke": smoke,
@@ -783,6 +915,44 @@ def validate_bench_schema(doc: Dict) -> None:
                 "erasure.%s must be positive: %r" % (key, value))
     if not isinstance(erasure["parity_fragments"], int):
         raise ValueError("erasure.parity_fragments must be an integer")
+    placement = metrics.get("placement")
+    if not isinstance(placement, dict):
+        raise ValueError("metric 'placement' must be an object")
+    for key in PLACEMENT_KEYS:
+        if key not in placement:
+            raise ValueError("placement.%s missing" % key)
+    scaling = placement["scaling"]
+    if (not isinstance(scaling, list)
+            or len(scaling) != len(PLACEMENT_FLEETS)):
+        raise ValueError("placement.scaling must list %d fleet sizes"
+                         % len(PLACEMENT_FLEETS))
+    for point, servers in zip(scaling, PLACEMENT_FLEETS):
+        if not isinstance(point, dict) or point.get("servers") != servers:
+            raise ValueError("placement.scaling must cover fleets %r"
+                             % (PLACEMENT_FLEETS,))
+        rate = point.get("append_mb_s")
+        if not isinstance(rate, (int, float)) or isinstance(rate, bool) \
+                or rate <= 0:
+            raise ValueError(
+                "placement.scaling[servers=%d].append_mb_s must be "
+                "positive: %r" % (servers, rate))
+    for key in ("stripe_width", "view_change_rpcs", "view_change_bytes"):
+        value = placement[key]
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value <= 0:
+            raise ValueError(
+                "placement.%s must be a positive integer: %r" % (key, value))
+    for key in ("scaling_efficiency_64", "multi_client_overlap_ratio"):
+        value = placement[key]
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or value <= 0:
+            raise ValueError(
+                "placement.%s must be positive: %r" % (key, value))
+    if placement["multi_client_overlap_ratio"] >= 1.0:
+        raise ValueError(
+            "placement.multi_client_overlap_ratio must be < 1.0 "
+            "(concurrent clients must beat serial rounds): %r"
+            % placement["multi_client_overlap_ratio"])
 
 
 def main(argv=None) -> int:
@@ -819,6 +989,13 @@ def main(argv=None) -> int:
     erasure = doc["metrics"]["erasure"]
     for key in ERASURE_KEYS:
         print("%-26s %s" % ("erasure." + key, erasure[key]))
+    placement = doc["metrics"]["placement"]
+    for point in placement["scaling"]:
+        print("%-26s %s MB/s" % ("placement.%d_servers" % point["servers"],
+                                 point["append_mb_s"]))
+    for key in ("scaling_efficiency_64", "multi_client_overlap_ratio",
+                "view_change_rpcs", "view_change_bytes"):
+        print("%-26s %s" % ("placement." + key, placement[key]))
     print("wrote %s" % out)
     return 0
 

@@ -23,7 +23,18 @@ repository's ``BENCH_PERF.json``:
   below baseline (the table-driven Reed–Solomon encode is a hot write
   path at ``m ≥ 2``), and ``erasure.degraded_read_ratio`` — the
   simulated cost of a double-erasure rebuild over a healthy retrieve —
-  may not rise more than the tolerance above it.
+  may not rise more than the tolerance above it;
+* ``placement.scaling_efficiency_64`` (aggregate 64-server append
+  throughput over the 16-server figure) may not drop more than the
+  tolerance below baseline — reallocation-free placement must keep
+  scale-out from costing throughput;
+* ``placement.multi_client_overlap_ratio`` must stay below 1.0 —
+  absolute, like the pipeline ratios: four clients appending
+  concurrently must finish faster than the same work run serially;
+* ``placement.view_change_rpcs`` / ``placement.view_change_bytes`` are
+  held to the same tight opcount tolerance: growing the fleet is a
+  metadata-only log record, and any growth in its cost means view
+  changes started moving data.
 
 The tolerance defaults to 15% and is widened via the
 ``PERF_REGRESSION_TOLERANCE`` environment variable (CI machines are
@@ -44,6 +55,7 @@ from repro.bench.perf import (
     bench_erasure,
     bench_log_append,
     bench_opcounts,
+    bench_placement,
     bench_read_pipeline,
     bench_reconstruct_latency,
     bench_write_pipeline,
@@ -87,6 +99,7 @@ def measure_fresh(smoke: bool = False) -> Dict:
         "erasure": bench_erasure(
             fragment_size=(1 << 18) if smoke else (1 << 20),
             repeats=4 if smoke else 16),
+        "placement": bench_placement(smoke=smoke),
     }
 
 
@@ -177,6 +190,28 @@ def compare(baseline: Dict, fresh: Dict,
                100.0 * (fresh_degraded / base_degraded - 1.0),
                100.0 * tolerance))
 
+    base_placement = baseline.get("placement") or {}
+    fresh_placement = fresh["placement"]
+    base_efficiency = base_placement.get("scaling_efficiency_64")
+    fresh_efficiency = fresh_placement["scaling_efficiency_64"]
+    if not isinstance(base_efficiency, (int, float)) or base_efficiency <= 0:
+        problems.append("baseline placement.scaling_efficiency_64 missing "
+                        "or non-positive")
+    elif fresh_efficiency < base_efficiency * (1.0 - tolerance):
+        problems.append(
+            "placement.scaling_efficiency_64 regressed: %.3f -> %.3f "
+            "(%.0f%% below baseline, tolerance %.0f%%) — 64-server "
+            "aggregate append fell behind the 16-server figure"
+            % (base_efficiency, fresh_efficiency,
+               100.0 * (1.0 - fresh_efficiency / base_efficiency),
+               100.0 * tolerance))
+    client_overlap = fresh_placement["multi_client_overlap_ratio"]
+    if client_overlap >= 1.0:
+        problems.append(
+            "placement.multi_client_overlap_ratio is %.3f — concurrent "
+            "clients no longer beat the same work run serially"
+            % client_overlap)
+
     return problems
 
 
@@ -211,6 +246,27 @@ def compare_opcounts(baseline: Dict, fresh: Dict,
                     "tolerance) — the read path got chattier"
                     % (scenario, key, base_value, fresh_value,
                        100.0 * tolerance))
+
+    # The view-change bill is a deterministic store-side opcount too:
+    # growing the fleet must stay a metadata-only log record, never a
+    # cost proportional to data already written.
+    base_placement = baseline.get("placement")
+    fresh_placement = fresh.get("placement") or {}
+    if not isinstance(base_placement, dict):
+        problems.append("baseline placement missing (regenerate "
+                        "BENCH_PERF.json)")
+    else:
+        for key in ("view_change_rpcs", "view_change_bytes"):
+            base_value = base_placement.get(key, 0)
+            fresh_value = fresh_placement.get(key, 0)
+            if base_value <= 0:
+                problems.append(
+                    "baseline placement.%s missing or non-positive" % key)
+            elif fresh_value > base_value * (1.0 + tolerance):
+                problems.append(
+                    "placement.%s grew: %d -> %d (beyond %.0f%% "
+                    "tolerance) — the view change started moving data"
+                    % (key, base_value, fresh_value, 100.0 * tolerance))
     return problems
 
 
@@ -295,6 +351,21 @@ def main(argv=None) -> int:
         print("%-28s %12.3f %12.3f"
               % ("erasure." + key, base_erasure.get(key, -1),
                  fresh_erasure[key]))
+    base_placement = baseline.get("placement") or {}
+    fresh_placement = fresh["placement"]
+    print("%-28s %12.3f %12.3f"
+          % ("placement.efficiency_64",
+             base_placement.get("scaling_efficiency_64", -1),
+             fresh_placement["scaling_efficiency_64"]))
+    print("%-28s %12s %12.3f"
+          % ("placement.client_overlap", "<1.0",
+             fresh_placement["multi_client_overlap_ratio"]))
+    print("%-28s %12s %12s"
+          % ("placement.view_change",
+             "%d/%d" % (base_placement.get("view_change_rpcs", -1),
+                        base_placement.get("view_change_bytes", -1)),
+             "%d/%d" % (fresh_placement["view_change_rpcs"],
+                        fresh_placement["view_change_bytes"])))
     opcount_tolerance = resolve_opcount_tolerance()
     for scenario, entry in sorted(fresh.get("opcounts", {}).items()):
         base_entry = (baseline.get("opcounts") or {}).get(scenario, {})

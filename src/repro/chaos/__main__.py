@@ -46,6 +46,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="servers to kill in --kill-server (default 1; "
                              "2+ switches the log to Reed-Solomon coding "
                              "with m = victims parity members per stripe)")
+    parser.add_argument("--clients", type=int, default=1,
+                        help="independent clients sharing the faulty wire "
+                             "(default 1); the seeded op stream is dealt "
+                             "round-robin and every client is checked "
+                             "against its own oracle")
     parser.add_argument("--cleaner", action="store_true",
                         help="cleaner-under-churn scenario: overwrite-heavy "
                              "workload with periodic cleaning passes under "
@@ -58,6 +63,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.victims != 1 and not args.kill_server:
         parser.error("--victims only applies to --kill-server")
+    if args.clients < 1:
+        parser.error("--clients must be >= 1")
+    if args.clients != 1 and args.cleaner:
+        parser.error("--cleaner is a single-client scenario")
     if args.kill_server:
         n_ops = args.ops if args.ops is not None else 64
         # Default server count is scenario-derived (5 for one victim,
@@ -80,6 +89,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     kwargs = {"ops": ops, "num_servers": servers}
     if args.kill_server:
         kwargs["victims"] = args.victims
+    if not args.cleaner:
+        kwargs["num_clients"] = args.clients
     if args.replay:
         first, second, identical = run_two(args.seed, **kwargs)
         print(first.summary())

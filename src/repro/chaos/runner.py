@@ -44,8 +44,9 @@ from repro.cluster.cluster import build_local_cluster
 from repro.cluster.failures import FailureInjector
 from repro.health import HealthMonitor, RepairDaemon
 from repro.log.config import LogConfig
-from repro.log.fragment import HEADER_SIZE
+from repro.log.fragment import HEADER_SIZE, MAX_STRIPE_WIDTH
 from repro.log.layer import LogLayer
+from repro.placement import SequentialCheckingPlacement
 from repro.rpc.retry import RetryPolicy
 from repro.services.cleaner import CleanerService
 from repro.services.logical_disk import LogicalDiskService
@@ -101,6 +102,43 @@ def _digest(state: Dict[int, bytes]) -> str:
     return acc.hexdigest()
 
 
+def _digest_many(states: Sequence[Dict[int, bytes]]) -> str:
+    """Combined digest across clients.
+
+    A single client keeps the historical single-state digest, so every
+    pinned seed digest and replay baseline stays byte-identical.
+    """
+    if len(states) == 1:
+        return _digest(states[0])
+    acc = hashlib.sha256()
+    for index, state in enumerate(states):
+        acc.update(b"client%d:" % index)
+        acc.update(_digest(state).encode("ascii"))
+    return acc.hexdigest()
+
+
+@dataclass
+class _ChaosClient:
+    """One client's full stack inside a (possibly multi-client) run.
+
+    All clients share the same :class:`FaultyTransport` — one seeded
+    fault schedule drives the whole fleet's wire — but each owns its
+    log, services, oracle model, and (in the kill scenario) its own
+    failure detector and repair daemon, exactly like independent Swarm
+    clients sharing a cluster.
+    """
+
+    index: int
+    client_id: int
+    log: LogLayer
+    stack: ServiceStack
+    disk: LogicalDiskService
+    ops: List[Op] = field(default_factory=list)
+    model: Dict[int, bytes] = field(default_factory=dict)
+    monitor: Optional[HealthMonitor] = None
+    daemon: Optional[RepairDaemon] = None
+
+
 @dataclass
 class ChaosReport:
     """Outcome of one chaos run."""
@@ -132,62 +170,89 @@ def run_chaos(seed: int, ops: Optional[Sequence[Op]] = None,
               fragment_size: int = 1 << 12,
               damage_fragments: int = 2,
               log_overrides: Optional[Dict[str, object]] = None,
+              num_clients: int = 1,
               ) -> ChaosReport:
     """Execute one seeded chaos run; see the module docstring.
 
     ``log_overrides`` merges extra :class:`LogConfig` fields into the
-    chaos client's configuration (e.g. a wider ``max_inflight_stripes``
+    chaos clients' configuration (e.g. a wider ``max_inflight_stripes``
     window, or group commit off) so the determinism and oracle
     invariants can be asserted across write-path configurations.
+
+    With ``num_clients > 1`` the seeded op sequence is dealt round-robin
+    across that many independent clients sharing one faulty wire; each
+    client is checked against its own oracle and the report digest
+    combines the per-client digests (a single client keeps the
+    historical digest byte for byte).
     """
+    if num_clients < 1:
+        raise ValueError("num_clients must be >= 1")
     ops = list(ops) if ops is not None else generate_ops(seed)
-    expected = oracle_state(ops)
     report = ChaosReport(seed=seed)
 
-    cluster = build_local_cluster(num_servers=num_servers, num_clients=1,
+    cluster = build_local_cluster(num_servers=num_servers,
+                                  num_clients=num_clients,
                                   fragment_size=fragment_size)
     injector = FailureInjector(cluster)
     plan = FaultPlan(seed, spec)
     faulty = FaultyTransport(cluster.transport, plan)
-    log = LogLayer(faulty, cluster.stripe_group(),
-                   LogConfig(client_id=CLIENT_ID,
-                             fragment_size=fragment_size,
-                             **(log_overrides or {})),
-                   retry_policy=RetryPolicy(seed=seed), verify_reads=True)
-    stack = ServiceStack(log)
-    disk = stack.push(LogicalDiskService(SERVICE_DISK))
+    clients: List[_ChaosClient] = []
+    for index in range(num_clients):
+        client_id = CLIENT_ID + index
+        log = LogLayer(faulty, cluster.stripe_group(),
+                       LogConfig(client_id=client_id,
+                                 fragment_size=fragment_size,
+                                 **(log_overrides or {})),
+                       retry_policy=RetryPolicy(seed=seed + index),
+                       verify_reads=True)
+        stack = ServiceStack(log)
+        disk = stack.push(LogicalDiskService(SERVICE_DISK))
+        clients.append(_ChaosClient(index=index, client_id=client_id,
+                                    log=log, stack=stack, disk=disk))
+    for position, op in enumerate(ops):
+        clients[position % num_clients].ops.append(op)
     victim = plan.durable_victim
 
-    model: Dict[int, bytes] = {}
     flush_failures = 0
     reads_checked = 0
 
-    def apply_op(op: Op) -> None:
+    def tag(client: _ChaosClient) -> str:
+        return "" if num_clients == 1 else "client %d: " % client.index
+
+    def apply_op(client: _ChaosClient, op: Op) -> None:
         nonlocal reads_checked
         kind, block_no, payload_seed, size = op
         if kind == "write":
             data = _payload(payload_seed, size)
-            disk.write(block_no, data)
-            model[block_no] = data
+            client.disk.write(block_no, data)
+            client.model[block_no] = data
         elif kind == "trim":
-            disk.trim(block_no)
-            model.pop(block_no, None)
+            client.disk.trim(block_no)
+            client.model.pop(block_no, None)
         else:
             reads_checked += 1
-            if disk.exists(block_no) != (block_no in model):
+            if client.disk.exists(block_no) != (block_no in client.model):
                 report.problems.append(
-                    "block %d existence diverged mid-run" % block_no)
-            elif block_no in model and disk.read(block_no) != model[block_no]:
+                    "%sblock %d existence diverged mid-run"
+                    % (tag(client), block_no))
+            elif (block_no in client.model
+                    and client.disk.read(block_no) != client.model[block_no]):
                 report.problems.append(
-                    "read of block %d diverged mid-run" % block_no)
+                    "%sread of block %d diverged mid-run"
+                    % (tag(client), block_no))
+
+    def flush_all() -> None:
+        nonlocal flush_failures
+        for client in clients:
+            ticket = client.stack.flush()
+            ticket.wait(allow_degraded=True)
+            flush_failures += len(ticket.failures())
 
     # Phase 1: first half of the workload under wire faults.
     half = len(ops) // 2
-    for op in ops[:half]:
-        apply_op(op)
-    ticket = stack.flush()
-    ticket.wait(allow_degraded=True)
-    flush_failures += len(ticket.failures())
+    for position, op in enumerate(ops[:half]):
+        apply_op(clients[position % num_clients], op)
+    flush_all()
 
     # Phase 2: durable damage on the durable victim's committed
     # fragments — one silent payload bit flip, one torn image.
@@ -208,74 +273,84 @@ def run_chaos(seed: int, ops: Optional[Sequence[Op]] = None,
 
     # Phase 3: rest of the workload — reads of damaged fragments must
     # come back correct through verification + reconstruction.
-    for op in ops[half:]:
-        apply_op(op)
-    ticket = stack.flush()
-    ticket.wait(allow_degraded=True)
-    flush_failures += len(ticket.failures())
-    ticket = stack.checkpoint(disk)
-    ticket.wait(allow_degraded=True)
-    flush_failures += len(ticket.failures())
+    for position, op in enumerate(ops[half:], start=half):
+        apply_op(clients[position % num_clients], op)
+    flush_all()
+    for client in clients:
+        ticket = client.stack.checkpoint(client.disk)
+        ticket.wait(allow_degraded=True)
+        flush_failures += len(ticket.failures())
 
     # Phase 4: crash the damaged server outright; every live block must
     # still read back correctly (degraded reads). Then bring it back.
     injector.crash_server(victim)
-    for block_no in sorted(model):
-        if disk.read(block_no) != model[block_no]:
-            report.problems.append(
-                "read of block %d diverged with %s down" % (block_no, victim))
+    for client in clients:
+        for block_no in sorted(client.model):
+            if client.disk.read(block_no) != client.model[block_no]:
+                report.problems.append(
+                    "%sread of block %d diverged with %s down"
+                    % (tag(client), block_no, victim))
     injector.restart_server(victim)
 
-    # Phase 5: faults off; fsck must be able to restore full health.
+    # Phase 5: faults off; fsck must be able to restore full health for
+    # every client's log.
     plan.stop()
-    fsck = check_client_log(cluster.transport, CLIENT_ID)
     restored = 0
-    if not fsck.healthy:
-        if fsck.by_status("lost"):
-            report.problems.append("data loss before repair: %s"
-                                   % fsck.summary())
-        restored = repair_client_log(cluster.transport, CLIENT_ID,
-                                     target_server=victim)
-        fsck = check_client_log(cluster.transport, CLIENT_ID)
-    if not fsck.healthy:
-        report.problems.append("fsck unhealthy after repair: %s"
-                               % fsck.summary())
+    for client in clients:
+        fsck = check_client_log(cluster.transport, client.client_id)
+        if not fsck.healthy:
+            if fsck.by_status("lost"):
+                report.problems.append("%sdata loss before repair: %s"
+                                       % (tag(client), fsck.summary()))
+            restored += repair_client_log(cluster.transport, client.client_id,
+                                          target_server=victim)
+            fsck = check_client_log(cluster.transport, client.client_id)
+        if not fsck.healthy:
+            report.problems.append("%sfsck unhealthy after repair: %s"
+                                   % (tag(client), fsck.summary()))
 
-    # Phase 6: a fresh client (simulated client crash — all in-memory
-    # state lost) recovers from the log alone and must reproduce the
+    # Phase 6: fresh clients (simulated client crash — all in-memory
+    # state lost) recover from the log alone and must reproduce each
     # oracle exactly.
-    fresh_log = LogLayer(cluster.transport, cluster.stripe_group(),
-                         LogConfig(client_id=CLIENT_ID,
-                                   fragment_size=fragment_size,
-                                   **(log_overrides or {})))
-    fresh_stack = ServiceStack(fresh_log)
-    fresh_disk = fresh_stack.push(LogicalDiskService(SERVICE_DISK))
-    fresh_stack.recover_all()
+    recovered_states: List[Dict[int, bytes]] = []
+    for client in clients:
+        expected = oracle_state(client.ops)
+        fresh_log = LogLayer(cluster.transport, cluster.stripe_group(),
+                             LogConfig(client_id=client.client_id,
+                                       fragment_size=fragment_size,
+                                       **(log_overrides or {})))
+        fresh_stack = ServiceStack(fresh_log)
+        fresh_disk = fresh_stack.push(LogicalDiskService(SERVICE_DISK))
+        fresh_stack.recover_all()
 
-    recovered: Dict[int, bytes] = {}
-    for block_no in fresh_disk.block_numbers():
-        recovered[block_no] = fresh_disk.read(block_no)
-    if set(recovered) != set(expected):
-        report.problems.append(
-            "recovered block set %r != oracle %r"
-            % (sorted(recovered), sorted(expected)))
-    else:
-        for block_no in sorted(expected):
-            if recovered[block_no] != expected[block_no]:
-                report.problems.append(
-                    "recovered block %d differs from oracle" % block_no)
+        recovered: Dict[int, bytes] = {}
+        for block_no in fresh_disk.block_numbers():
+            recovered[block_no] = fresh_disk.read(block_no)
+        recovered_states.append(recovered)
+        if set(recovered) != set(expected):
+            report.problems.append(
+                "%srecovered block set %r != oracle %r"
+                % (tag(client), sorted(recovered), sorted(expected)))
+        else:
+            for block_no in sorted(expected):
+                if recovered[block_no] != expected[block_no]:
+                    report.problems.append(
+                        "%srecovered block %d differs from oracle"
+                        % (tag(client), block_no))
 
-    retrying = log.transport  # the RetryingTransport the layer installed
     report.fault_history = tuple(plan.history)
-    report.state_digest = _digest(recovered)
+    report.state_digest = _digest_many(recovered_states)
     report.stats = {
         "ops": len(ops),
+        "clients": num_clients,
         "reads_checked": reads_checked,
         "faults_applied": faulty.faults_applied,
-        "retries": retrying.retries,
-        "backoff_charged_s": retrying.backoff_charged_s,
-        "exhausted": retrying.exhausted,
-        "ambiguous_resolutions": retrying.ambiguous_resolutions,
+        "retries": sum(c.log.transport.retries for c in clients),
+        "backoff_charged_s": sum(c.log.transport.backoff_charged_s
+                                 for c in clients),
+        "exhausted": sum(c.log.transport.exhausted for c in clients),
+        "ambiguous_resolutions": sum(c.log.transport.ambiguous_resolutions
+                                     for c in clients),
         "flush_failures": flush_failures,
         "damaged_fragments": len(damaged),
         "fsck_restored": restored,
@@ -305,6 +380,9 @@ def run_kill_server(seed: int, ops: Optional[Sequence[Op]] = None,
                     flush_every: int = 4,
                     victims: int = 1,
                     log_overrides: Optional[Dict[str, object]] = None,
+                    num_clients: int = 1,
+                    placement: Optional[str] = None,
+                    stripe_width: int = 8,
                     ) -> ChaosReport:
     """The self-healing scenario: crash members, never restart them.
 
@@ -327,13 +405,31 @@ def run_kill_server(seed: int, ops: Optional[Sequence[Op]] = None,
        degraded stripe left — full redundancy restored), and a fresh
        client recovers the exact oracle state.
 
+    ``placement`` selects the distribution layer: ``"static"`` (one
+    :class:`StripeGroup`, the historical scenario), ``"sequential"``
+    (a :class:`SequentialCheckingPlacement` of ``stripe_width`` over
+    the whole fleet), or ``None`` to pick sequential automatically
+    whenever the fleet exceeds ``MAX_STRIPE_WIDTH`` — which is what
+    makes the 64- and 256-server versions of this scenario runnable at
+    all. ``num_clients > 1`` deals the op stream round-robin across
+    independent clients, each with its own detector, daemon, and
+    placement instance, all sharing one faulty wire.
+
     The write-availability gap — ops applied between the crash and the
-    last automatic reform — is measured and reported in ``stats``.
+    last automatic reform across every client — is measured and
+    reported in ``stats``.
     """
     if victims < 1:
         raise ValueError("victims must be >= 1")
+    if num_clients < 1:
+        raise ValueError("num_clients must be >= 1")
     if num_servers is None:
         num_servers = 5 if victims == 1 else 2 * victims + 4
+    if placement is None:
+        placement = ("sequential" if num_servers > MAX_STRIPE_WIDTH
+                     else "static")
+    if placement not in ("static", "sequential"):
+        raise ValueError("placement must be 'static' or 'sequential'")
     overrides = dict(log_overrides or {})
     if victims > 1:
         # Surviving a simultaneous multi-kill needs one parity member
@@ -341,195 +437,282 @@ def run_kill_server(seed: int, ops: Optional[Sequence[Op]] = None,
         overrides.setdefault("coding", "rs")
         overrides.setdefault("parity_fragments", victims)
     ops = list(ops) if ops is not None else generate_ops(seed, n_ops=64)
-    expected = oracle_state(ops)
     report = ChaosReport(seed=seed)
 
-    cluster = build_local_cluster(num_servers=num_servers, num_clients=1,
+    cluster = build_local_cluster(num_servers=num_servers,
+                                  num_clients=num_clients,
                                   fragment_size=fragment_size)
     all_servers = sorted(cluster.servers)
     group_servers, spares = all_servers[:-victims], all_servers[-victims:]
-    kill_list = choose_kill_victims(seed, group_servers, victims)
-    victim = kill_list[0]
+    eff_width = min(stripe_width, len(group_servers))
+    if placement == "static":
+        kill_list = choose_kill_victims(seed, group_servers, victims)
+        victim: Optional[str] = kill_list[0]
+    else:
+        # Reallocation-free placement: a stripe only touches
+        # ``stripe_width`` of the view's servers, so a randomly chosen
+        # fleet member would likely never be in any client's write path
+        # — and a detector fed purely by its own traffic would (rightly)
+        # never indict it. The victims are instead chosen at crash time
+        # from the view positions every client is about to rotate
+        # through; the rotation cursor is seed-deterministic, so the
+        # choice replays bit-identically.
+        kill_list = []
+        victim = None
+
+    def make_group():
+        """Fresh placement (or the shared static group) for one client.
+
+        Sequential policies carry per-client view history, so every
+        client — and every fresh-recovery client — gets its own
+        instance over the same fleet.
+        """
+        if placement == "static":
+            return cluster.stripe_group(group_servers)
+        return SequentialCheckingPlacement(
+            tuple(all_servers), stripe_width=eff_width,
+            parity_fragments=overrides.get("parity_fragments", 1),
+            spare_servers=tuple(spares),
+            view_servers=tuple(group_servers))
+
     # Pin durable damage to the first server that is going to die: its
     # torn / flipped fragments vanish with it, so the scenario proves
     # repair rebuilds them from survivors rather than quietly
-    # re-reading them.
+    # re-reading them. (Sequential placement picks its victims at crash
+    # time, so there the durable victim stays the plan's own seeded
+    # draw.)
     base_spec = spec if spec is not None else FaultSpec()
-    plan = FaultPlan(seed, dataclasses.replace(base_spec,
-                                               pinned_victim=victim))
+    if victim is not None:
+        base_spec = dataclasses.replace(base_spec, pinned_victim=victim)
+    plan = FaultPlan(seed, base_spec)
     injector = FailureInjector(cluster)
     faulty = FaultyTransport(cluster.transport, plan)
-    monitor = HealthMonitor(seed=seed)
-    log = LogLayer(faulty, cluster.stripe_group(group_servers),
-                   LogConfig(client_id=CLIENT_ID,
-                             fragment_size=fragment_size,
-                             spare_servers=tuple(spares),
-                             **overrides),
-                   retry_policy=RetryPolicy(seed=seed), verify_reads=True,
-                   health_monitor=monitor)
-    stack = ServiceStack(log)
-    disk = stack.push(LogicalDiskService(SERVICE_DISK))
+    clients: List[_ChaosClient] = []
+    for index in range(num_clients):
+        client_id = CLIENT_ID + index
+        monitor = HealthMonitor(seed=seed + index)
+        log = LogLayer(faulty, make_group(),
+                       LogConfig(client_id=client_id,
+                                 fragment_size=fragment_size,
+                                 spare_servers=tuple(spares),
+                                 **overrides),
+                       retry_policy=RetryPolicy(seed=seed + index),
+                       verify_reads=True,
+                       health_monitor=monitor)
+        stack = ServiceStack(log)
+        disk = stack.push(LogicalDiskService(SERVICE_DISK))
+        clients.append(_ChaosClient(index=index, client_id=client_id,
+                                    log=log, stack=stack, disk=disk,
+                                    monitor=monitor))
+    for position, op in enumerate(ops):
+        clients[position % num_clients].ops.append(op)
 
-    model: Dict[int, bytes] = {}
     flush_failures = 0
     reads_checked = 0
 
-    def apply_op(op: Op) -> None:
+    def tag(client: _ChaosClient) -> str:
+        return "" if num_clients == 1 else "client %d: " % client.index
+
+    def apply_op(client: _ChaosClient, op: Op) -> None:
         nonlocal reads_checked
         kind, block_no, payload_seed, size = op
         if kind == "write":
             data = _payload(payload_seed, size)
-            disk.write(block_no, data)
-            model[block_no] = data
+            client.disk.write(block_no, data)
+            client.model[block_no] = data
         elif kind == "trim":
-            disk.trim(block_no)
-            model.pop(block_no, None)
+            client.disk.trim(block_no)
+            client.model.pop(block_no, None)
         else:
             reads_checked += 1
-            if disk.exists(block_no) != (block_no in model):
+            if client.disk.exists(block_no) != (block_no in client.model):
                 report.problems.append(
-                    "block %d existence diverged mid-run" % block_no)
-            elif block_no in model and disk.read(block_no) != model[block_no]:
+                    "%sblock %d existence diverged mid-run"
+                    % (tag(client), block_no))
+            elif (block_no in client.model
+                    and client.disk.read(block_no) != client.model[block_no]):
                 report.problems.append(
-                    "read of block %d diverged mid-run" % block_no)
+                    "%sread of block %d diverged mid-run"
+                    % (tag(client), block_no))
 
     def flush_degraded() -> None:
         nonlocal flush_failures
-        ticket = stack.flush()
-        ticket.wait(allow_degraded=True)
-        flush_failures += len(ticket.failures())
+        for client in clients:
+            ticket = client.stack.flush()
+            ticket.wait(allow_degraded=True)
+            flush_failures += len(ticket.failures())
 
     # Phase 1: first third of the workload under wire faults only.
     crash_at = len(ops) // 3
-    for op in ops[:crash_at]:
-        apply_op(op)
+    for position, op in enumerate(ops[:crash_at]):
+        apply_op(clients[position % num_clients], op)
     flush_degraded()
 
     # Phase 2: kill the victims — they never come back. Keep the
     # workload flowing in small flushed chunks: the flushes' failed
     # stores and the reads' failed retrieves are exactly the evidence
-    # the failure detector needs. Measure how many ops land before the
-    # automatic reforms complete.
+    # every client's failure detector needs. Measure how many ops land
+    # before the automatic reforms complete on every client.
+    if placement == "sequential":
+        view = clients[0].log.placement.current_servers()
+        cursor = max(c.log.next_stripe_number for c in clients)
+        kill_list.extend(sorted(view[(cursor + 1 + j) % len(view)]
+                                for j in range(victims)))
+        victim = kill_list[0]
     for dead in kill_list:
         injector.crash_server(dead)
     reform_gap_ops: Optional[int] = None
-    daemon: Optional[RepairDaemon] = None
     ops_since_crash = 0
-    for index, op in enumerate(ops[crash_at:]):
-        apply_op(op)
+    for position, op in enumerate(ops[crash_at:], start=crash_at):
+        apply_op(clients[position % num_clients], op)
         ops_since_crash += 1
-        if (index + 1) % flush_every == 0:
+        if (position - crash_at + 1) % flush_every == 0:
             flush_degraded()
-        if len(log.reforms) >= victims and reform_gap_ops is None:
+        for client in clients:
+            if (client.daemon is None
+                    and len(client.log.reforms) >= victims):
+                # Phase 3 (overlapped): the moment this client's group
+                # has reformed away from every victim, start its
+                # background repair onto the spares and interleave it
+                # with the remaining foreground ops — wire faults on.
+                client.daemon = RepairDaemon(
+                    client.log.transport, client.client_id,
+                    replacement=list(spares),
+                    principal=client.log.config.principal,
+                    locations=client.log.locations)
+                client.daemon.discover(dead_server=victim)
+        if (reform_gap_ops is None
+                and all(len(c.log.reforms) >= victims for c in clients)):
             reform_gap_ops = ops_since_crash
-            # Phase 3 (overlapped): the moment the group has reformed
-            # away from every victim, start background repair onto the
-            # spares and interleave it with the remaining foreground
-            # ops — wire faults still on.
-            daemon = RepairDaemon(log.transport, CLIENT_ID,
-                                  replacement=list(spares),
-                                  principal=log.config.principal,
-                                  locations=log.locations)
-            daemon.discover(dead_server=victim)
-        if daemon is not None:
-            daemon.step()
+        for client in clients:
+            if client.daemon is not None:
+                client.daemon.step()
     flush_degraded()
-    ticket = stack.checkpoint(disk)
-    ticket.wait(allow_degraded=True)
-    flush_failures += len(ticket.failures())
+    for client in clients:
+        ticket = client.stack.checkpoint(client.disk)
+        ticket.wait(allow_degraded=True)
+        flush_failures += len(ticket.failures())
 
-    if not log.reforms:
-        report.problems.append(
-            "no automatic reform: %s died but the group never changed"
-            % victim)
-    elif len(log.reforms) < victims:
-        report.problems.append(
-            "only %d reforms for %d killed servers"
-            % (len(log.reforms), victims))
-    else:
-        for dead in kill_list:
-            if dead in log.group.servers:
-                report.problems.append(
-                    "dead server %s still in the stripe group after reform"
-                    % dead)
-        for spare in spares:
-            if spare not in log.group.servers:
-                report.problems.append(
-                    "spare %s was not drafted into the reformed group"
-                    % spare)
-    for dead in kill_list:
-        if monitor.status(dead) != "dead":
+    for client in clients:
+        if not client.log.reforms:
             report.problems.append(
-                "detector verdict for crashed %s is %r, expected dead"
-                % (dead, monitor.status(dead)))
+                "%sno automatic reform: %s died but the group never changed"
+                % (tag(client), victim))
+        elif len(client.log.reforms) < victims:
+            report.problems.append(
+                "%sonly %d reforms for %d killed servers"
+                % (tag(client), len(client.log.reforms), victims))
+        else:
+            for dead in kill_list:
+                if dead in client.log.group.servers:
+                    report.problems.append(
+                        "%sdead server %s still in the stripe group "
+                        "after reform" % (tag(client), dead))
+            for spare in spares:
+                if spare not in client.log.group.servers:
+                    report.problems.append(
+                        "%sspare %s was not drafted into the reformed "
+                        "group" % (tag(client), spare))
+        for dead in kill_list:
+            if client.monitor.status(dead) != "dead":
+                report.problems.append(
+                    "%sdetector verdict for crashed %s is %r, expected dead"
+                    % (tag(client), dead, client.monitor.status(dead)))
 
-    # Drain the repair queue (a final sweep catches stripes flushed
+    # Drain the repair queues (a final sweep catches stripes flushed
     # after the first discovery), still under wire faults.
-    if daemon is None and log.reforms:
-        daemon = RepairDaemon(log.transport, CLIENT_ID,
-                              replacement=list(spares),
-                              principal=log.config.principal,
-                              locations=log.locations)
     repaired = 0
-    if daemon is not None:
-        daemon.discover(dead_server=victim)
-        while not daemon.done:
-            daemon.step()
-        repaired = daemon.fragments_repaired
+    for client in clients:
+        if client.daemon is None and client.log.reforms:
+            client.daemon = RepairDaemon(
+                client.log.transport, client.client_id,
+                replacement=list(spares),
+                principal=client.log.config.principal,
+                locations=client.log.locations)
+        if client.daemon is not None:
+            client.daemon.discover(dead_server=victim)
+            while not client.daemon.done:
+                client.daemon.step()
+            repaired += client.daemon.fragments_repaired
 
     # Phase 4: faults off, victim still crashed. Full redundancy must
-    # be back: every stripe healthy — not merely readable-degraded.
+    # be back: every stripe of every client's log healthy — not merely
+    # readable-degraded.
     plan.stop()
-    fsck = check_client_log(cluster.transport, CLIENT_ID)
-    if not fsck.healthy:
-        report.problems.append(
-            "fsck not fully healthy after repair (victim down): %s"
-            % fsck.summary())
+    for client in clients:
+        fsck = check_client_log(cluster.transport, client.client_id)
+        if not fsck.healthy:
+            report.problems.append(
+                "%sfsck not fully healthy after repair (victim down): %s"
+                % (tag(client), fsck.summary()))
 
-    # Phase 5: a fresh client recovers from the log alone — with every
-    # victim still dead — and must reproduce the oracle exactly.
-    fresh_log = LogLayer(cluster.transport, log.group,
-                         LogConfig(client_id=CLIENT_ID,
-                                   fragment_size=fragment_size,
-                                   **overrides))
-    fresh_stack = ServiceStack(fresh_log)
-    fresh_disk = fresh_stack.push(LogicalDiskService(SERVICE_DISK))
-    fresh_stack.recover_all()
-    recovered: Dict[int, bytes] = {}
-    for block_no in fresh_disk.block_numbers():
-        recovered[block_no] = fresh_disk.read(block_no)
-    if set(recovered) != set(expected):
-        report.problems.append(
-            "recovered block set %r != oracle %r"
-            % (sorted(recovered), sorted(expected)))
-    else:
-        for block_no in sorted(expected):
-            if recovered[block_no] != expected[block_no]:
-                report.problems.append(
-                    "recovered block %d differs from oracle" % block_no)
+    # Phase 5: fresh clients recover from the log alone — with every
+    # victim still dead — and must reproduce each oracle exactly. A
+    # sequential-placement fresh client starts from the *initial* view
+    # and must roll its view history forward from the log.
+    recovered_states: List[Dict[int, bytes]] = []
+    for client in clients:
+        expected = oracle_state(client.ops)
+        fresh_group = (client.log.group if placement == "static"
+                       else make_group())
+        fresh_log = LogLayer(cluster.transport, fresh_group,
+                             LogConfig(client_id=client.client_id,
+                                       fragment_size=fragment_size,
+                                       spare_servers=tuple(spares),
+                                       **overrides))
+        fresh_stack = ServiceStack(fresh_log)
+        fresh_disk = fresh_stack.push(LogicalDiskService(SERVICE_DISK))
+        fresh_stack.recover_all()
+        if (placement == "sequential" and client.log.reforms
+                and fresh_log.placement.view_epoch
+                < client.log.placement.view_epoch):
+            report.problems.append(
+                "%splacement view history did not recover: fresh epoch "
+                "%d < writer epoch %d"
+                % (tag(client), fresh_log.placement.view_epoch,
+                   client.log.placement.view_epoch))
+        recovered: Dict[int, bytes] = {}
+        for block_no in fresh_disk.block_numbers():
+            recovered[block_no] = fresh_disk.read(block_no)
+        recovered_states.append(recovered)
+        if set(recovered) != set(expected):
+            report.problems.append(
+                "%srecovered block set %r != oracle %r"
+                % (tag(client), sorted(recovered), sorted(expected)))
+        else:
+            for block_no in sorted(expected):
+                if recovered[block_no] != expected[block_no]:
+                    report.problems.append(
+                        "%srecovered block %d differs from oracle"
+                        % (tag(client), block_no))
 
-    retrying = log.transport
-    monitor_report = monitor.health_report()
+    monitor_reports = [c.monitor.health_report() for c in clients]
     report.fault_history = tuple(plan.history)
-    report.state_digest = _digest(recovered)
+    report.state_digest = _digest_many(recovered_states)
     report.stats = {
         "ops": len(ops),
+        "clients": num_clients,
         "reads_checked": reads_checked,
         "faults_applied": faulty.faults_applied,
-        "retries": retrying.retries,
-        "backoff_charged_s": retrying.backoff_charged_s,
-        "exhausted": retrying.exhausted,
-        "ambiguous_resolutions": retrying.ambiguous_resolutions,
+        "retries": sum(c.log.transport.retries for c in clients),
+        "backoff_charged_s": sum(c.log.transport.backoff_charged_s
+                                 for c in clients),
+        "exhausted": sum(c.log.transport.exhausted for c in clients),
+        "ambiguous_resolutions": sum(c.log.transport.ambiguous_resolutions
+                                     for c in clients),
         "flush_failures": flush_failures,
         "reform_gap_ops": -1 if reform_gap_ops is None else reform_gap_ops,
         "victims_killed": len(kill_list),
         "fragments_repaired": repaired,
-        "bytes_repaired": 0 if daemon is None else daemon.bytes_repaired,
-        "repair_throttle_s": 0.0 if daemon is None
-        else daemon.throttle_charged_s,
-        "probes": sum(entry["probes"] for entry
-                      in monitor_report["servers"].values()),
-        "health_transitions": len(monitor_report["transitions"]),
+        "bytes_repaired": sum(c.daemon.bytes_repaired for c in clients
+                              if c.daemon is not None),
+        "repair_throttle_s": sum(c.daemon.throttle_charged_s
+                                 for c in clients if c.daemon is not None),
+        "probes": sum(entry["probes"]
+                      for monitor_report in monitor_reports
+                      for entry in monitor_report["servers"].values()),
+        "health_transitions": sum(len(monitor_report["transitions"])
+                                  for monitor_report in monitor_reports),
     }
     return report
 

@@ -14,12 +14,14 @@ Two deployment styles share the same functional components:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.config import ClusterConfig
 from repro.log.config import LogConfig
+from repro.log.fragment import MAX_STRIPE_WIDTH
 from repro.log.layer import LogLayer
 from repro.log.stripe import StripeGroup
+from repro.placement import SequentialCheckingPlacement
 from repro.rpc.transport import LocalTransport, SimTransport
 from repro.server.config import ServerConfig
 from repro.server.server import StorageServer
@@ -67,27 +69,62 @@ class LocalCluster:
         """A stripe group over the given servers (default: all)."""
         return StripeGroup(tuple(server_ids or self.servers))
 
+    def fleet(self) -> Tuple[str, ...]:
+        """Every server of this cluster, in construction order."""
+        return tuple(self.servers)
+
+    def make_placement(self, stripe_width: int = 8,
+                       parity_fragments: int = 1,
+                       spare_servers: Sequence[str] = (),
+                       view_servers: Optional[Sequence[str]] = None,
+                       ) -> SequentialCheckingPlacement:
+        """A reallocation-free placement policy over the whole fleet.
+
+        Each client needs its *own* policy instance (policies carry
+        per-client view history); pass the result as ``group`` to
+        :meth:`make_log` / :meth:`make_stack`.
+        """
+        return SequentialCheckingPlacement(
+            self.fleet(), stripe_width=stripe_width,
+            parity_fragments=parity_fragments,
+            spare_servers=spare_servers, view_servers=view_servers)
+
+    def _default_group(self, config_overrides):
+        """Default placement: the all-servers stripe group, or — when
+        the fleet is wider than a stripe may be — a sequential-checking
+        policy over the whole fleet."""
+        if self.config.num_servers <= MAX_STRIPE_WIDTH:
+            return self.stripe_group()
+        return self.make_placement(
+            parity_fragments=config_overrides.get("parity_fragments", 1),
+            spare_servers=config_overrides.get("spare_servers", ()))
+
     def make_log(self, client_id: int,
-                 group: Optional[StripeGroup] = None,
+                 group=None,
                  retry_policy=None, verify_reads: bool = False,
                  **config_overrides) -> LogLayer:
         """A log layer for one client over this cluster.
 
-        ``retry_policy`` interposes a
+        ``group`` may be a :class:`StripeGroup` or any placement
+        policy; the default stripes over all servers (switching to a
+        :class:`SequentialCheckingPlacement` when the fleet exceeds
+        ``MAX_STRIPE_WIDTH``). ``retry_policy`` interposes a
         :class:`~repro.rpc.retry.RetryingTransport`; ``verify_reads``
         checks every fetched fragment's payload CRC and falls back to
         parity reconstruction on a mismatch. Extra keyword arguments
         (``parity_fragments``, ``coding``, ``spare_servers``, ...)
         pass straight through to :class:`LogConfig`.
         """
-        return LogLayer(self.transport, group or self.stripe_group(),
+        if group is None:
+            group = self._default_group(config_overrides)
+        return LogLayer(self.transport, group,
                         LogConfig(client_id=client_id,
                                   fragment_size=self.config.fragment_size,
                                   **config_overrides),
                         retry_policy=retry_policy, verify_reads=verify_reads)
 
     def make_stack(self, client_id: int,
-                   group: Optional[StripeGroup] = None,
+                   group=None,
                    retry_policy=None,
                    verify_reads: bool = False,
                    **config_overrides) -> ServiceStack:
@@ -153,8 +190,31 @@ class SimCluster:
         """A stripe group over the given servers (default: all)."""
         return StripeGroup(tuple(server_ids or self.server_nodes))
 
+    def fleet(self) -> Tuple[str, ...]:
+        """Every server of this testbed, in construction order."""
+        return tuple(self.server_nodes)
+
+    def make_placement(self, stripe_width: int = 8,
+                       parity_fragments: int = 1,
+                       spare_servers: Sequence[str] = (),
+                       view_servers: Optional[Sequence[str]] = None,
+                       ) -> SequentialCheckingPlacement:
+        """A reallocation-free placement policy over the whole fleet
+        (one instance per client — policies carry per-client history)."""
+        return SequentialCheckingPlacement(
+            self.fleet(), stripe_width=stripe_width,
+            parity_fragments=parity_fragments,
+            spare_servers=spare_servers, view_servers=view_servers)
+
+    def _default_group(self, config_overrides):
+        if self.config.num_servers <= MAX_STRIPE_WIDTH:
+            return self.stripe_group()
+        return self.make_placement(
+            parity_fragments=config_overrides.get("parity_fragments", 1),
+            spare_servers=config_overrides.get("spare_servers", ()))
+
     def make_log(self, client_index: int,
-                 group: Optional[StripeGroup] = None,
+                 group=None,
                  cost_hook: Optional[Callable[[str, int], None]] = None,
                  deferred_mode: bool = False,
                  retry_policy=None, verify_reads: bool = False,
@@ -162,11 +222,15 @@ class SimCluster:
         """A log layer for one simulated client.
 
         Extra keyword arguments (``parity_fragments``, ``coding``, ...)
-        pass straight through to :class:`LogConfig`.
+        pass straight through to :class:`LogConfig`. ``group`` accepts
+        a :class:`StripeGroup` or a placement policy; fleets wider than
+        ``MAX_STRIPE_WIDTH`` default to sequential-checking placement.
         """
         transport = self.make_transport(client_index, deferred_mode)
+        if group is None:
+            group = self._default_group(config_overrides)
         return LogLayer(
-            transport, group or self.stripe_group(),
+            transport, group,
             LogConfig(client_id=client_index + 1,
                       fragment_size=self.config.fragment_size,
                       max_outstanding_fragments=self.config.max_outstanding_fragments,

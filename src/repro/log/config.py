@@ -80,6 +80,12 @@ class LogConfig:
     """Erasure-coding engine: ``"xor"`` (single parity, the original
     byte-identical path) or ``"rs"`` (Reed-Solomon over GF(256), any
     ``parity_fragments``)."""
+    location_cache_entries: int = 0
+    """Size bound of the client's fragment-location cache (entries).
+    0 means unbounded (the original behavior). On a large fleet the
+    cache grows with every stripe ever written or located, so bounded
+    deployments evict least-recently-used placements; evicted entries
+    are re-learned through the broadcast ``holds`` query on demand."""
 
     def __post_init__(self) -> None:
         if self.client_id < 0:
@@ -94,6 +100,8 @@ class LogConfig:
             raise ConfigError("max_inflight_reads must be >= 1")
         if self.group_commit_bytes < 0:
             raise ConfigError("group_commit_bytes must be >= 0")
+        if self.location_cache_entries < 0:
+            raise ConfigError("location_cache_entries must be >= 0")
         if len(set(self.spare_servers)) != len(self.spare_servers):
             raise ConfigError("duplicate server in spare_servers")
         if not 0 <= self.parity_fragments < MAX_STRIPE_WIDTH:

@@ -49,7 +49,7 @@ from repro.log.records import (
     encode_record_payload_block,
 )
 from repro.log.coding import make_engine
-from repro.log.stripe import StripeGroup, StripeLayout
+from repro.log.stripe import StripeGroup
 from repro.rpc import messages as m
 from repro.util.idgen import IdGenerator
 
@@ -134,32 +134,37 @@ class FlushTicket:
 class LogLayer:
     """One client's striped log."""
 
-    def __init__(self, transport, group: StripeGroup, config: LogConfig,
+    def __init__(self, transport, group, config: LogConfig,
                  cost_hook: Optional[CostHook] = None,
                  locations: Optional[LocationCache] = None,
                  retry_policy=None, verify_reads: bool = False,
                  health_monitor=None) -> None:
         from repro.rpc.retry import wrap_transport
+        from repro.placement import as_placement
 
         transport = wrap_transport(transport, retry_policy,
                                    monitor=health_monitor)
         self.transport = transport
         self.verify_reads = verify_reads
-        self.group = group
         self.config = config
-        self.layout = StripeLayout(group, config.parity_fragments)
-        # The erasure-coding engine for this layout's effective parity
+        # ``group`` may be a StripeGroup (the original API, wrapped in a
+        # bit-identical StaticPlacement), a bare server sequence, or a
+        # ready-made PlacementPolicy (e.g. SequentialCheckingPlacement
+        # over a fleet far wider than any stripe).
+        self.placement = as_placement(group, config)
+        # The erasure-coding engine for the placement's effective parity
         # count (None when stripes carry no redundancy). Rebuilt on
-        # reform: a shrunken group may clamp the parity count.
+        # reform: a shrunken view may clamp the parity count.
         self._engine = make_engine(config.coding,
-                                   self.layout.parity_fragments)
+                                   self.placement.parity_fragments)
         self.cost_hook = cost_hook or (lambda kind, n: None)
         self._seq = IdGenerator(1)
         self._lsn = IdGenerator(1)
         # Stagger stripe rotation by client id so concurrent clients do
         # not advance across the stripe group in lockstep (which would
         # make every client hit the same server at the same moment).
-        self._stripe_number = config.client_id % max(1, group.size)
+        self._stripe_number = self.placement.initial_stripe_number(
+            config.client_id)
         # Fragments of the stripe currently being filled. The last entry
         # is the open builder; earlier entries are full but unsealed
         # (their stripe descriptor is patched at stripe close).
@@ -181,13 +186,13 @@ class LogLayer:
         # Fragment placements: shared with the reconstructor (and, when
         # the caller passes one in, with readers/recovery/fsck too).
         self.locations = locations if locations is not None else \
-            LocationCache(transport, config.principal)
+            LocationCache(transport, config.principal,
+                          max_entries=config.location_cache_entries)
         self._checkpoint_table: Dict[int, Tuple[BlockAddress, int]] = {}
         self._usage_listeners: List[UsageListener] = []
         # Self-healing: the failure detector pushes verdicts; a `dead`
         # member triggers an automatic reform onto a spare.
         self.monitor = health_monitor
-        self._spares_used: List[str] = []
         self.reforms: List[Dict[str, object]] = []
         if health_monitor is not None:
             health_monitor.on_transition(self._on_health_transition)
@@ -206,9 +211,35 @@ class LogLayer:
     # ------------------------------------------------------------------
 
     @property
+    def group(self):
+        """The servers the *next* stripe rotates over: the placement's
+        current view (a real :class:`StripeGroup` under static
+        placement, a :class:`~repro.placement.PlacementView` otherwise —
+        both expose ``.servers`` and ``.size``)."""
+        return self.placement.group
+
+    @property
+    def layout(self):
+        """Stripe-geometry interface (``width_for``,
+        ``max_data_fragments``, ``servers_for_stripe``, ...): the
+        placement policy itself. Kept as a property for the callers
+        that consumed the old ``StripeLayout`` attribute."""
+        return self.placement
+
+    @property
     def next_lsn(self) -> int:
         """LSN the next record will get."""
         return self._lsn.peek()
+
+    @property
+    def next_stripe_number(self) -> int:
+        """Stripe sequence number the next closed stripe will get.
+
+        With a sequential-checking placement this is the rotation
+        cursor into the current view: the next stripe lands on
+        ``placement.servers_for_stripe(next_stripe_number, width)``.
+        """
+        return self._stripe_number
 
     @property
     def checkpoint_table(self) -> Dict[int, Tuple[BlockAddress, int]]:
@@ -305,8 +336,9 @@ class LogLayer:
                 "failures_by_server": self.failures(),
                 "reforms": [dict(reform) for reform in self.reforms],
                 "group": list(self.group.servers),
-                "spares_remaining": [s for s in self.config.spare_servers
-                                     if s not in self._spares_used],
+                "spares_remaining": self.placement.spares_remaining(),
+                "placement": self.placement.describe(),
+                "locations": self.locations.stats(),
             },
         }
         transport_report = getattr(self.transport, "health_report", None)
@@ -635,23 +667,83 @@ class LogLayer:
     # Stripe-group reconfiguration
     # ------------------------------------------------------------------
 
-    def reform_group(self, group: StripeGroup) -> None:
-        """Switch to a new stripe group for all *future* stripes.
+    def reform_group(self, group) -> None:
+        """Switch to a new stripe group (view) for all *future* stripes.
 
         The escape hatch for a failed server: already-written stripes
         keep their embedded descriptors (reads reconstruct through
         parity); new stripes simply avoid the dead member. Buffered
         data is unaffected — only placement changes. Cached placements
         on departed servers are invalidated so reads stop trying them.
+
+        Accepts a :class:`StripeGroup` (the original API) or any server
+        sequence. Under a view-versioned policy the change is recorded
+        as a new epoch effective from the next stripe; under static
+        placement the rotation also restarts, exactly as before.
         """
-        departed = set(self.group.servers) - set(group.servers)
+        servers = (group.servers if isinstance(group, StripeGroup)
+                   else tuple(group))
+        departed = set(self.group.servers) - set(servers)
         for server_id in departed:
             self.locations.evict_server(server_id)
-        self.group = group
-        self.layout = StripeLayout(group, self.config.parity_fragments)
+        self.placement.change_view(servers, first_stripe=self._stripe_number)
+        self._after_view_change()
+
+    def grow_fleet(self, new_servers) -> None:
+        """Add servers to the placement view for all *future* stripes.
+
+        Reallocation-free scale-out: stripes already written (including
+        write-behind stripes still in flight) keep their placement —
+        only stripes closed after this call rotate over the grown view.
+        No data moves, no cache entries are invalidated.
+        """
+        current = self.group.servers
+        added = tuple(sid for sid in new_servers if sid not in current)
+        if not added:
+            return
+        self.placement.change_view(current + added,
+                                   first_stripe=self._stripe_number)
+        self._after_view_change()
+
+    def shrink_fleet(self, remove_servers) -> None:
+        """Remove servers from the placement view for future stripes.
+
+        The removed servers are assumed alive: stripes already written
+        there stay in place and stay readable (the view history still
+        resolves them), so nothing is evicted or repaired. Policies
+        refuse to shrink below what a stripe needs.
+        """
+        gone = set(remove_servers)
+        remaining = tuple(sid for sid in self.group.servers
+                          if sid not in gone)
+        self.placement.change_view(remaining,
+                                   first_stripe=self._stripe_number)
+        self._after_view_change()
+
+    def _after_view_change(self) -> None:
+        """Re-derive everything that depends on the current view."""
         self._engine = make_engine(self.config.coding,
-                                   self.layout.parity_fragments)
-        self._stripe_number = self.config.client_id % max(1, group.size)
+                                   self.placement.parity_fragments)
+        if self.placement.resets_rotation:
+            self._stripe_number = self.placement.initial_stripe_number(
+                self.config.client_id)
+        if self.placement.persist_views:
+            self._note_view_change()
+
+    def _note_view_change(self) -> None:
+        """Append a VIEW_CHANGE record carrying the full view history.
+
+        Always staged through the group-commit batch — never drained
+        here — because view changes can fire from inside a stripe close
+        (the failure detector's callback), where touching the builders
+        would re-enter the write path. The batch drains on the next
+        block append, flush, or checkpoint, preserving LSN order.
+        """
+        record = Record(self._lsn.next(), SERVICE_LOG_LAYER,
+                        RecordType.VIEW_CHANGE,
+                        self.placement.encode_views())
+        self._record_batch.append(record)
+        self._record_batch_bytes += len(record.encode())
 
     # ------------------------------------------------------------------
     # Auto-reform (failure-detector driven)
@@ -668,49 +760,36 @@ class LogLayer:
     def _reform_away_from(self, server_id: str) -> None:
         """Replace (or drop) a dead member for all future stripes.
 
-        Replacement is spare-aware: the first configured spare that is
-        not already in the group, not previously drafted, and not
-        itself under a bad verdict steps in at the dead member's
-        position. With no usable spare the group shrinks, never below
-        ``parity_fragments + 1`` servers (the minimum that still holds
-        one data member plus full parity) — then the verdict is
-        recorded but the group is kept (writes stay
+        Replacement is a *policy decision* (:meth:`PlacementPolicy
+        .plan_reform`): static placement drafts the first usable
+        configured spare; sequential placement may draft any fleet
+        member outside the view. With no usable candidate the view
+        shrinks, never below what a stripe needs — then the verdict is
+        recorded but the view is kept (writes stay
         degraded-but-recoverable rather than unprotected).
 
         Buffered data is unaffected either way: fragments of the stripe
         currently being filled pick their servers at stripe close, so
-        everything still in the builders flows to the new group.
+        everything still in the builders flows to the new view. Every
+        reform records the view epoch it produced.
         """
         if server_id not in self.group.servers:
             return
-        replacement = self._pick_spare()
-        if replacement is not None:
-            self._spares_used.append(replacement)
-            new_servers = tuple(replacement if sid == server_id else sid
-                                for sid in self.group.servers)
-        else:
-            new_servers = tuple(sid for sid in self.group.servers
-                                if sid != server_id)
-            if len(new_servers) < max(2, self.config.parity_fragments + 1):
-                self.reforms.append({"departed": server_id,
-                                     "replacement": None,
-                                     "kept_group": True,
-                                     "stripes_written": self.stripes_written})
-                return
-        self.reform_group(StripeGroup(new_servers))
+        new_servers, replacement, kept_group = self.placement.plan_reform(
+            server_id, monitor=self.monitor)
+        if kept_group:
+            self.reforms.append({"departed": server_id,
+                                 "replacement": None,
+                                 "kept_group": True,
+                                 "epoch": self.placement.view_epoch,
+                                 "stripes_written": self.stripes_written})
+            return
+        self.reform_group(new_servers)
         self.reforms.append({"departed": server_id,
                              "replacement": replacement,
                              "kept_group": False,
+                             "epoch": self.placement.view_epoch,
                              "stripes_written": self.stripes_written})
-
-    def _pick_spare(self) -> Optional[str]:
-        for spare in self.config.spare_servers:
-            if spare in self.group.servers or spare in self._spares_used:
-                continue
-            if self.monitor is not None and not self.monitor.is_usable(spare):
-                continue
-            return spare
-        return None
 
     # ------------------------------------------------------------------
     # Checkpoints
@@ -729,7 +808,11 @@ class LogLayer:
         # Reserve room for the checkpoint record *and* its table in the
         # same fragment, so the marked fragment is self-contained.
         self._drain_records()
+        view_payload = (self.placement.encode_views()
+                        if self.placement.persist_views else None)
         table_size_estimate = 64 + 40 * (len(self._checkpoint_table) + 1)
+        if view_payload is not None:
+            table_size_estimate += len(view_payload) + 96
         self._builder_with_room(len(state) + table_size_estimate + 96)
         record = Record(self._lsn.next(), service_id, RecordType.CHECKPOINT,
                         state)
@@ -742,6 +825,16 @@ class LogLayer:
         if table_addr.fid != addr.fid:
             raise LogError("checkpoint split across fragments (internal bug)")
         self._building[-1].marked = True
+        if view_payload is not None:
+            # Re-embed the full placement view history next to every
+            # checkpoint: rollforward starts at the newest checkpoint,
+            # and the cleaner may have reclaimed the stripes holding
+            # earlier VIEW_CHANGE records. Marked *before* this append:
+            # the history may spill to the next fragment when the
+            # marked one is nearly full — still within the rollforward
+            # scan, so still recovered.
+            self._append_record(Record(self._lsn.next(), SERVICE_LOG_LAYER,
+                                       RecordType.VIEW_CHANGE, view_payload))
         self.cost_hook("copy", len(state))
         return self.flush()
 
@@ -979,11 +1072,15 @@ class LogLayer:
 
     def adopt_recovered_state(self, highest_fid_seen: int, highest_lsn: int,
                               checkpoint_table: Dict[int, Tuple[BlockAddress, int]],
-                              ) -> None:
+                              view_payload: Optional[bytes] = None) -> None:
         """Fast-forward counters after log rollforward.
 
         Ensures newly allocated FIDs/LSNs never collide with what is
-        already durable in the log.
+        already durable in the log. ``view_payload`` is the newest
+        VIEW_CHANGE record found during rollforward (by LSN): adopting
+        it restores the placement view history — the crashed client's
+        epochs — so future stripes continue under the latest view and
+        past epochs stay resolvable.
         """
         self._seq.advance_past(fid_seq(highest_fid_seen))
         self._lsn.advance_past(highest_lsn)
@@ -991,3 +1088,14 @@ class LogLayer:
         # Stripe rotation continues from an estimate; exactness is not
         # required for correctness, only for balance.
         self._stripe_number = fid_seq(highest_fid_seen)
+        if view_payload:
+            from repro.placement import decode_views
+
+            self.placement.adopt_views(decode_views(view_payload))
+            newest = self.placement.views()[-1]
+            # Never rotate backwards into a stripe window governed by
+            # an older view than the newest epoch.
+            self._stripe_number = max(self._stripe_number,
+                                      newest.first_stripe)
+            self._engine = make_engine(self.config.coding,
+                                       self.placement.parity_fragments)

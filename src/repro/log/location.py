@@ -17,25 +17,37 @@ Invalidation: entries are dropped when a retrieve against the cached
 server fails (the placement is stale or the server is down), when a
 stripe is deleted, and when the client reforms its stripe group away
 from a departed server.
+
+Capacity: ``max_entries`` bounds the cache with least-recently-used
+eviction (reads and writes both refresh recency). On a large fleet the
+map otherwise grows with every stripe ever written or located — a real
+memory consumer at hundreds of servers — and an evicted placement is
+merely re-learned by the next broadcast, never a correctness issue.
+Bounded or not, the eviction order is deterministic, so chaos replays
+stay bit-identical.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence
 
 
 class LocationCache:
-    """fid → server-id map with batched broadcast fill."""
+    """fid → server-id map with batched broadcast fill and optional LRU."""
 
-    def __init__(self, transport, principal: str = "") -> None:
+    def __init__(self, transport, principal: str = "",
+                 max_entries: int = 0) -> None:
         self.transport = transport
         self.principal = principal
-        self._map: Dict[int, str] = {}
+        self.max_entries = int(max_entries or 0)
+        self._map: "OrderedDict[int, str]" = OrderedDict()
         # Statistics (read by the perf harness and tests).
         self.hits = 0
         self.misses = 0
         self.broadcasts = 0
         self.evictions = 0
+        self.lru_evictions = 0
 
     def __len__(self) -> int:
         return len(self._map)
@@ -43,15 +55,40 @@ class LocationCache:
     def __contains__(self, fid: int) -> bool:
         return fid in self._map
 
+    def stats(self) -> Dict[str, int]:
+        """One structured counter snapshot (``health_report`` feeds)."""
+        return {
+            "entries": len(self._map),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "broadcasts": self.broadcasts,
+            "evictions": self.evictions,
+            "lru_evictions": self.lru_evictions,
+        }
+
     # -- local (no network) --------------------------------------------------
+
+    def _insert(self, fid: int, server_id: str) -> None:
+        known = fid in self._map
+        self._map[fid] = server_id
+        if known:
+            self._map.move_to_end(fid)
+        elif self.max_entries and len(self._map) > self.max_entries:
+            while len(self._map) > self.max_entries:
+                self._map.popitem(last=False)
+                self.lru_evictions += 1
 
     def get(self, fid: int) -> Optional[str]:
         """Cached server for ``fid``; never touches the network."""
-        return self._map.get(fid)
+        server_id = self._map.get(fid)
+        if server_id is not None:
+            self._map.move_to_end(fid)
+        return server_id
 
     def record(self, fid: int, server_id: str) -> None:
         """Remember that ``server_id`` holds ``fid``."""
-        self._map[fid] = server_id
+        self._insert(fid, server_id)
 
     def learn(self, header) -> None:
         """Absorb a fragment header's whole stripe descriptor.
@@ -60,7 +97,7 @@ class LocationCache:
         so a single read can save ``width - 1`` future broadcasts.
         """
         for index, server_id in enumerate(header.servers):
-            self._map[header.stripe_base_fid + index] = server_id
+            self._insert(header.stripe_base_fid + index, server_id)
 
     def fids_on(self, server_id: str) -> List[int]:
         """Cached fids believed to live on ``server_id``, sorted.
@@ -125,7 +162,7 @@ class LocationCache:
         found: Dict[int, str] = {}
         missing = []
         for fid in fids:
-            server_id = self._map.get(fid)
+            server_id = self.get(fid)
             if server_id is None:
                 missing.append(fid)
             else:
@@ -136,6 +173,7 @@ class LocationCache:
             self.broadcasts += 1
             located = self.transport.broadcast_holds(
                 missing, on_unreachable=self.evict_server)
-            self._map.update(located)
+            for fid in sorted(located):
+                self._insert(fid, located[fid])
             found.update(located)
         return found

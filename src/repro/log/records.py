@@ -30,6 +30,7 @@ class RecordType(IntEnum):
     DELETE = 2            # log layer: a block was deleted
     CHECKPOINT = 3        # log layer: a service checkpoint payload
     CHECKPOINT_TABLE = 4  # log layer: latest checkpoint address per service
+    VIEW_CHANGE = 5       # log layer: full placement view history
     USER_BASE = 64        # first record type available to services
 
 

@@ -44,6 +44,11 @@ class RecoveredState:
     highest_lsn: int = 0
     checkpoint_table: Dict[int, Tuple[BlockAddress, int]] = field(
         default_factory=dict)
+    view_payload: Optional[bytes] = None
+    """Newest placement VIEW_CHANGE payload seen during rollforward
+    (full view history; ``None`` when the log predates view-versioned
+    placement or uses static placement)."""
+    view_lsn: int = 0
 
 
 def find_newest_marked_fid(transport, client_id: int,
@@ -163,6 +168,16 @@ def recover_service_state(transport, client_id: int, service_id: int,
                                  + fragment.header.stripe_width - 1)
         for record in fragment.records():
             result.highest_lsn = max(result.highest_lsn, record.lsn)
+            if (record.service_id == SERVICE_LOG_LAYER
+                    and record.rtype == RecordType.VIEW_CHANGE):
+                # Placement view history: adopted by the log layer,
+                # never replayed to services (captured before the LSN
+                # filter and before the cleaner's all-records branch —
+                # each payload is the full history, newest LSN wins).
+                if record.lsn > result.view_lsn:
+                    result.view_lsn = record.lsn
+                    result.view_payload = record.payload
+                continue
             if record.lsn <= result.checkpoint_lsn:
                 continue
             if record.rtype == RecordType.CHECKPOINT_TABLE:

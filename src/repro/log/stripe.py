@@ -151,7 +151,11 @@ class StripeGroup:
             raise ConfigError("stripe group needs at least one server")
         if len(self.servers) > MAX_STRIPE_WIDTH:
             raise ConfigError(
-                "stripe group exceeds MAX_STRIPE_WIDTH (%d)" % MAX_STRIPE_WIDTH)
+                "stripe group of %d servers exceeds MAX_STRIPE_WIDTH (%d), "
+                "the fragment header's per-stripe descriptor capacity; to "
+                "stripe over a larger fleet keep the stripe *width* within "
+                "the limit and use repro.placement.SequentialCheckingPlacement"
+                % (len(self.servers), MAX_STRIPE_WIDTH))
         if len(set(self.servers)) != len(self.servers):
             raise ConfigError("duplicate server in stripe group")
 

@@ -1,0 +1,27 @@
+"""Placement policies mapping stripes onto a (possibly huge) fleet.
+
+See :mod:`repro.placement.policy` for the model: a policy answers
+"which servers hold stripe *n*", a versioned view history makes fleet
+grow/shrink reallocation-free, and :class:`StaticPlacement` keeps every
+pre-policy config bit-identical.
+"""
+
+from repro.placement.policy import (
+    PlacementPolicy,
+    PlacementView,
+    SequentialCheckingPlacement,
+    StaticPlacement,
+    as_placement,
+    decode_views,
+    encode_views,
+)
+
+__all__ = [
+    "PlacementPolicy",
+    "PlacementView",
+    "SequentialCheckingPlacement",
+    "StaticPlacement",
+    "as_placement",
+    "decode_views",
+    "encode_views",
+]

@@ -1,0 +1,567 @@
+"""Placement policies: which servers hold which stripe.
+
+The original prototype striped every client over one static
+:class:`~repro.log.stripe.StripeGroup` chosen at config time, which caps
+a deployment at ``MAX_STRIPE_WIDTH`` servers. A *placement policy*
+separates the two sizes the group conflated:
+
+* the **stripe width** — fragments per stripe, a real on-disk limit
+  (fragment headers embed ``MAX_STRIPE_WIDTH`` server-name slots);
+* the **fleet size** — servers the client may place stripes on, which
+  has no such limit.
+
+Policies map a stripe (by its per-client stripe sequence number) onto
+servers. Two are provided:
+
+:class:`StaticPlacement`
+    The original behavior, bit for bit: one group, rotation
+    ``servers[(stripe_number + i) % size]``, rotation restarting on
+    reform. Every existing config builds this policy implicitly.
+
+:class:`SequentialCheckingPlacement`
+    Reallocation-free scale-out in the style of the Sequential
+    Checking data-distribution scheme: the fleet is presented to the
+    striper through a *view* (an ordered subset of servers), and every
+    view change — grow, shrink, reform away from a dead member — is
+    recorded in a **view history keyed by stripe sequence number**.
+    Stripe ``n`` is governed by the newest view whose ``first_stripe``
+    does not exceed ``n``, so a view change only affects stripes written
+    *after* it: growing 16 -> 64 servers moves zero pre-existing
+    fragments. The history is tiny (one entry per epoch), is persisted
+    in VIEW_CHANGE log records and re-embedded in every checkpoint, and
+    is recovered by rollforward — so a restarting client resolves
+    stripes written under any past epoch.
+
+Resolution of *reads* never needs the policy at all: every fragment
+header embeds its stripe's full server list, and the broadcast ``holds``
+query locates anything else — exactly why view changes are free of data
+movement.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.log.fragment import MAX_STRIPE_WIDTH
+from repro.log.stripe import StripeGroup, StripeLayout
+from repro.util.packing import pack_bytes, unpack_bytes
+
+
+@dataclass(frozen=True)
+class PlacementView:
+    """One epoch of a policy's view history.
+
+    ``first_stripe`` is the stripe sequence number from which this view
+    governs placement; the view stays in force until a later view's
+    ``first_stripe``. Epochs are strictly increasing across changes.
+    """
+
+    epoch: int
+    first_stripe: int
+    servers: Tuple[str, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of servers in the view."""
+        return len(self.servers)
+
+    @property
+    def supports_parity(self) -> bool:
+        """Parity requires at least two servers (one data + one parity)."""
+        return self.size >= 2
+
+
+# ---------------------------------------------------------------------------
+# View-history serialization (VIEW_CHANGE record / checkpoint payload)
+# ---------------------------------------------------------------------------
+
+_VIEW_HEAD = struct.Struct(">IQH")
+
+
+def encode_views(views: Sequence[PlacementView]) -> bytes:
+    """Serialize a whole view history.
+
+    Always the *full* history, never a delta: the newest VIEW_CHANGE
+    record by LSN wins wholesale during recovery, which keeps the
+    history recoverable even after the cleaner reclaims the stripes
+    holding earlier records (every checkpoint re-embeds it).
+    """
+    out = [struct.pack(">I", len(views))]
+    for view in views:
+        out.append(_VIEW_HEAD.pack(view.epoch, view.first_stripe,
+                                   len(view.servers)))
+        for name in view.servers:
+            out.append(pack_bytes(name.encode("utf-8")))
+    return b"".join(out)
+
+
+def decode_views(payload: bytes) -> List[PlacementView]:
+    """Inverse of :func:`encode_views`."""
+    (count,) = struct.unpack_from(">I", payload, 0)
+    pos = 4
+    views: List[PlacementView] = []
+    for _ in range(count):
+        epoch, first_stripe, nservers = _VIEW_HEAD.unpack_from(payload, pos)
+        pos += _VIEW_HEAD.size
+        servers = []
+        for _ in range(nservers):
+            raw, pos = unpack_bytes(payload, pos)
+            servers.append(raw.decode("utf-8"))
+        views.append(PlacementView(epoch, first_stripe, tuple(servers)))
+    return views
+
+
+class PlacementPolicy:
+    """Interface every placement policy implements.
+
+    The log layer asks the policy four kinds of questions:
+
+    * stripe geometry — :meth:`width_for`, :meth:`max_data_fragments`,
+      :meth:`parity_index`, :attr:`parity_fragments`;
+    * placement — :meth:`servers_for_stripe`,
+      :meth:`initial_stripe_number`;
+    * membership changes — :meth:`change_view` (manual reform, grow,
+      shrink) and :meth:`plan_reform` (spare selection when the failure
+      detector declares a member dead);
+    * introspection/persistence — :attr:`group`, :meth:`views`,
+      :meth:`encode_views` / :meth:`adopt_views`, :meth:`describe`.
+
+    ``persist_views`` controls whether the log layer writes VIEW_CHANGE
+    records (False for :class:`StaticPlacement`, whose on-disk output
+    must stay bit-identical to the pre-policy code); ``resets_rotation``
+    controls whether the stripe rotation restarts after a view change
+    (True only for static, again for bit-compatibility).
+    """
+
+    kind = "abstract"
+    persist_views = False
+    resets_rotation = False
+
+    def __init__(self) -> None:
+        self._views: List[PlacementView] = []
+        self.spare_servers: Tuple[str, ...] = ()
+        self.spares_used: List[str] = []
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def parity_fragments(self) -> int:
+        """Effective parity members per stripe (clamped)."""
+        raise NotImplementedError
+
+    def width_for(self, data_fragments: int) -> int:
+        """Total stripe width for ``data_fragments`` data members."""
+        raise NotImplementedError
+
+    def max_data_fragments(self) -> int:
+        """Most data fragments a full-width stripe can carry."""
+        raise NotImplementedError
+
+    def parity_index(self, width: int) -> int:
+        """Stripe index of the first parity member."""
+        return width - self.parity_fragments
+
+    # -- placement -----------------------------------------------------------
+
+    def servers_for_stripe(self, stripe_number: int,
+                           width: int) -> Tuple[str, ...]:
+        """Server names, in stripe-index order, for one stripe."""
+        raise NotImplementedError
+
+    def initial_stripe_number(self, client_id: int) -> int:
+        """Where this client's stripe rotation starts.
+
+        Staggered by client id so concurrent clients do not advance
+        across the servers in lockstep.
+        """
+        return client_id % max(1, len(self.current_servers()))
+
+    # -- views ---------------------------------------------------------------
+
+    def current_servers(self) -> Tuple[str, ...]:
+        """Servers of the newest view (where the *next* stripe lands)."""
+        return self._views[-1].servers
+
+    def fleet(self) -> Tuple[str, ...]:
+        """Every server this policy knows about (view + standbys)."""
+        extra = tuple(s for s in self.spare_servers
+                      if s not in self.current_servers())
+        return self.current_servers() + extra
+
+    @property
+    def group(self):
+        """The current view, shaped like a stripe group (``.servers``,
+        ``.size``). Static placement returns its real
+        :class:`StripeGroup`."""
+        return self._views[-1]
+
+    @property
+    def view_epoch(self) -> int:
+        """Epoch of the newest view (0 until the first change)."""
+        return self._views[-1].epoch
+
+    def views(self) -> Tuple[PlacementView, ...]:
+        """The whole view history, oldest first."""
+        return tuple(self._views)
+
+    def view_for_stripe(self, stripe_number: int) -> PlacementView:
+        """The view governing ``stripe_number``: the newest view whose
+        ``first_stripe`` does not exceed it — the *sequential check*
+        that names the scheme."""
+        governing = self._views[0]
+        for view in self._views:
+            if view.first_stripe <= stripe_number:
+                governing = view
+            else:
+                break
+        return governing
+
+    def change_view(self, servers: Sequence[str],
+                    first_stripe: int = 0) -> PlacementView:
+        """Install a new view effective from stripe ``first_stripe``."""
+        raise NotImplementedError
+
+    # -- failure handling ----------------------------------------------------
+
+    def plan_reform(self, dead_server: str, monitor=None,
+                    ) -> Tuple[Optional[Tuple[str, ...]], Optional[str], bool]:
+        """Decide how to reform away from a dead member.
+
+        Returns ``(new_servers, replacement, kept_group)``:
+        ``new_servers`` is the successor view (None when the view must
+        be kept), ``replacement`` the drafted standby (None when the
+        view shrinks), ``kept_group`` True when no safe successor
+        exists and the current view is retained.
+        """
+        raise NotImplementedError
+
+    def _pick_replacement(self, candidates: Sequence[str],
+                          monitor=None) -> Optional[str]:
+        current = set(self.current_servers())
+        for candidate in candidates:
+            if candidate in current or candidate in self.spares_used:
+                continue
+            if monitor is not None and not monitor.is_usable(candidate):
+                continue
+            return candidate
+        return None
+
+    def spares_remaining(self) -> List[str]:
+        """Configured standbys not yet drafted."""
+        return [s for s in self.spare_servers if s not in self.spares_used]
+
+    # -- persistence ---------------------------------------------------------
+
+    def encode_views(self) -> bytes:
+        """The view history as a VIEW_CHANGE record payload."""
+        return encode_views(self._views)
+
+    def adopt_views(self, views: Sequence[PlacementView]) -> bool:
+        """Replace the history with one recovered from the log.
+
+        The recovered history wins wholesale when it is at least as new
+        (by epoch) as what this policy already holds — the caller hands
+        in the newest VIEW_CHANGE payload by LSN, so this makes a fresh
+        client converge on exactly the epochs the crashed client wrote.
+        Returns whether the handed-in history was adopted.
+        """
+        views = list(views)
+        if not views:
+            return False
+        if self._views and views[-1].epoch < self._views[-1].epoch:
+            return False
+        self._views = views
+        return True
+
+    def describe(self) -> Dict[str, object]:
+        """One structured snapshot for ``health_report()`` and tests."""
+        return {
+            "policy": self.kind,
+            "epoch": self.view_epoch,
+            "views": len(self._views),
+            "view_size": len(self.current_servers()),
+            "fleet_size": len(self.fleet()),
+        }
+
+
+class StaticPlacement(PlacementPolicy):
+    """The original single-group placement, bit-identical.
+
+    Delegates all geometry and rotation to :class:`StripeLayout`, so
+    stripe ``k`` still lands on ``servers[(k + i) % size]`` and the
+    on-disk output of every existing config is unchanged. View changes
+    replace the whole group and restart the rotation (what
+    ``reform_group`` always did); the view history exists only for
+    introspection and is never persisted.
+    """
+
+    kind = "static"
+    persist_views = False
+    resets_rotation = True
+
+    def __init__(self, group: StripeGroup, parity_fragments: int = 1,
+                 spare_servers: Sequence[str] = ()) -> None:
+        super().__init__()
+        if not isinstance(group, StripeGroup):
+            group = StripeGroup(tuple(group))
+        # The *configured* parity count survives reforms: a shrunken
+        # group may clamp it, a later larger group un-clamps it.
+        self._configured_parity = parity_fragments
+        self.layout = StripeLayout(group, parity_fragments)
+        self.spare_servers = tuple(spare_servers)
+        self._views = [PlacementView(0, 0, group.servers)]
+
+    # -- geometry (delegated) ------------------------------------------------
+
+    @property
+    def parity_fragments(self) -> int:
+        return self.layout.parity_fragments
+
+    def width_for(self, data_fragments: int) -> int:
+        return self.layout.width_for(data_fragments)
+
+    def max_data_fragments(self) -> int:
+        return self.layout.max_data_fragments()
+
+    def parity_index(self, width: int) -> int:
+        return self.layout.parity_index(width)
+
+    def servers_for_stripe(self, stripe_number: int,
+                           width: int) -> Tuple[str, ...]:
+        return self.layout.servers_for_stripe(stripe_number, width)
+
+    @property
+    def group(self) -> StripeGroup:
+        return self.layout.group
+
+    def change_view(self, servers: Sequence[str],
+                    first_stripe: int = 0) -> PlacementView:
+        group = StripeGroup(tuple(servers))
+        self.layout = StripeLayout(group, self._configured_parity)
+        view = PlacementView(self._views[-1].epoch + 1, first_stripe,
+                             group.servers)
+        self._views.append(view)
+        return view
+
+    def plan_reform(self, dead_server: str, monitor=None,
+                    ) -> Tuple[Optional[Tuple[str, ...]], Optional[str], bool]:
+        replacement = self._pick_replacement(self.spare_servers, monitor)
+        if replacement is not None:
+            self.spares_used.append(replacement)
+            return (tuple(replacement if sid == dead_server else sid
+                          for sid in self.current_servers()),
+                    replacement, False)
+        new_servers = tuple(sid for sid in self.current_servers()
+                            if sid != dead_server)
+        # Never below one data member plus full *configured* parity:
+        # writes stay degraded-but-recoverable rather than unprotected.
+        if len(new_servers) < max(2, self._configured_parity + 1):
+            return None, None, True
+        return new_servers, None, False
+
+    def describe(self) -> Dict[str, object]:
+        doc = super().describe()
+        doc["stripe_width"] = self.layout.group.size
+        return doc
+
+
+class SequentialCheckingPlacement(PlacementPolicy):
+    """Reallocation-free placement over a large fleet.
+
+    Parameters
+    ----------
+    fleet:
+        Every server this client may ever place stripes on. Size is
+        unbounded — the per-stripe width limit does not apply to it.
+    stripe_width:
+        Fragments per stripe (``k + m``); must not exceed
+        ``MAX_STRIPE_WIDTH`` (the fragment header's descriptor
+        capacity) nor the view size.
+    parity_fragments:
+        Parity members ``m`` per stripe; clamped to ``stripe_width - 1``
+        so every stripe keeps a data member.
+    spare_servers:
+        Preferred standbys for :meth:`plan_reform`; after these, any
+        fleet member outside the current view may be drafted.
+    view_servers:
+        The initial view (defaults to the fleet minus the spares).
+
+    Stripe ``n`` rotates over its governing view exactly the way
+    :class:`StripeLayout` rotates over a group —
+    ``view.servers[(n + i) % view_size]`` — so growing the view only
+    *appends* servers and leaves every already-written stripe's
+    placement untouched: zero data movement on scale-out.
+    """
+
+    kind = "sequential"
+    persist_views = True
+    resets_rotation = False
+
+    def __init__(self, fleet: Sequence[str], stripe_width: int = 8,
+                 parity_fragments: int = 1,
+                 spare_servers: Sequence[str] = (),
+                 view_servers: Optional[Sequence[str]] = None) -> None:
+        super().__init__()
+        fleet = tuple(fleet)
+        if not fleet:
+            raise ConfigError("placement fleet needs at least one server")
+        if len(set(fleet)) != len(fleet):
+            raise ConfigError("duplicate server in placement fleet")
+        self.spare_servers = tuple(spare_servers)
+        if view_servers is not None:
+            view = tuple(view_servers)
+        else:
+            held_out = set(self.spare_servers)
+            view = tuple(sid for sid in fleet if sid not in held_out)
+        if not view:
+            raise ConfigError("placement view needs at least one server")
+        if len(set(view)) != len(view):
+            raise ConfigError("duplicate server in placement view")
+        if stripe_width < 1:
+            raise ConfigError("stripe_width must be >= 1")
+        if stripe_width > MAX_STRIPE_WIDTH:
+            raise ConfigError(
+                "stripe_width %d exceeds MAX_STRIPE_WIDTH (%d); the width "
+                "is the per-stripe fragment count — an on-disk limit of the "
+                "fragment header — and is independent of the fleet size: a "
+                "256-server fleet still stripes at most %d fragments wide"
+                % (stripe_width, MAX_STRIPE_WIDTH, MAX_STRIPE_WIDTH))
+        if stripe_width > len(view):
+            raise ConfigError(
+                "stripe_width %d exceeds the view of %d servers: every "
+                "stripe member must land on a distinct server"
+                % (stripe_width, len(view)))
+        if parity_fragments < 0:
+            raise ConfigError("parity_fragments must be >= 0")
+        self.stripe_width = stripe_width
+        self._parity = min(parity_fragments, stripe_width - 1)
+        self._known = set(fleet) | set(view) | set(self.spare_servers)
+        self._fleet = list(fleet)
+        for sid in view + self.spare_servers:
+            if sid not in fleet:
+                self._fleet.append(sid)
+        self._views = [PlacementView(0, 0, view)]
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def parity_fragments(self) -> int:
+        return self._parity
+
+    def width_for(self, data_fragments: int) -> int:
+        if data_fragments < 1:
+            raise ValueError("a stripe needs at least one data fragment")
+        return data_fragments + self._parity
+
+    def max_data_fragments(self) -> int:
+        return max(1, self.stripe_width - self._parity)
+
+    def servers_for_stripe(self, stripe_number: int,
+                           width: int) -> Tuple[str, ...]:
+        view = self.view_for_stripe(stripe_number)
+        size = view.size
+        if width > size:
+            raise ValueError("stripe wider than its placement view")
+        return tuple(view.servers[(stripe_number + i) % size]
+                     for i in range(width))
+
+    def fleet(self) -> Tuple[str, ...]:
+        return tuple(self._fleet)
+
+    # -- view changes --------------------------------------------------------
+
+    def change_view(self, servers: Sequence[str],
+                    first_stripe: int = 0) -> PlacementView:
+        """Install a new view effective from stripe ``first_stripe``.
+
+        Two changes inside the same stripe window (no stripe closed in
+        between) collapse into one history entry — the newer server set
+        wins — but still consume an epoch each, so every reform is
+        observable. History must advance by stripe number; shrinking
+        the view below the stripe width is refused (a stripe's members
+        must land on distinct servers).
+        """
+        servers = tuple(servers)
+        if len(set(servers)) != len(servers):
+            raise ConfigError("duplicate server in placement view")
+        if len(servers) < self.stripe_width:
+            raise ConfigError(
+                "view of %d servers cannot hold width-%d stripes (k+m=%d): "
+                "refusing to shrink below the stripe width"
+                % (len(servers), self.stripe_width, self.stripe_width))
+        for sid in servers:
+            if sid not in self._known:
+                self._known.add(sid)
+                self._fleet.append(sid)
+        last = self._views[-1]
+        if first_stripe < last.first_stripe:
+            raise ConfigError("view history must advance by stripe number")
+        view = PlacementView(last.epoch + 1, first_stripe, servers)
+        if first_stripe == last.first_stripe:
+            self._views[-1] = view
+        else:
+            self._views.append(view)
+        return view
+
+    def grow(self, new_servers: Sequence[str],
+             first_stripe: int) -> PlacementView:
+        """Append servers to the view (absorbing them into the fleet)."""
+        current = self.current_servers()
+        added = tuple(sid for sid in new_servers if sid not in current)
+        return self.change_view(current + added, first_stripe)
+
+    def shrink(self, remove_servers: Sequence[str],
+               first_stripe: int) -> PlacementView:
+        """Drop servers from the view (future stripes avoid them; their
+        already-written stripes stay where they are and stay readable)."""
+        gone = set(remove_servers)
+        return self.change_view(
+            tuple(sid for sid in self.current_servers() if sid not in gone),
+            first_stripe)
+
+    def plan_reform(self, dead_server: str, monitor=None,
+                    ) -> Tuple[Optional[Tuple[str, ...]], Optional[str], bool]:
+        """Spare selection over the whole fleet.
+
+        Preference order: the configured spares first, then any fleet
+        member outside the current view. With no usable candidate the
+        view shrinks — unless that would drop it below the stripe
+        width, in which case the view is kept (degraded writes beat a
+        stripe that cannot place its members on distinct servers).
+        """
+        candidates = tuple(self.spare_servers) + tuple(self._fleet)
+        replacement = self._pick_replacement(candidates, monitor)
+        if replacement is not None:
+            self.spares_used.append(replacement)
+            return (tuple(replacement if sid == dead_server else sid
+                          for sid in self.current_servers()),
+                    replacement, False)
+        remaining = tuple(sid for sid in self.current_servers()
+                          if sid != dead_server)
+        if len(remaining) < self.stripe_width:
+            return None, None, True
+        return remaining, None, False
+
+    def describe(self) -> Dict[str, object]:
+        doc = super().describe()
+        doc["stripe_width"] = self.stripe_width
+        return doc
+
+
+def as_placement(group, config) -> PlacementPolicy:
+    """Coerce the log layer's ``group`` argument into a policy.
+
+    Accepts a ready-made :class:`PlacementPolicy`, a
+    :class:`StripeGroup` (the original API — wrapped in a
+    :class:`StaticPlacement` built from the config's parity and spares,
+    preserving behavior bit for bit), or a bare server sequence.
+    """
+    if isinstance(group, PlacementPolicy):
+        return group
+    if not isinstance(group, StripeGroup):
+        group = StripeGroup(tuple(group))
+    return StaticPlacement(group, config.parity_fragments,
+                           config.spare_servers)

@@ -215,6 +215,8 @@ class ServiceStack:
         highest_fid = 0
         highest_lsn = 0
         table = {}
+        view_payload = None
+        view_lsn = 0
         for service in self.layers:
             recovered = recover_service_state(
                 transport, client_id, service.service_id,
@@ -230,4 +232,9 @@ class ServiceStack:
             highest_lsn = max(highest_lsn, recovered.highest_lsn)
             if recovered.checkpoint_table:
                 table = recovered.checkpoint_table
-        self.log.adopt_recovered_state(highest_fid, highest_lsn, table)
+            if (recovered.view_payload is not None
+                    and recovered.view_lsn > view_lsn):
+                view_lsn = recovered.view_lsn
+                view_payload = recovered.view_payload
+        self.log.adopt_recovered_state(highest_fid, highest_lsn, table,
+                                       view_payload=view_payload)

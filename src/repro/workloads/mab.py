@@ -242,10 +242,15 @@ class _Ext2Driver(_MabDriver):
 
 def run_mab_on_sting(costs: MabCosts = MabCosts(),
                      tree: Optional[SyntheticTree] = None,
-                     servers: int = 1) -> MabResult:
-    """Run MAB on Sting (paper configuration: 1 client, 1 server)."""
+                     servers: int = 1, clients: int = 1) -> MabResult:
+    """Run MAB on Sting (paper configuration: 1 client, 1 server).
+
+    ``clients`` sizes the simulated testbed (extra client machines on
+    the switch); the benchmark workload itself still runs on client 0.
+    """
     tree = tree or make_andrew_tree()
-    cluster = SimCluster(ClusterConfig(num_servers=servers, num_clients=1))
+    cluster = SimCluster(ClusterConfig(num_servers=servers,
+                                       num_clients=clients))
     driver = _StingDriver(costs, tree, cluster)
     driver.run()
     io = driver.io_seconds()

@@ -17,7 +17,9 @@ from repro.bench.regression import (
 
 def metrics(append=200.0, ratio=2.4, overlap=0.5, seq_read=3.3,
             cleaning=300.0, read_overlap=0.5, rs_encode=270.0,
-            degraded=2.9, scan_rpcs=11, scan_bytes=160000):
+            degraded=2.9, scan_rpcs=11, scan_bytes=160000,
+            efficiency=0.95, client_overlap=0.4,
+            view_rpcs=2, view_bytes=2200):
     return {
         "log_append_mb_s": append,
         "reconstruct_latency": {"ratio": ratio},
@@ -32,6 +34,15 @@ def metrics(append=200.0, ratio=2.4, overlap=0.5, seq_read=3.3,
                     "degraded_read_ratio": degraded},
         "opcounts": {"sequential_scan": {"rpcs": scan_rpcs,
                                          "bytes": scan_bytes}},
+        "placement": {"stripe_width": 8,
+                      "scaling": [
+                          {"servers": 16, "append_mb_s": 4.6},
+                          {"servers": 64, "append_mb_s": 4.6 * efficiency},
+                          {"servers": 256, "append_mb_s": 4.6}],
+                      "scaling_efficiency_64": efficiency,
+                      "multi_client_overlap_ratio": client_overlap,
+                      "view_change_rpcs": view_rpcs,
+                      "view_change_bytes": view_bytes},
     }
 
 
@@ -115,6 +126,27 @@ class TestCompare:
         assert any("erasure.rs_encode_mb_s" in p for p in problems)
         assert any("erasure.degraded_read_ratio" in p for p in problems)
 
+    def test_scaling_efficiency_regression_fails(self):
+        fresh = metrics(efficiency=0.95 * 0.70)
+        problems = compare(metrics(), fresh, tolerance=0.15)
+        assert len(problems) == 1
+        assert "placement.scaling_efficiency_64" in problems[0]
+
+    def test_scaling_efficiency_drift_within_tolerance_passes(self):
+        fresh = metrics(efficiency=0.95 * 0.90)
+        assert compare(metrics(), fresh, tolerance=0.15) == []
+
+    def test_client_overlap_must_stay_below_one(self):
+        problems = compare(metrics(), metrics(client_overlap=1.05))
+        assert len(problems) == 1
+        assert "multi_client_overlap_ratio" in problems[0]
+
+    def test_missing_baseline_placement_is_a_problem(self):
+        baseline = metrics()
+        del baseline["placement"]
+        problems = compare(baseline, metrics())
+        assert any("placement.scaling_efficiency_64" in p for p in problems)
+
 
 class TestCompareOpcounts:
     def test_identical_counts_pass(self):
@@ -138,6 +170,26 @@ class TestCompareOpcounts:
     def test_missing_baseline_counts_flagged(self):
         problems = compare_opcounts({}, metrics())
         assert problems and "opcounts" in problems[0]
+
+    def test_view_change_rpc_growth_fails(self):
+        fresh = metrics(view_rpcs=3)  # 2 -> 3: a grow got chattier
+        problems = compare_opcounts(metrics(), fresh, tolerance=0.02)
+        assert len(problems) == 1
+        assert "placement.view_change_rpcs" in problems[0]
+
+    def test_view_change_byte_growth_fails(self):
+        fresh = metrics(view_bytes=4400)
+        problems = compare_opcounts(metrics(), fresh, tolerance=0.02)
+        assert problems and "placement.view_change_bytes" in problems[0]
+
+    def test_view_change_identical_passes(self):
+        assert compare_opcounts(metrics(), metrics(), tolerance=0.0) == []
+
+    def test_missing_baseline_placement_flagged(self):
+        baseline = metrics()
+        del baseline["placement"]
+        problems = compare_opcounts(baseline, metrics())
+        assert problems and "placement" in problems[0]
 
 
 class TestToleranceResolution:
