@@ -14,10 +14,10 @@ Usage::
     python -m repro.bench.perf --smoke    # seconds-long sanity run (CI)
     python -m repro.bench.perf --out x.json
 
-Output schema (``schema_version`` 6)::
+Output schema (``schema_version`` 7)::
 
     {
-      "schema_version": 5,
+      "schema_version": 7,
       "smoke": bool,
       "config": {"fragment_size": int, "num_servers": int, ...},
       "metrics": {
@@ -72,6 +72,14 @@ Output schema (``schema_version`` 6)::
           "view_change_rpcs": int,       # store RPCs a 16->64 grow
           "view_change_bytes": int       # costs: the whole data-
                                          # movement bill (deterministic)
+        },
+        "crash": {                       # crash-recovery cost
+          "sweep_points": int,           # instrumented crash points (>= 8)
+          "recovery_short_blocks": int,  # blocks in the short log
+          "recovery_long_blocks": int,   # blocks in the long log (4x)
+          "recovery_short_ms": float,    # fresh-client recovery, short
+          "recovery_long_ms": float,     # fresh-client recovery, long
+          "recovery_mb_s": float         # rolled-forward MB/s, long log
         }
       }
     }
@@ -119,6 +127,14 @@ win of those four clients against the same work run serially, and the
 deterministic opcount bill of a 16 → 64 view change — which is the
 *entire* data-movement cost, because no pre-existing stripe moves.
 
+``crash`` tracks crash recovery — the flip side of the chaos crash
+sweep (``python -m repro.chaos --crash-sweep``), which proves recovery
+*correct* from every instrumented crash point while this section keeps
+it *cheap*: wall-clock time for a fresh client to recover the service
+stack from the servers alone, measured at two log lengths so the cost
+visibly tracks the un-checkpointed suffix. ``sweep_points`` pins the
+size of the crash-point registry (the sweep's coverage floor).
+
 ``validate_bench_schema`` checks exactly this shape (no external JSON
 schema dependency), and CI runs it against the smoke output.
 """
@@ -130,6 +146,7 @@ import sys
 import time
 from typing import Dict, List
 
+from repro.chaos.crashpoints import CRASH_POINTS
 from repro.cluster import ClusterConfig, SimCluster, build_local_cluster
 from repro.cluster.client import SimClientDriver
 from repro.log.address import make_fid
@@ -147,7 +164,7 @@ from repro.server.server import StorageServer
 from repro.services.cleaner import CleanerService
 from repro.services.logical_disk import LogicalDiskService
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 REQUIRED_METRICS = (
     "log_append_mb_s",
@@ -206,6 +223,15 @@ PLACEMENT_KEYS = (
 )
 
 PLACEMENT_FLEETS = (16, 64, 256)
+
+CRASH_KEYS = (
+    "sweep_points",
+    "recovery_short_blocks",
+    "recovery_long_blocks",
+    "recovery_short_ms",
+    "recovery_long_ms",
+    "recovery_mb_s",
+)
 
 
 class _CountingTransport(LocalTransport):
@@ -777,6 +803,54 @@ def bench_broadcast_holds(num_servers: int = 8,
     }
 
 
+def bench_crash(num_servers: int = 4, fragment_size: int = 1 << 16,
+                block_size: int = 4096,
+                short_blocks: int = 64, scale: int = 4) -> Dict[str, float]:
+    """Crash-recovery cost: fresh-client rollforward time vs log length.
+
+    Writes ``short_blocks`` blocks (and then ``scale``× as many)
+    through a real client, then wall-clocks a *fresh* client rebuilding
+    the whole service stack from the servers alone — checkpoint
+    discovery, checkpoint load, and rollforward of every record past
+    the checkpoint. Recovery is the paper's crash story ("reading its
+    most recent checkpoint and rolling the log forward"), so its cost
+    must grow with the un-checkpointed log suffix, not with anything
+    else; the short/long pair makes that visible. ``sweep_points`` is
+    the size of the instrumented crash-point registry the chaos sweep
+    (``python -m repro.chaos --crash-sweep``) enumerates.
+    """
+    def recovery_ms(blocks: int) -> float:
+        cluster = build_local_cluster(num_servers=num_servers,
+                                      fragment_size=fragment_size,
+                                      server_slots=8192)
+        stack = cluster.make_stack(client_id=1)
+        disk = stack.push(LogicalDiskService(17))
+        payload = b"\x42" * block_size
+        for block_no in range(blocks):
+            disk.write(block_no, payload)
+        stack.flush().wait()
+        fresh = cluster.make_stack(client_id=1)
+        fresh_disk = fresh.push(LogicalDiskService(17))
+        start = time.perf_counter()
+        fresh.recover_all()
+        elapsed = time.perf_counter() - start
+        assert len(fresh_disk.block_numbers()) == blocks
+        return elapsed * 1e3
+
+    long_blocks = short_blocks * scale
+    short_ms = recovery_ms(short_blocks)
+    long_ms = recovery_ms(long_blocks)
+    return {
+        "sweep_points": len(CRASH_POINTS),
+        "recovery_short_blocks": short_blocks,
+        "recovery_long_blocks": long_blocks,
+        "recovery_short_ms": round(short_ms, 3),
+        "recovery_long_ms": round(long_ms, 3),
+        "recovery_mb_s": round(
+            long_blocks * block_size / (long_ms / 1e3) / 1e6, 3),
+    }
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -816,6 +890,7 @@ def run_all(smoke: bool = False) -> Dict:
         fragment_size=1 << 18 if smoke else 1 << 20,
         repeats=4 if smoke else 16)
     metrics["placement"] = bench_placement(smoke=smoke)
+    metrics["crash"] = bench_crash(short_blocks=32 if smoke else 64)
     return {
         "schema_version": SCHEMA_VERSION,
         "smoke": smoke,
@@ -953,6 +1028,28 @@ def validate_bench_schema(doc: Dict) -> None:
             "placement.multi_client_overlap_ratio must be < 1.0 "
             "(concurrent clients must beat serial rounds): %r"
             % placement["multi_client_overlap_ratio"])
+    crash = metrics.get("crash")
+    if not isinstance(crash, dict):
+        raise ValueError("metric 'crash' must be an object")
+    for key in CRASH_KEYS:
+        value = crash.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(
+                "crash.%s missing or non-numeric: %r" % (key, value))
+        if value <= 0:
+            raise ValueError(
+                "crash.%s must be positive: %r" % (key, value))
+    for key in ("sweep_points", "recovery_short_blocks",
+                "recovery_long_blocks"):
+        if not isinstance(crash[key], int):
+            raise ValueError("crash.%s must be an integer" % key)
+    if crash["sweep_points"] < 8:
+        raise ValueError(
+            "crash.sweep_points must be >= 8 (the sweep's coverage "
+            "floor): %r" % crash["sweep_points"])
+    if crash["recovery_long_blocks"] <= crash["recovery_short_blocks"]:
+        raise ValueError(
+            "crash.recovery_long_blocks must exceed recovery_short_blocks")
 
 
 def main(argv=None) -> int:
@@ -996,6 +1093,9 @@ def main(argv=None) -> int:
     for key in ("scaling_efficiency_64", "multi_client_overlap_ratio",
                 "view_change_rpcs", "view_change_bytes"):
         print("%-26s %s" % ("placement." + key, placement[key]))
+    crash = doc["metrics"]["crash"]
+    for key in CRASH_KEYS:
+        print("%-26s %s" % ("crash." + key, crash[key]))
     print("wrote %s" % out)
     return 0
 

@@ -34,7 +34,12 @@ repository's ``BENCH_PERF.json``:
 * ``placement.view_change_rpcs`` / ``placement.view_change_bytes`` are
   held to the same tight opcount tolerance: growing the fleet is a
   metadata-only log record, and any growth in its cost means view
-  changes started moving data.
+  changes started moving data;
+* ``crash.sweep_points`` may never shrink below the baseline (or the
+  documented floor of 8) — fewer instrumented crash points means the
+  chaos sweep silently covers fewer kill boundaries — and
+  ``crash.recovery_mb_s`` (fresh-client rollforward throughput) may
+  not drop more than the tolerance below baseline.
 
 The tolerance defaults to 15% and is widened via the
 ``PERF_REGRESSION_TOLERANCE`` environment variable (CI machines are
@@ -52,6 +57,7 @@ from typing import Dict, List
 
 from repro.bench.perf import (
     bench_cleaning,
+    bench_crash,
     bench_erasure,
     bench_log_append,
     bench_opcounts,
@@ -100,6 +106,7 @@ def measure_fresh(smoke: bool = False) -> Dict:
             fragment_size=(1 << 18) if smoke else (1 << 20),
             repeats=4 if smoke else 16),
         "placement": bench_placement(smoke=smoke),
+        "crash": bench_crash(short_blocks=32 if smoke else 64),
     }
 
 
@@ -211,6 +218,35 @@ def compare(baseline: Dict, fresh: Dict,
             "placement.multi_client_overlap_ratio is %.3f — concurrent "
             "clients no longer beat the same work run serially"
             % client_overlap)
+
+    base_crash = baseline.get("crash") or {}
+    fresh_crash = fresh["crash"]
+    base_points = base_crash.get("sweep_points")
+    if not isinstance(base_points, int) or base_points <= 0:
+        problems.append("baseline crash.sweep_points missing or "
+                        "non-positive (regenerate BENCH_PERF.json)")
+    elif fresh_crash["sweep_points"] < base_points:
+        problems.append(
+            "crash.sweep_points shrank: %d -> %d — the crash-point "
+            "registry lost instrumented points, so the sweep covers "
+            "fewer kill boundaries"
+            % (base_points, fresh_crash["sweep_points"]))
+    if fresh_crash["sweep_points"] < 8:
+        problems.append(
+            "crash.sweep_points is %d — below the sweep's documented "
+            "coverage floor of 8" % fresh_crash["sweep_points"])
+    base_recovery = base_crash.get("recovery_mb_s")
+    if not isinstance(base_recovery, (int, float)) or base_recovery <= 0:
+        problems.append("baseline crash.recovery_mb_s missing or "
+                        "non-positive")
+    elif fresh_crash["recovery_mb_s"] < base_recovery * (1.0 - tolerance):
+        problems.append(
+            "crash.recovery_mb_s regressed: %.1f -> %.1f MB/s (%.0f%% "
+            "below baseline, tolerance %.0f%%) — rollforward after a "
+            "crash got slower"
+            % (base_recovery, fresh_crash["recovery_mb_s"],
+               100.0 * (1.0 - fresh_crash["recovery_mb_s"] / base_recovery),
+               100.0 * tolerance))
 
     return problems
 

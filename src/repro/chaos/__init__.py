@@ -13,12 +13,23 @@ Replaying the same seed replays the identical fault schedule, so a
 failure found in CI is reproduced locally with one number.
 """
 
+from repro.chaos.crashpoints import CRASH_POINTS, ClientCrash, CrashInjector
 from repro.chaos.plan import DEFAULT_SPEC, FaultEvent, FaultPlan, FaultSpec
 from repro.chaos.transport import FaultyTransport
-from repro.chaos.runner import ChaosReport, generate_ops, run_chaos
+from repro.chaos.runner import (
+    ChaosReport,
+    CrashSweepReport,
+    generate_ops,
+    run_chaos,
+    run_crash_sweep,
+)
 
 __all__ = [
+    "CRASH_POINTS",
     "ChaosReport",
+    "ClientCrash",
+    "CrashInjector",
+    "CrashSweepReport",
     "DEFAULT_SPEC",
     "FaultEvent",
     "FaultPlan",
@@ -26,4 +37,5 @@ __all__ = [
     "FaultyTransport",
     "generate_ops",
     "run_chaos",
+    "run_crash_sweep",
 ]

@@ -13,13 +13,16 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.chaos.crashpoints import CRASH_POINTS
 from repro.chaos.runner import (
     generate_ops,
     replay_check,
     replay_cleaner_check,
+    replay_crash_sweep,
     replay_kill_check,
     run_chaos,
     run_cleaner_churn,
+    run_crash_sweep,
     run_kill_server,
 )
 
@@ -56,6 +59,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "workload with periodic cleaning passes under "
                              "wire faults; require zero data loss across "
                              "the cleaner's batched moves")
+    parser.add_argument("--crash-sweep", action="store_true",
+                        help="client-kill sweep: run a scripted write-path "
+                             "episode, kill the client at every instrumented "
+                             "crash point in turn, and require recovery to "
+                             "satisfy the durability oracle each time")
+    parser.add_argument("--crash-point", default=None, metavar="NAME",
+                        choices=list(CRASH_POINTS),
+                        help="restrict --crash-sweep to one named crash "
+                             "point (one of: %s)" % ", ".join(CRASH_POINTS))
+    parser.add_argument("--occurrence", type=int, default=None, metavar="K",
+                        help="with --crash-point, arm exactly the K-th hit "
+                             "of that point (the single-triple replay knob)")
+    parser.add_argument("--restart", action="store_true",
+                        help="with --kill-server: bring the victims back "
+                             "with their pre-crash state after repair; "
+                             "require probation-path readmission and stale "
+                             "copies losing to checksum verification")
     parser.add_argument("--replay", action="store_true",
                         help="run twice and verify the schedule replays "
                              "identically")
@@ -63,11 +83,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.victims != 1 and not args.kill_server:
         parser.error("--victims only applies to --kill-server")
+    if args.restart and not args.kill_server:
+        parser.error("--restart only applies to --kill-server")
+    if (args.crash_point or args.occurrence) and not args.crash_sweep:
+        parser.error("--crash-point/--occurrence only apply to --crash-sweep")
+    if args.occurrence is not None and args.crash_point is None:
+        parser.error("--occurrence requires --crash-point")
+    if args.occurrence is not None and args.occurrence < 1:
+        parser.error("--occurrence must be >= 1")
     if args.clients < 1:
         parser.error("--clients must be >= 1")
-    if args.clients != 1 and args.cleaner:
-        parser.error("--cleaner is a single-client scenario")
-    if args.kill_server:
+    if args.clients != 1 and (args.cleaner or args.crash_sweep):
+        parser.error("--cleaner and --crash-sweep are single-client "
+                     "scenarios")
+    if args.crash_sweep:
+        n_ops = args.ops if args.ops is not None else 36
+        servers = args.servers if args.servers is not None else 6
+        run_one, run_two = run_crash_sweep, replay_crash_sweep
+    elif args.kill_server:
         n_ops = args.ops if args.ops is not None else 64
         # Default server count is scenario-derived (5 for one victim,
         # enough group + spares for more); an explicit --servers wins.
@@ -82,14 +115,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         servers = args.servers if args.servers is not None else 4
         run_one, run_two = run_chaos, replay_check
 
-    # The cleaner scenario churns a small block space so early stripes
-    # actually die; the other scenarios use the default spread.
-    max_blocks = 12 if args.cleaner else 24
+    # The cleaner and crash-sweep scenarios churn a small block space so
+    # early stripes actually die; the others use the default spread.
+    max_blocks = 12 if (args.cleaner or args.crash_sweep) else 24
     ops = generate_ops(args.seed, n_ops=n_ops, max_blocks=max_blocks)
     kwargs = {"ops": ops, "num_servers": servers}
     if args.kill_server:
         kwargs["victims"] = args.victims
-    if not args.cleaner:
+        kwargs["restart"] = args.restart
+    if args.crash_sweep:
+        kwargs["point"] = args.crash_point
+        kwargs["occurrence"] = args.occurrence
+    elif not args.cleaner:
         kwargs["num_clients"] = args.clients
     if args.replay:
         first, second, identical = run_two(args.seed, **kwargs)

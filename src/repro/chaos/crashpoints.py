@@ -1,0 +1,134 @@
+"""Named crash points and a deterministic client-crash injector.
+
+The chaos engine so far kills *servers* and perturbs the *wire*; every
+client it builds runs to completion and recovery is always exercised at
+a quiet moment.  This module instruments the client write path itself
+with a registry of named **crash points** — the instants the paper's
+durability argument (§2.1.3) actually has to survive: mid-seal,
+mid-scatter, between a store landing and the client accounting it,
+between the checkpoint record and the checkpoint-table record, between
+the cleaner's re-append and its delete fence.
+
+A :class:`CrashInjector` is armed with a ``(point, occurrence)`` pair
+and raises :class:`ClientCrash` at exactly the k-th hit of that point.
+Unarmed, it runs in *census* mode: it counts hits without raising, so a
+sweep can first learn how many opportunities each point offers and then
+enumerate every one.  Both modes observe identical traffic — the hook
+sites fire unconditionally once an injector is attached — so a census
+run and an armed run of the same workload agree on hit numbering.
+
+``ClientCrash`` deliberately subclasses :class:`BaseException`: the
+write path catches ``SwarmError`` (and occasionally ``Exception``) in
+several places to keep degraded runs alive, and a simulated crash must
+never be swallowed by that machinery — a real ``kill -9`` isn't.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "CRASH_POINTS",
+    "ClientCrash",
+    "CrashInjector",
+]
+
+
+#: Every named crash point, in write-path order.  The sweep requires at
+#: least eight; keep this tuple in sync with the hook sites in
+#: ``log/layer.py`` and ``services/cleaner.py``.
+CRASH_POINTS: Tuple[str, ...] = (
+    # LogLayer._close_stripe: after the stripe is sealed (builders and
+    # parity images exist only in memory) but before any store leaves.
+    "stripe_seal",
+    # LogLayer._close_stripe: before each individual fragment store in
+    # the scatter.  Crashing at hit k leaves the first k-1 members of
+    # the dispatch order durable and everything after torn off.
+    "scatter_dispatch",
+    # LogLayer._close_stripe: before dispatching a store whose fragment
+    # carries the MARKED flag — the checkpoint-discovery anchor.
+    "marked_fragment_store",
+    # LogLayer._close_stripe: every store dispatched, none yet
+    # accounted — the stripe is durable but the client dies believing
+    # nothing was acked.
+    "post_store_pre_ack",
+    # LogLayer._drain_records: a non-empty group-commit batch is about
+    # to be folded into fragments; crashing here drops the whole batch.
+    "group_commit_flush",
+    # LogLayer.checkpoint: the CHECKPOINT record is appended and the
+    # in-memory table updated, but the CHECKPOINT_TABLE record that
+    # makes it discoverable has not been written yet.
+    "checkpoint_table_append",
+    # LogLayer: a VIEW_CHANGE record is about to be staged or re-embedded
+    # (placement view history must survive losing it).
+    "view_change_append",
+    # CleanerService._clean_batch: live blocks harvested, about to be
+    # re-appended to the log head.
+    "cleaner_reappend",
+    # CleanerService._clean_batch: re-appends flushed durable, but the
+    # doomed originals have not been deleted — both copies coexist and
+    # rollforward must not be confused by the duplicates.
+    "cleaner_fence",
+)
+
+
+class ClientCrash(BaseException):
+    """Simulated process death at a named crash point.
+
+    BaseException on purpose: recovery code that swallows ``SwarmError``
+    (or even ``Exception``) to survive degraded reads must not be able
+    to "survive" its own process dying.
+    """
+
+    def __init__(self, point: str, occurrence: int) -> None:
+        super().__init__("client crashed at %s (occurrence %d)"
+                         % (point, occurrence))
+        self.point = point
+        self.occurrence = occurrence
+
+
+class CrashInjector:
+    """Counts crash-point hits; armed, dies at the k-th hit of one point.
+
+    Parameters
+    ----------
+    point:
+        The crash point to arm, or ``None`` for census mode (count
+        everything, never raise).
+    occurrence:
+        1-based hit index at which to raise.  ``occurrence=3`` means the
+        third time the armed point is reached.
+    """
+
+    def __init__(self, point: Optional[str] = None,
+                 occurrence: int = 1) -> None:
+        if point is not None and point not in CRASH_POINTS:
+            raise ValueError("unknown crash point: %r" % (point,))
+        if occurrence < 1:
+            raise ValueError("occurrence is 1-based, got %d" % occurrence)
+        self.point = point
+        self.occurrence = occurrence
+        self.hits: Dict[str, int] = {}
+        self.trace: List[Tuple[str, int]] = []
+        """Every ``(point, hit_index)`` in arrival order."""
+        self.crashed_at: Optional[Tuple[str, int]] = None
+
+    @property
+    def armed(self) -> bool:
+        return self.point is not None
+
+    def hit(self, point: str) -> None:
+        """Record one arrival at ``point``; raise if this is the armed hit."""
+        if point not in CRASH_POINTS:
+            raise ValueError("unknown crash point: %r" % (point,))
+        count = self.hits.get(point, 0) + 1
+        self.hits[point] = count
+        self.trace.append((point, count))
+        if (self.point == point and count == self.occurrence
+                and self.crashed_at is None):
+            self.crashed_at = (point, count)
+            raise ClientCrash(point, count)
+
+    def census(self) -> Dict[str, int]:
+        """Hit totals for every registered point (0 for never-reached)."""
+        return {point: self.hits.get(point, 0) for point in CRASH_POINTS}

@@ -138,7 +138,7 @@ class LogLayer:
                  cost_hook: Optional[CostHook] = None,
                  locations: Optional[LocationCache] = None,
                  retry_policy=None, verify_reads: bool = False,
-                 health_monitor=None) -> None:
+                 health_monitor=None, crash_injector=None) -> None:
         from repro.rpc.retry import wrap_transport
         from repro.placement import as_placement
 
@@ -147,6 +147,10 @@ class LogLayer:
         self.transport = transport
         self.verify_reads = verify_reads
         self.config = config
+        # Deterministic crash injection (chaos crash-point sweep). With
+        # an injector attached every named crash point in the write path
+        # fires through it; unarmed it only counts hits.
+        self.crash_injector = crash_injector
         # ``group`` may be a StripeGroup (the original API, wrapped in a
         # bit-identical StaticPlacement), a bare server sequence, or a
         # ready-made PlacementPolicy (e.g. SequentialCheckingPlacement
@@ -275,6 +279,16 @@ class LogLayer:
     def known_location(self, fid: int) -> Optional[str]:
         """Server believed to hold ``fid`` (no network traffic)."""
         return self.locations.get(fid)
+
+    def crash_point(self, point: str) -> None:
+        """Fire a named crash point (no-op without an injector).
+
+        Hook sites sit at the durability boundaries of the write path;
+        an armed :class:`~repro.chaos.crashpoints.CrashInjector` raises
+        ``ClientCrash`` here to simulate the client dying mid-flight.
+        """
+        if self.crash_injector is not None:
+            self.crash_injector.hit(point)
 
     def _count_failure(self, server_id: str, kind: str) -> None:
         per_kind = self._failures_by_server.setdefault(
@@ -455,6 +469,7 @@ class LogLayer:
         records would otherwise pay one by one."""
         if not self._record_batch:
             return
+        self.crash_point("group_commit_flush")
         batch, self._record_batch = self._record_batch, []
         self._record_batch_bytes = 0
         self.group_commit_batches += 1
@@ -574,6 +589,9 @@ class LogLayer:
                     parity_index=parity_index)
                 fragments.append(parity)
                 images.append(parity.encode())
+        # Everything below the seal is durability-critical: the stripe
+        # exists only in client memory until the stores land.
+        self.crash_point("stripe_seal")
         if self.config.preallocate_stripes:
             self._preallocate(fragments, servers)
         self._make_room()
@@ -590,7 +608,21 @@ class LogLayer:
                 principal=self.config.principal, marked=marked,
                 acl_ranges=acl_ranges)))
             self.raw_bytes_written += len(image)
-        if self.config.pipeline_stores and len(plan) > 1:
+        if self.crash_injector is not None:
+            # Under crash injection the stores dispatch one by one, in
+            # stripe order, with a crash point before each: dying at the
+            # k-th hit leaves exactly the first k-1 members durable — a
+            # clean torn tail, the shape rollforward and fsck must
+            # handle. Census and armed runs both take this path, so hit
+            # numbering is identical between them.
+            futures = []
+            for server_id, request in plan:
+                if request.marked:
+                    self.crash_point("marked_fragment_store")
+                self.crash_point("scatter_dispatch")
+                futures.append(self.transport.submit(server_id, request))
+            self.crash_point("post_store_pre_ack")
+        elif self.config.pipeline_stores and len(plan) > 1:
             futures = self.transport.submit_many(plan)
         else:
             futures = [self.transport.submit(server_id, request)
@@ -739,6 +771,7 @@ class LogLayer:
         would re-enter the write path. The batch drains on the next
         block append, flush, or checkpoint, preserving LSN order.
         """
+        self.crash_point("view_change_append")
         record = Record(self._lsn.next(), SERVICE_LOG_LAYER,
                         RecordType.VIEW_CHANGE,
                         self.placement.encode_views())
@@ -818,6 +851,10 @@ class LogLayer:
                         state)
         addr = self._append_record(record)
         self._checkpoint_table[service_id] = (addr, record.lsn)
+        # The CHECKPOINT record exists (in memory) but the table record
+        # that makes it discoverable does not — a client dying here must
+        # recover from the *previous* checkpoint generation.
+        self.crash_point("checkpoint_table_append")
         table_record = Record(self._lsn.next(), SERVICE_LOG_LAYER,
                               RecordType.CHECKPOINT_TABLE,
                               encode_checkpoint_table(self._checkpoint_table))
@@ -833,6 +870,7 @@ class LogLayer:
             # the history may spill to the next fragment when the
             # marked one is nearly full — still within the rollforward
             # scan, so still recovered.
+            self.crash_point("view_change_append")
             self._append_record(Record(self._lsn.next(), SERVICE_LOG_LAYER,
                                        RecordType.VIEW_CHANGE, view_payload))
         self.cost_hook("copy", len(state))

@@ -132,7 +132,23 @@ class LogReader:
                 image = self.reconstructor.fetch(fid)
             except ReconstructionError:
                 return None
-        fragment = Fragment.decode(image)
+            fragment = Fragment.decode(image)
+        else:
+            try:
+                fragment = Fragment.decode(image)
+            except CorruptFragmentError:
+                # Unverified fetch of an undecodable image — e.g. a torn
+                # store a restarted server still serves. Treat it like a
+                # corrupt verified read: forget the placement and rebuild
+                # the true image from the stripe's parity. Skip
+                # ``fetch``'s direct-retrieve retry — a broadcast would
+                # just find the same corrupt copy again.
+                self.locator.forget(fid)
+                try:
+                    image = self.reconstructor.reconstruct(fid)
+                except ReconstructionError:
+                    return None
+                fragment = Fragment.decode(image)
         self.locator.learn(fragment)
         return fragment
 

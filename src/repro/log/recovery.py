@@ -61,18 +61,31 @@ def find_newest_marked_fid(transport, client_id: int,
     Unreachable servers are simply skipped; the marked fragment is
     replicated into the stripe like everything else, so any survivor
     that stored it can answer.
+
+    If *no* server answers at all, raises :class:`SwarmError`: a total
+    partition is indistinguishable from "no checkpoint exists", and
+    silently returning 0 would make recovery replay from FID 1 — an
+    empty (cleaned) head reading as an empty log, i.e. quiet data loss.
     """
     request = m.LastMarkedRequest(client_id=client_id, principal=principal)
+    server_ids = list(transport.server_ids())
     futures = scatter_call(
         transport,
-        [(server_id, request) for server_id in transport.server_ids()])
+        [(server_id, request) for server_id in server_ids])
     newest = 0
+    answered = 0
     for future in futures:
         if not future.ok:
             if not isinstance(future.exception, SwarmError):
                 raise future.exception
             continue
+        answered += 1
         newest = max(newest, future.value.value)
+    if server_ids and not answered:
+        raise SwarmError(
+            "checkpoint discovery failed: none of %d servers answered the "
+            "last-marked query for client %d (total partition?)"
+            % (len(server_ids), client_id))
     return newest
 
 
@@ -141,14 +154,30 @@ def recover_service_state(transport, client_id: int, service_id: int,
         table = load_checkpoint_table(reader, marked_fid)
         entry = table.get(service_id)
         if entry is not None:
-            addr, checkpoint_lsn = entry
+            addr, lsn = entry
             fragment = reader.read_fragment(addr.fid)
+            record = None
             if fragment is not None:
-                record, _end = Record.decode(
-                    fragment.encode(), addr.offset)
+                try:
+                    record, _end = Record.decode(fragment.encode(),
+                                                 addr.offset)
+                except Exception:
+                    record = None
+            if (record is not None
+                    and record.rtype == RecordType.CHECKPOINT
+                    and record.service_id == service_id):
                 checkpoint_state = record.payload
-            start_fid = addr.fid
-        else:
+                checkpoint_lsn = lsn
+                start_fid = addr.fid
+            else:
+                # The table names a checkpoint that cannot be read back
+                # (its fragment lost or torn, or the offset does not
+                # decode to this service's CHECKPOINT). Trusting the
+                # LSN without the state would skip every record up to
+                # it — silent data loss. Forget the entry and fall
+                # through to the no-checkpoint full scan below.
+                entry = None
+        if entry is None:
             # Service never checkpointed. Scan from the log head; if the
             # cleaner already reclaimed early stripes (it demands
             # checkpoints and eventually cleans past laggards — the
@@ -198,4 +227,14 @@ def recover_service_state(transport, client_id: int, service_id: int,
             elif record_concerns_service(record, service_id):
                 result.records.append(record)
     result.records.sort(key=lambda record: record.lsn)
+    # Defensive dedupe: a cleaner that died between re-appending live
+    # blocks and deleting their originals (or a duplicated store on the
+    # wire) can leave the same record durable in two fragments. Replay
+    # must apply each LSN exactly once.
+    deduped: List[Record] = []
+    for record in result.records:
+        if deduped and deduped[-1].lsn == record.lsn:
+            continue
+        deduped.append(record)
+    result.records = deduped
     return result

@@ -308,6 +308,9 @@ class CleanerService(Service):
                       for _usage, targets in harvests
                       for addr, _owner, _info in targets]
         images = log.read_ranges(all_ranges)
+        # Crash boundary: live blocks harvested, nothing re-appended yet.
+        # Dying here loses only this pass's work — originals are intact.
+        log.crash_point("cleaner_reappend")
         moved = 0
         notifications: List[Tuple[int, BlockAddress, BlockAddress, bytes]] = []
         cleanable: List[StripeUsage] = []
@@ -328,6 +331,12 @@ class CleanerService(Service):
         # same write-behind pipeline as ordinary appends.
         if notifications:
             log.flush().wait()
+        # Crash boundary: the copies are durable but the doomed
+        # originals still exist — a client dying here leaves duplicate
+        # copies of every moved block, which rollforward must tolerate
+        # (the re-append CREATEs carry newer LSNs, so replay converges
+        # on the new copies).
+        log.crash_point("cleaner_fence")
         for owner, old_addr, new_addr, create_info in notifications:
             self.stack.notify_block_moved(owner, old_addr, new_addr,
                                           create_info)

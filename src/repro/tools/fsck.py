@@ -26,7 +26,14 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import SwarmError
 from repro.log.coding import engine_for_stripe
-from repro.log.fragment import Fragment, FragmentHeader, NO_PARITY
+from repro.log.fragment import (
+    Fragment,
+    FragmentBuilder,
+    FragmentHeader,
+    HEADER_SIZE,
+    NO_PARITY,
+    make_parity_fragment,
+)
 from repro.log.location import LocationCache
 from repro.log.reconstruct import Reconstructor
 from repro.rpc import messages as m
@@ -48,15 +55,26 @@ class StripeFinding:
     """Parity members this stripe carries (``m`` of its k-of-n code);
     bounds how many bad members stay recoverable. 0 for
     replication-free stripes, whose every loss is final."""
+    torn_tail: bool = False
+    """The present members form an exact prefix of the stripe (all of
+    them intact) and everything after — more than parity could rebuild —
+    is missing: the signature of a client that died mid-scatter. The
+    landed prefix is a consistent log tail (stores dispatch in stripe
+    order), so the stripe is *torn*, not lost: nothing in the missing
+    suffix was ever durable, and repair can complete the stripe with
+    empty sealed members plus recomputed parity."""
 
     @property
     def status(self) -> str:
-        """``healthy`` / ``degraded`` (recoverable) / ``lost``."""
+        """``healthy`` / ``degraded`` (recoverable) / ``torn`` /
+        ``lost``."""
         bad = len(self.missing) + len(self.corrupt)
         if bad == 0 and self.parity_valid is not False:
             return "healthy"
         if self.parity_count and bad <= self.parity_count:
             return "degraded"
+        if self.torn_tail:
+            return "torn"
         return "lost"
 
 
@@ -73,6 +91,13 @@ class FsckReport:
         """True when every stripe is fully intact."""
         return all(s.status == "healthy" for s in self.stripes)
 
+    @property
+    def repairable(self) -> bool:
+        """True when every stripe is healthy, degraded, or torn —
+        i.e. :func:`repair_client_log` can return the log to full
+        health without losing anything that was ever durable."""
+        return all(s.status != "lost" for s in self.stripes)
+
     def by_status(self, status: str) -> List[StripeFinding]:
         """Stripes with the given status."""
         return [s for s in self.stripes if s.status == status]
@@ -80,10 +105,11 @@ class FsckReport:
     def summary(self) -> str:
         """One-line human summary."""
         return ("client %d: %d fragments, %d stripes "
-                "(%d healthy, %d degraded, %d lost)"
+                "(%d healthy, %d degraded, %d torn, %d lost)"
                 % (self.client_id, self.fragments_checked,
                    len(self.stripes), len(self.by_status("healthy")),
                    len(self.by_status("degraded")),
+                   len(self.by_status("torn")),
                    len(self.by_status("lost"))))
 
 
@@ -184,6 +210,15 @@ def check_client_log(transport, client_id: int,
                 bytes(Fragment.decode(member_images[ndata + slot]).payload)
                 == expected[slot]
                 for slot in range(nparity))
+        if finding.missing and not finding.corrupt:
+            # Torn-tail signature: intact prefix, missing suffix. Stores
+            # dispatch in stripe order, so a client dying mid-scatter
+            # leaves exactly this shape — the suffix was never durable.
+            npresent = len(finding.present)
+            prefix = [base + off for off in range(npresent)]
+            suffix = [base + off for off in range(npresent, width)]
+            finding.torn_tail = (finding.present == prefix
+                                 and finding.missing == suffix)
         report.stripes.append(finding)
     return report
 
@@ -240,4 +275,70 @@ def repair_client_log(transport, client_id: int,
             # and records the new placement in the shared cache.
             rebuilder.rebuild_to_server(fid, targets[position % len(targets)])
             restored += 1
+    for finding in report.by_status("torn"):
+        restored += _complete_torn_stripe(transport, finding, locations,
+                                          principal)
     return restored
+
+
+def _complete_torn_stripe(transport, finding: StripeFinding,
+                          locations: LocationCache,
+                          principal: str) -> int:
+    """Seal-complete a torn-tail stripe back to full health.
+
+    The missing suffix was never durable (stores dispatch in stripe
+    order), so nothing is reconstructed: each missing *data* slot gets
+    an empty sealed fragment carrying the stripe's own descriptor, and
+    each parity slot is recomputed over the real prefix plus those
+    empties. Returns the number of fragments stored; a store failure
+    leaves the stripe torn (never half-wrong — parity goes last, and
+    readers treat a missing member as torn exactly as before).
+    """
+    held = {fid: locations.get(fid) for fid in finding.present}
+    images = _fetch_all(transport,
+                        {fid: sid for fid, sid in held.items()
+                         if sid is not None}, principal)
+    if sorted(images) != finding.present:
+        return 0  # a prefix member vanished since the scan; re-run fsck
+    sample = Fragment.decode(images[finding.present[0]]).header
+    base, width = finding.base_fid, finding.width
+    servers = sample.servers
+    parity_index = sample.parity_index
+    ndata = width if parity_index == NO_PARITY else parity_index
+    if len(servers) < width:
+        return 0  # descriptor predates full-width server lists
+    data_images: List[bytes] = []
+    fills: List[Tuple[int, bytes]] = []  # (fid, image) to store, in order
+    for offset in range(ndata):
+        fid = base + offset
+        if fid in images:
+            data_images.append(images[fid])
+            continue
+        builder = FragmentBuilder(fid, sample.client_id, HEADER_SIZE + 1)
+        fragment = builder.seal(base, width, offset, parity_index, servers)
+        image = fragment.encode()
+        data_images.append(image)
+        fills.append((fid, image))
+    if parity_index != NO_PARITY:
+        engine = engine_for_stripe(width, ndata)
+        payloads = engine.encode(data_images)
+        for slot, payload in enumerate(payloads):
+            fid = base + ndata + slot
+            if fid in images:
+                continue
+            parity = make_parity_fragment(
+                fid, sample.client_id, data_images, base, width,
+                ndata + slot, servers, payload=payload,
+                parity_index=parity_index)
+            fills.append((fid, parity.encode()))
+    stored = 0
+    for fid, image in fills:
+        server_id = servers[fid - base]
+        try:
+            transport.call(server_id, m.StoreRequest(
+                fid=fid, data=image, principal=principal))
+        except SwarmError:
+            return stored
+        locations.record(fid, server_id)
+        stored += 1
+    return stored

@@ -19,7 +19,8 @@ def metrics(append=200.0, ratio=2.4, overlap=0.5, seq_read=3.3,
             cleaning=300.0, read_overlap=0.5, rs_encode=270.0,
             degraded=2.9, scan_rpcs=11, scan_bytes=160000,
             efficiency=0.95, client_overlap=0.4,
-            view_rpcs=2, view_bytes=2200):
+            view_rpcs=2, view_bytes=2200,
+            sweep_points=9, recovery=180.0):
     return {
         "log_append_mb_s": append,
         "reconstruct_latency": {"ratio": ratio},
@@ -43,6 +44,12 @@ def metrics(append=200.0, ratio=2.4, overlap=0.5, seq_read=3.3,
                       "multi_client_overlap_ratio": client_overlap,
                       "view_change_rpcs": view_rpcs,
                       "view_change_bytes": view_bytes},
+        "crash": {"sweep_points": sweep_points,
+                  "recovery_short_blocks": 64,
+                  "recovery_long_blocks": 256,
+                  "recovery_short_ms": 1.2,
+                  "recovery_long_ms": 5.7,
+                  "recovery_mb_s": recovery},
     }
 
 
@@ -146,6 +153,34 @@ class TestCompare:
         del baseline["placement"]
         problems = compare(baseline, metrics())
         assert any("placement.scaling_efficiency_64" in p for p in problems)
+
+    def test_shrinking_sweep_points_fails(self):
+        problems = compare(metrics(sweep_points=9),
+                           metrics(sweep_points=8))
+        assert len(problems) == 1
+        assert "crash.sweep_points shrank" in problems[0]
+
+    def test_sweep_points_below_floor_fails(self):
+        problems = compare(metrics(sweep_points=7),
+                           metrics(sweep_points=7))
+        assert any("coverage floor of 8" in p for p in problems)
+
+    def test_recovery_throughput_regression_fails(self):
+        fresh = metrics(recovery=180.0 * 0.70)
+        problems = compare(metrics(), fresh, tolerance=0.15)
+        assert len(problems) == 1
+        assert "crash.recovery_mb_s" in problems[0]
+
+    def test_recovery_drift_within_tolerance_passes(self):
+        fresh = metrics(recovery=180.0 * 0.90)
+        assert compare(metrics(), fresh, tolerance=0.15) == []
+
+    def test_missing_baseline_crash_is_a_problem(self):
+        baseline = metrics()
+        del baseline["crash"]
+        problems = compare(baseline, metrics())
+        assert any("crash.sweep_points" in p for p in problems)
+        assert any("crash.recovery_mb_s" in p for p in problems)
 
 
 class TestCompareOpcounts:

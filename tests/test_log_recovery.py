@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.cluster.failures import FailureInjector
+from repro.errors import SwarmError
 from repro.log.reader import LogReader
 from repro.log.records import RecordType
 from repro.log.recovery import (
@@ -11,6 +13,12 @@ from repro.log.recovery import (
 from repro.util.fids import make_fid
 
 SVC_A, SVC_B = 11, 12
+
+
+def _holder_of(cluster, fid):
+    """The server currently storing ``fid``."""
+    return next(sid for sid, server in cluster.servers.items()
+                if server.holds(fid))
 
 
 class TestLogReader:
@@ -76,6 +84,17 @@ class TestCheckpointDiscovery:
         log.write_block(SVC_A, b"data")
         log.flush().wait()
         assert find_newest_marked_fid(cluster4.transport, 1) == 0
+
+    def test_discovery_raises_on_total_partition(self, cluster4):
+        """With every server unreachable, discovery must fail loudly —
+        silently returning 0 would replay an empty head as an empty log
+        and quietly lose everything after the last checkpoint."""
+        log = cluster4.make_log(client_id=1)
+        log.checkpoint(SVC_A, b"cp").wait()
+        for server in cluster4.servers.values():
+            server.crash()
+        with pytest.raises(SwarmError, match="none of .* answered"):
+            find_newest_marked_fid(cluster4.transport, 1)
 
     def test_per_client_isolation(self, cluster4):
         log1 = cluster4.make_log(client_id=1)
@@ -193,3 +212,62 @@ class TestRecovery:
         creates = [r for r in recovered.records
                    if r.rtype == RecordType.CREATE]
         assert creates == []
+
+    def test_recover_twice_is_identical(self, cluster4):
+        """Recovery is idempotent: recovering the same untouched log
+        twice yields structurally identical RecoveredState — every
+        field, every record, in the same order."""
+        log = cluster4.make_log(client_id=1)
+        for i in range(6):
+            log.write_block(SVC_A, bytes([i + 1]) * 9000)
+        log.checkpoint(SVC_A, b"cp").wait()
+        log.write_record(SVC_A, RecordType.USER_BASE, b"tail")
+        log.flush().wait()
+        first = recover_service_state(cluster4.transport, 1, SVC_A)
+        second = recover_service_state(cluster4.transport, 1, SVC_A)
+        assert first == second
+
+    def test_checkpoint_table_via_parity_reconstruction(self, cluster4):
+        """The newest marked fragment's holder answers the last-marked
+        query (its fragment map survived) but serves a torn image;
+        loading the checkpoint table must fall through to parity
+        reconstruction rather than give up or trust garbage."""
+        log = cluster4.make_log(client_id=1)
+        log.write_block(SVC_A, b"x" * 20000)
+        log.checkpoint(SVC_A, b"golden").wait()
+        marked = find_newest_marked_fid(cluster4.transport, 1)
+        holder = _holder_of(cluster4, marked)
+        FailureInjector(cluster4).tear_fragment(holder, marked,
+                                                keep_fraction=0.4)
+        # Discovery still names the torn fragment...
+        assert find_newest_marked_fid(cluster4.transport, 1) == marked
+        # ...and recovery still reaches the checkpoint through parity.
+        recovered = recover_service_state(cluster4.transport, 1, SVC_A)
+        assert recovered.checkpoint_state == b"golden"
+
+    def test_unreadable_checkpoint_entry_falls_back_to_scan(self, cluster4):
+        """A checkpoint table naming a checkpoint whose fragment is
+        gone beyond reconstruction: trusting the entry's LSN would skip
+        every record up to it. Recovery must drop the entry and replay
+        from the head instead."""
+        log = cluster4.make_log(client_id=1)
+        log.write_record(SVC_A, RecordType.USER_BASE, b"early")
+        log.flush().wait()
+        log.checkpoint(SVC_A, b"a-state").wait()
+        log.write_block(SVC_B, b"pad" * 4000)
+        log.checkpoint(SVC_B, b"b-state").wait()
+        ckpt_fid = log.checkpoint_table[SVC_A][0].fid
+        reader = LogReader(cluster4.transport, "client-1")
+        header = reader.read_fragment(ckpt_fid).header
+        sibling = next(f for f in header.sibling_fids() if f != ckpt_fid)
+        injector = FailureInjector(cluster4)
+        for doomed in (ckpt_fid, sibling):
+            injector.tear_fragment(_holder_of(cluster4, doomed), doomed,
+                                   keep_fraction=0.3)
+        recovered = recover_service_state(cluster4.transport, 1, SVC_A)
+        # The named checkpoint could not be read back: no state adopted,
+        # no LSN trusted — and the pre-checkpoint record replays.
+        assert recovered.checkpoint_state is None
+        payloads = [r.payload for r in recovered.records
+                    if r.rtype == RecordType.USER_BASE]
+        assert b"early" in payloads

@@ -358,3 +358,61 @@ class TestParityLayouts:
                                  coding="rs")
         for i, addr in addresses.items():
             assert fresh.read(addr) == payloads[i]
+
+
+class TestTornTail:
+    """A stripe whose missing members are an exact suffix is a torn
+    client-crash tail: present prefix durable, missing suffix never
+    stored. It is repairable by seal-completion even when the losses
+    exceed parity."""
+
+    def _tear_last_two(self, cluster4):
+        from repro.log.fragment import Fragment
+
+        some_server = cluster4.servers["s0"]
+        fid = some_server.list_fids()[0]
+        header = Fragment.decode(some_server.retrieve(fid)).header
+        siblings = header.sibling_fids()
+        doomed = siblings[-2:]
+        for victim_fid in doomed:
+            for server in cluster4.servers.values():
+                if server.holds(victim_fid):
+                    server.delete(victim_fid)
+        return doomed
+
+    def test_suffix_missing_is_torn_not_lost(self, cluster4, populated):
+        doomed = self._tear_last_two(cluster4)
+        report = check_client_log(cluster4.transport, 1)
+        torn = report.by_status("torn")
+        assert len(torn) == 1
+        assert torn[0].missing == sorted(doomed)
+        assert not report.by_status("lost")
+        assert not report.healthy
+        assert report.repairable
+        assert "torn" in report.summary()
+
+    def test_torn_stripe_seal_completed_to_healthy(self, cluster4,
+                                                   populated):
+        doomed = self._tear_last_two(cluster4)
+        restored = repair_client_log(cluster4.transport, 1, "s0")
+        assert restored == len(doomed)
+        after = check_client_log(cluster4.transport, 1)
+        assert after.healthy, after.summary()
+
+    def test_prefix_missing_stays_lost(self, cluster4, populated):
+        """Missing members that are NOT a pure suffix cannot be a torn
+        tail — a crash dispatches stores in stripe order — so beyond
+        parity they are honest data loss."""
+        from repro.log.fragment import Fragment
+
+        some_server = cluster4.servers["s0"]
+        fid = some_server.list_fids()[0]
+        header = Fragment.decode(some_server.retrieve(fid)).header
+        for victim_fid in header.sibling_fids()[:2]:
+            for server in cluster4.servers.values():
+                if server.holds(victim_fid):
+                    server.delete(victim_fid)
+        report = check_client_log(cluster4.transport, 1)
+        assert report.by_status("lost")
+        assert not report.by_status("torn")
+        assert not report.repairable
