@@ -14,10 +14,10 @@ Usage::
     python -m repro.bench.perf --smoke    # seconds-long sanity run (CI)
     python -m repro.bench.perf --out x.json
 
-Output schema (``schema_version`` 7)::
+Output schema (``schema_version`` 8)::
 
     {
-      "schema_version": 7,
+      "schema_version": 8,
       "smoke": bool,
       "config": {"fragment_size": int, "num_servers": int, ...},
       "metrics": {
@@ -80,6 +80,14 @@ Output schema (``schema_version`` 7)::
           "recovery_short_ms": float,    # fresh-client recovery, short
           "recovery_long_ms": float,     # fresh-client recovery, long
           "recovery_mb_s": float         # rolled-forward MB/s, long log
+        },
+        "net": {                         # real wire: loopback asyncio TCP
+          "append_mb_s": float,          # useful MB/s, stores as frames
+          "scan_mb_s": float,            # windowed sequential scan MB/s
+          "overlap_ratio": float,        # submit_many / serial calls; <1.0
+          "opcounts": {"rpcs": int, "bytes": int},       # scan over TCP
+          "local_opcounts": {"rpcs": int, "bytes": int}  # same scan,
+                                         # LocalTransport; must match
         }
       }
     }
@@ -127,6 +135,21 @@ win of those four clients against the same work run serially, and the
 deterministic opcount bill of a 16 → 64 view change — which is the
 *entire* data-movement cost, because no pre-existing stripe moves.
 
+``net`` is the only section measured over real sockets: the same
+in-process servers are hosted behind ``asyncio`` loopback TCP
+listeners (:mod:`repro.rpc.net`) and the client drives them through a
+:class:`~repro.rpc.net.TcpTransport`, so every store and retrieve is a
+length-prefixed frame on a real connection. ``append_mb_s`` and
+``scan_mb_s`` are wall-clock loopback throughput; ``overlap_ratio``
+compares one ``submit_many`` plan of whole-fragment retrieves (frames
+multiplexed over per-server connections, completions consumed in plan
+order) against the same retrieves issued as serial blocking calls —
+below 1.0 is genuine socket-level pipelining, asserted by CI.
+``opcounts``/``local_opcounts`` replay an identical windowed scan over
+the TCP and in-process transports and record the servers' retrieve
+RPC/byte bill for each: the wire is a transport, not a protocol, so
+the regression gate holds the two byte-identical.
+
 ``crash`` tracks crash recovery — the flip side of the chaos crash
 sweep (``python -m repro.chaos --crash-sweep``), which proves recovery
 *correct* from every instrumented crash point while this section keeps
@@ -164,7 +187,7 @@ from repro.server.server import StorageServer
 from repro.services.cleaner import CleanerService
 from repro.services.logical_disk import LogicalDiskService
 
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 REQUIRED_METRICS = (
     "log_append_mb_s",
@@ -231,6 +254,14 @@ CRASH_KEYS = (
     "recovery_short_ms",
     "recovery_long_ms",
     "recovery_mb_s",
+)
+
+NET_KEYS = (
+    "append_mb_s",
+    "scan_mb_s",
+    "overlap_ratio",
+    "opcounts",
+    "local_opcounts",
 )
 
 
@@ -851,6 +882,105 @@ def bench_crash(num_servers: int = 4, fragment_size: int = 1 << 16,
     }
 
 
+def bench_net(smoke: bool = False, num_servers: int = 4,
+              fragment_size: int = 1 << 14,
+              repeats: int = None) -> Dict[str, object]:
+    """Real-wire costs over the loopback asyncio TCP plane.
+
+    Hosts the cluster's servers behind loopback TCP listeners (the
+    servers stay the same in-process objects, so their opcounters keep
+    working) and measures what the wire adds: useful append MB/s
+    through a LogLayer whose stores travel as length-prefixed frames,
+    windowed sequential-scan MB/s, and the multiplexing win —
+    ``overlap_ratio`` compares one ``submit_many`` plan of
+    whole-fragment retrieves against the same retrieves as serial
+    blocking calls (min-of-repeats on both sides; below 1.0 is real
+    socket-level pipelining). The whole TCP run repeats and each
+    throughput keeps its best figure — the workload is tiny, so one
+    scheduler hiccup swamps a single run. The workload itself is fixed
+    — identical in smoke and full mode — so the retrieve RPC/byte bill
+    of the scan is deterministic and comparable across the TCP and
+    in-process transports; both bills are reported and the regression
+    gate holds them byte-identical.
+    """
+    if repeats is None:
+        repeats = 2 if smoke else 5
+    blocks = 96
+    block_size = 1024
+
+    def counters(cluster) -> Dict[str, int]:
+        return {
+            "rpcs": sum(server.retrieve_ops
+                        for server in cluster.servers.values()),
+            "bytes": sum(server.bytes_retrieved
+                         for server in cluster.servers.values()),
+        }
+
+    def run(wire: str) -> Dict[str, object]:
+        cluster = build_local_cluster(num_servers=num_servers,
+                                      fragment_size=fragment_size,
+                                      server_slots=2048)
+        host = tcp = None
+        if wire == "tcp":
+            host, tcp = cluster.serve_tcp()
+        transport = tcp if tcp is not None else cluster.transport
+        try:
+            log = cluster.make_log(client_id=1, transport=transport)
+            payload = b"\x42" * block_size
+            addresses = []
+            start = time.perf_counter()
+            for _ in range(blocks):
+                addresses.append(log.write_block(1, payload))
+            log.flush().wait()
+            append_s = time.perf_counter() - start
+            before = counters(cluster)
+            reader = LogReader(transport, log.config.principal,
+                               locations=log.locations, max_inflight=4)
+            start = time.perf_counter()
+            fragments = sum(1 for _ in reader.fragments_from(make_fid(1, 1)))
+            scan_s = time.perf_counter() - start
+            opcounts = {key: value - before[key]
+                        for key, value in counters(cluster).items()}
+            result: Dict[str, object] = {
+                "append_mb_s": log.useful_bytes_written / append_s / 1e6,
+                "scan_mb_s": fragments * fragment_size / scan_s / 1e6,
+                "opcounts": opcounts,
+            }
+            if wire == "tcp":
+                placements = log.locations.locate_many(
+                    sorted({address.fid for address in addresses}))
+                plan = [(sid, m.RetrieveRequest(
+                    fid=fid, principal=log.config.principal))
+                    for fid, sid in sorted(placements.items())]
+                serial_s = batched_s = float("inf")
+                for _ in range(max(1, repeats)):
+                    start = time.perf_counter()
+                    for server_id, request in plan:
+                        transport.call(server_id, request)
+                    serial_s = min(serial_s, time.perf_counter() - start)
+                    start = time.perf_counter()
+                    for future in transport.submit_many(plan):
+                        future.result()
+                    batched_s = min(batched_s, time.perf_counter() - start)
+                result["overlap_ratio"] = batched_s / serial_s
+            return result
+        finally:
+            if tcp is not None:
+                tcp.close()
+                host.close()
+
+    tcp_runs = [run("tcp") for _ in range(3)]
+    local_run = run("local")
+    return {
+        "append_mb_s": round(max(r["append_mb_s"] for r in tcp_runs), 3),
+        "scan_mb_s": round(max(r["scan_mb_s"] for r in tcp_runs), 3),
+        "overlap_ratio": round(min(r["overlap_ratio"]
+                                   for r in tcp_runs), 3),
+        "opcounts": tcp_runs[0]["opcounts"],
+        "local_opcounts": local_run["opcounts"],
+    }
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -891,6 +1021,7 @@ def run_all(smoke: bool = False) -> Dict:
         repeats=4 if smoke else 16)
     metrics["placement"] = bench_placement(smoke=smoke)
     metrics["crash"] = bench_crash(short_blocks=32 if smoke else 64)
+    metrics["net"] = bench_net(smoke=smoke)
     return {
         "schema_version": SCHEMA_VERSION,
         "smoke": smoke,
@@ -1050,6 +1181,31 @@ def validate_bench_schema(doc: Dict) -> None:
     if crash["recovery_long_blocks"] <= crash["recovery_short_blocks"]:
         raise ValueError(
             "crash.recovery_long_blocks must exceed recovery_short_blocks")
+    net = metrics.get("net")
+    if not isinstance(net, dict):
+        raise ValueError("metric 'net' must be an object")
+    for key in ("append_mb_s", "scan_mb_s", "overlap_ratio"):
+        value = net.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(
+                "net.%s missing or non-numeric: %r" % (key, value))
+        if value <= 0:
+            raise ValueError("net.%s must be positive: %r" % (key, value))
+    if net["overlap_ratio"] >= 1.0:
+        raise ValueError(
+            "net.overlap_ratio must be < 1.0 (multiplexed submit_many "
+            "must beat serial calls over the wire): %r"
+            % net["overlap_ratio"])
+    for which in ("opcounts", "local_opcounts"):
+        entry = net.get(which)
+        if not isinstance(entry, dict):
+            raise ValueError("net.%s must be an object" % which)
+        for key in ("rpcs", "bytes"):
+            value = entry.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value <= 0:
+                raise ValueError("net.%s.%s must be a positive integer: %r"
+                                 % (which, key, value))
 
 
 def main(argv=None) -> int:
@@ -1096,6 +1252,13 @@ def main(argv=None) -> int:
     crash = doc["metrics"]["crash"]
     for key in CRASH_KEYS:
         print("%-26s %s" % ("crash." + key, crash[key]))
+    net = doc["metrics"]["net"]
+    for key in ("append_mb_s", "scan_mb_s", "overlap_ratio"):
+        print("%-26s %s" % ("net." + key, net[key]))
+    for which in ("opcounts", "local_opcounts"):
+        entry = net[which]
+        print("%-26s rpcs=%d bytes=%d"
+              % ("net." + which, entry["rpcs"], entry["bytes"]))
     print("wrote %s" % out)
     return 0
 

@@ -39,7 +39,20 @@ repository's ``BENCH_PERF.json``:
   documented floor of 8) — fewer instrumented crash points means the
   chaos sweep silently covers fewer kill boundaries — and
   ``crash.recovery_mb_s`` (fresh-client rollforward throughput) may
-  not drop more than the tolerance below baseline.
+  not drop more than the tolerance below baseline;
+* ``codec_msgs_s`` must stay above an *absolute* floor of 220k
+  messages/s (``CODEC_FLOOR``): the precompiled-``Struct`` codec hot
+  path serves every frame the TCP plane ships, so it is gated against
+  a constant, not just the baseline;
+* ``net.append_mb_s`` and ``net.scan_mb_s`` (loopback TCP throughput)
+  may not drop more than the tolerance below baseline, and
+  ``net.overlap_ratio`` must stay below 1.0 — a ``submit_many`` plan
+  multiplexed over real sockets must beat the same retrieves issued
+  as serial blocking calls;
+* ``net.opcounts`` must match ``net.local_opcounts`` within the tight
+  opcount tolerance: the TCP plane is a transport, not a protocol, so
+  the identical scan must bill identical retrieve RPCs and bytes on
+  either wire (and neither may grow past the committed baseline).
 
 The tolerance defaults to 15% and is widened via the
 ``PERF_REGRESSION_TOLERANCE`` environment variable (CI machines are
@@ -57,9 +70,11 @@ from typing import Dict, List
 
 from repro.bench.perf import (
     bench_cleaning,
+    bench_codec,
     bench_crash,
     bench_erasure,
     bench_log_append,
+    bench_net,
     bench_opcounts,
     bench_placement,
     bench_read_pipeline,
@@ -69,6 +84,12 @@ from repro.bench.perf import (
 
 DEFAULT_TOLERANCE = 0.15
 DEFAULT_OPCOUNT_TOLERANCE = 0.02
+
+#: Absolute floor on the codec microbench (messages/s). The
+#: precompiled-Struct hot path sustains ~3x this on an idle machine;
+#: dropping through the floor means the codec re-grew per-message
+#: format parsing, which taxes every frame on the wire.
+CODEC_FLOOR = 220_000.0
 
 #: The committed-baseline configuration (run_all's non-smoke settings);
 #: fresh numbers are only comparable when measured the same way.
@@ -107,6 +128,9 @@ def measure_fresh(smoke: bool = False) -> Dict:
             repeats=4 if smoke else 16),
         "placement": bench_placement(smoke=smoke),
         "crash": bench_crash(short_blocks=32 if smoke else 64),
+        "codec_msgs_s": bench_codec(
+            messages_per_kind=2_000 if smoke else 20_000),
+        "net": bench_net(smoke=smoke),
     }
 
 
@@ -248,6 +272,32 @@ def compare(baseline: Dict, fresh: Dict,
                100.0 * (1.0 - fresh_crash["recovery_mb_s"] / base_recovery),
                100.0 * tolerance))
 
+    fresh_codec = fresh["codec_msgs_s"]
+    if fresh_codec < CODEC_FLOOR:
+        problems.append(
+            "codec_msgs_s is %.0f — below the absolute floor of %.0f "
+            "msgs/s; the codec hot path regressed" % (fresh_codec,
+                                                      CODEC_FLOOR))
+
+    base_net = baseline.get("net") or {}
+    fresh_net = fresh["net"]
+    for key in ("append_mb_s", "scan_mb_s"):
+        base_value = base_net.get(key)
+        if not isinstance(base_value, (int, float)) or base_value <= 0:
+            problems.append("baseline net.%s missing or non-positive" % key)
+        elif fresh_net[key] < base_value * (1.0 - tolerance):
+            problems.append(
+                "net.%s regressed: %.1f -> %.1f MB/s (%.0f%% below "
+                "baseline, tolerance %.0f%%) — the TCP plane got slower"
+                % (key, base_value, fresh_net[key],
+                   100.0 * (1.0 - fresh_net[key] / base_value),
+                   100.0 * tolerance))
+    net_overlap = fresh_net["overlap_ratio"]
+    if net_overlap >= 1.0:
+        problems.append(
+            "net.overlap_ratio is %.3f — multiplexed submit_many no "
+            "longer beats serial calls over the wire" % net_overlap)
+
     return problems
 
 
@@ -302,6 +352,42 @@ def compare_opcounts(baseline: Dict, fresh: Dict,
                 problems.append(
                     "placement.%s grew: %d -> %d (beyond %.0f%% "
                     "tolerance) — the view change started moving data"
+                    % (key, base_value, fresh_value, 100.0 * tolerance))
+
+    # The real wire is a transport, not a protocol: the identical scan
+    # must bill the same retrieve RPCs and bytes whether the frames
+    # cross loopback TCP or stay in process, and neither bill may grow
+    # past the committed baseline.
+    fresh_net = fresh.get("net") or {}
+    tcp_counts = fresh_net.get("opcounts") or {}
+    local_counts = fresh_net.get("local_opcounts") or {}
+    for key in ("rpcs", "bytes"):
+        tcp_value = tcp_counts.get(key, 0)
+        local_value = local_counts.get(key, 0)
+        if local_value <= 0:
+            problems.append("net.local_opcounts.%s missing or "
+                            "non-positive" % key)
+        elif abs(tcp_value - local_value) > local_value * tolerance:
+            problems.append(
+                "net.opcounts.%s diverged from the local wire: "
+                "tcp=%d local=%d (beyond %.0f%% tolerance) — the TCP "
+                "plane changed the protocol"
+                % (key, tcp_value, local_value, 100.0 * tolerance))
+    base_net = baseline.get("net")
+    if not isinstance(base_net, dict):
+        problems.append("baseline net missing (regenerate BENCH_PERF.json)")
+    else:
+        base_entry = base_net.get("opcounts") or {}
+        for key in ("rpcs", "bytes"):
+            base_value = base_entry.get(key, 0)
+            fresh_value = tcp_counts.get(key, 0)
+            if base_value <= 0:
+                problems.append(
+                    "baseline net.opcounts.%s missing or non-positive" % key)
+            elif fresh_value > base_value * (1.0 + tolerance):
+                problems.append(
+                    "net.opcounts.%s grew: %d -> %d (beyond %.0f%% "
+                    "tolerance) — the wire got chattier"
                     % (key, base_value, fresh_value, 100.0 * tolerance))
     return problems
 
@@ -402,6 +488,24 @@ def main(argv=None) -> int:
                         base_placement.get("view_change_bytes", -1)),
              "%d/%d" % (fresh_placement["view_change_rpcs"],
                         fresh_placement["view_change_bytes"])))
+    print("%-28s %12.0f %12.0f"
+          % ("codec_msgs_s (floor %dk)" % (CODEC_FLOOR // 1000),
+             baseline.get("codec_msgs_s", -1), fresh["codec_msgs_s"]))
+    base_net = baseline.get("net") or {}
+    fresh_net = fresh["net"]
+    for key in ("append_mb_s", "scan_mb_s"):
+        print("%-28s %12.3f %12.3f"
+              % ("net." + key, base_net.get(key, -1), fresh_net[key]))
+    print("%-28s %12s %12.3f" % ("net.overlap_ratio", "<1.0",
+                                 fresh_net["overlap_ratio"]))
+    print("%-28s %12s %12s"
+          % ("net.opcounts (tcp/local)",
+             "%d/%d" % ((base_net.get("opcounts") or {}).get("rpcs", -1),
+                        (base_net.get("opcounts") or {}).get("bytes", -1)),
+             "%d=%d/%d=%d" % (fresh_net["opcounts"]["rpcs"],
+                              fresh_net["local_opcounts"]["rpcs"],
+                              fresh_net["opcounts"]["bytes"],
+                              fresh_net["local_opcounts"]["bytes"])))
     opcount_tolerance = resolve_opcount_tolerance()
     for scenario, entry in sorted(fresh.get("opcounts", {}).items()):
         base_entry = (baseline.get("opcounts") or {}).get(scenario, {})

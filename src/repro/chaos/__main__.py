@@ -76,6 +76,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "with their pre-crash state after repair; "
                              "require probation-path readmission and stale "
                              "copies losing to checksum verification")
+    parser.add_argument("--net", action="store_true",
+                        help="run the plain chaos scenario over the real "
+                             "wire: the same servers hosted on loopback TCP "
+                             "sockets, faults injected above the "
+                             "TcpTransport; the seed must produce the same "
+                             "digest as the local wire")
     parser.add_argument("--replay", action="store_true",
                         help="run twice and verify the schedule replays "
                              "identically")
@@ -96,6 +102,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.clients != 1 and (args.cleaner or args.crash_sweep):
         parser.error("--cleaner and --crash-sweep are single-client "
                      "scenarios")
+    if args.net and (args.cleaner or args.crash_sweep or args.kill_server):
+        parser.error("--net applies to the plain chaos scenario only")
     if args.crash_sweep:
         n_ops = args.ops if args.ops is not None else 36
         servers = args.servers if args.servers is not None else 6
@@ -128,6 +136,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         kwargs["occurrence"] = args.occurrence
     elif not args.cleaner:
         kwargs["num_clients"] = args.clients
+        if not args.kill_server and args.net:
+            kwargs["wire"] = "tcp"
     if args.replay:
         first, second, identical = run_two(args.seed, **kwargs)
         print(first.summary())

@@ -175,6 +175,7 @@ def run_chaos(seed: int, ops: Optional[Sequence[Op]] = None,
               damage_fragments: int = 2,
               log_overrides: Optional[Dict[str, object]] = None,
               num_clients: int = 1,
+              wire: str = "local",
               ) -> ChaosReport:
     """Execute one seeded chaos run; see the module docstring.
 
@@ -188,9 +189,21 @@ def run_chaos(seed: int, ops: Optional[Sequence[Op]] = None,
     client is checked against its own oracle and the report digest
     combines the per-client digests (a single client keeps the
     historical digest byte for byte).
+
+    ``wire`` selects the plane under the fault injector: ``"local"``
+    (direct function calls, the historical harness) or ``"tcp"`` (the
+    same servers hosted on loopback sockets, reached through a
+    :class:`~repro.rpc.net.TcpTransport`). The fault plan draws its
+    decisions in plan order either way and the retry jitter is seeded,
+    so the same seed must produce the same fault schedule *and* the
+    same recovered-state digest on both wires — asserted by the net
+    test suite, and the acceptance proof that chaos semantics survive
+    the move to real sockets.
     """
     if num_clients < 1:
         raise ValueError("num_clients must be >= 1")
+    if wire not in ("local", "tcp"):
+        raise ValueError("wire must be 'local' or 'tcp'")
     ops = list(ops) if ops is not None else generate_ops(seed)
     report = ChaosReport(seed=seed)
 
@@ -199,7 +212,14 @@ def run_chaos(seed: int, ops: Optional[Sequence[Op]] = None,
                                   fragment_size=fragment_size)
     injector = FailureInjector(cluster)
     plan = FaultPlan(seed, spec)
-    faulty = FaultyTransport(cluster.transport, plan)
+    host = tcp = None
+    if wire == "tcp":
+        # Same in-process servers, but the chaos clients' every RPC now
+        # crosses a real socket; durable damage, fsck, and fresh-client
+        # recovery keep direct access (they model out-of-band repair).
+        host, tcp = cluster.serve_tcp()
+    faulty = FaultyTransport(tcp if tcp is not None else cluster.transport,
+                             plan)
     clients: List[_ChaosClient] = []
     for index in range(num_clients):
         client_id = CLIENT_ID + index
@@ -359,6 +379,9 @@ def run_chaos(seed: int, ops: Optional[Sequence[Op]] = None,
         "damaged_fragments": len(damaged),
         "fsck_restored": restored,
     }
+    if tcp is not None:
+        tcp.close()
+        host.close()
     return report
 
 

@@ -99,9 +99,26 @@ class LocalCluster:
             parity_fragments=config_overrides.get("parity_fragments", 1),
             spare_servers=config_overrides.get("spare_servers", ()))
 
+    def serve_tcp(self, pool_size: int = 2, window: int = 32):
+        """Host every server on loopback TCP; returns ``(host, transport)``.
+
+        The servers stay the same in-process objects (so tests keep
+        direct references for crash injection and opcount assertions),
+        but the returned transport reaches them over real sockets.
+        Close the transport before the host when done; both are context
+        managers.
+        """
+        from repro.rpc.net import InProcessHost, TcpTransport
+
+        host = InProcessHost(self.servers).start()
+        transport = TcpTransport(host.addresses,
+                                 pool_size=pool_size, window=window)
+        return host, transport
+
     def make_log(self, client_id: int,
                  group=None,
                  retry_policy=None, verify_reads: bool = False,
+                 transport=None,
                  **config_overrides) -> LogLayer:
         """A log layer for one client over this cluster.
 
@@ -111,13 +128,16 @@ class LocalCluster:
         ``MAX_STRIPE_WIDTH``). ``retry_policy`` interposes a
         :class:`~repro.rpc.retry.RetryingTransport`; ``verify_reads``
         checks every fetched fragment's payload CRC and falls back to
-        parity reconstruction on a mismatch. Extra keyword arguments
-        (``parity_fragments``, ``coding``, ``spare_servers``, ...)
-        pass straight through to :class:`LogConfig`.
+        parity reconstruction on a mismatch. ``transport`` overrides
+        the cluster's direct transport (e.g. the TCP plane from
+        :meth:`serve_tcp`, or a fault-injecting wrapper). Extra keyword
+        arguments (``parity_fragments``, ``coding``, ``spare_servers``,
+        ...) pass straight through to :class:`LogConfig`.
         """
         if group is None:
             group = self._default_group(config_overrides)
-        return LogLayer(self.transport, group,
+        return LogLayer(transport if transport is not None else self.transport,
+                        group,
                         LogConfig(client_id=client_id,
                                   fragment_size=self.config.fragment_size,
                                   **config_overrides),
@@ -127,11 +147,13 @@ class LocalCluster:
                    group=None,
                    retry_policy=None,
                    verify_reads: bool = False,
+                   transport=None,
                    **config_overrides) -> ServiceStack:
         """An empty service stack for one client."""
         return ServiceStack(self.make_log(client_id, group,
                                           retry_policy=retry_policy,
                                           verify_reads=verify_reads,
+                                          transport=transport,
                                           **config_overrides))
 
 

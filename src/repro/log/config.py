@@ -65,6 +65,15 @@ class LogConfig:
     """Coalesce service records smaller than this into a client-side
     batch flushed before the next block append, checkpoint, or flush.
     0 disables group commit (every record hits a builder immediately)."""
+    group_commit_latency_ms: float = 0.0
+    """Adaptive group commit: flush a partial record batch once it has
+    been open this many milliseconds, even though ``group_commit_bytes``
+    has not filled, so a quiet real-wire client does not stall its last
+    records indefinitely. Staleness is checked at the next record
+    append, or on demand via ``LogLayer.poll_group_commit()`` (a truly
+    idle client has no other trigger). 0 disables the latency bound —
+    the default, because chaos replay digests depend on batching
+    decisions being pure functions of the workload, not of wall time."""
     max_inflight_reads: int = 2
     """Read-ahead window: how many fragment retrieves a sequential
     reader keeps in flight while consuming the log in order. Mirrors
@@ -100,6 +109,8 @@ class LogConfig:
             raise ConfigError("max_inflight_reads must be >= 1")
         if self.group_commit_bytes < 0:
             raise ConfigError("group_commit_bytes must be >= 0")
+        if self.group_commit_latency_ms < 0:
+            raise ConfigError("group_commit_latency_ms must be >= 0")
         if self.location_cache_entries < 0:
             raise ConfigError("location_cache_entries must be >= 0")
         if len(set(self.spare_servers)) != len(self.spare_servers):

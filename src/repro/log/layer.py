@@ -21,6 +21,7 @@ Responsibilities, mapped to the paper:
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import (
@@ -138,12 +139,14 @@ class LogLayer:
                  cost_hook: Optional[CostHook] = None,
                  locations: Optional[LocationCache] = None,
                  retry_policy=None, verify_reads: bool = False,
-                 health_monitor=None, crash_injector=None) -> None:
+                 health_monitor=None, crash_injector=None,
+                 clock=None, retry_sleep=None) -> None:
         from repro.rpc.retry import wrap_transport
         from repro.placement import as_placement
 
         transport = wrap_transport(transport, retry_policy,
-                                   monitor=health_monitor)
+                                   monitor=health_monitor,
+                                   sleep=retry_sleep)
         self.transport = transport
         self.verify_reads = verify_reads
         self.config = config
@@ -187,6 +190,11 @@ class LogLayer:
         # Group commit: small service records waiting to hit a builder.
         self._record_batch: List[Record] = []
         self._record_batch_bytes = 0
+        # Adaptive group commit: when the batch opened, by self._clock.
+        # The clock is pluggable so sim-driven tests can advance it
+        # deterministically; real clients get the wall clock.
+        self._clock = clock if clock is not None else time.monotonic
+        self._record_batch_opened: Optional[float] = None
         # Fragment placements: shared with the reconstructor (and, when
         # the caller passes one in, with readers/recovery/fsck too).
         self.locations = locations if locations is not None else \
@@ -207,6 +215,7 @@ class LogLayer:
         self.preallocate_failures = 0
         self.delete_failures = 0
         self.group_commit_batches = 0
+        self.group_commit_timeouts = 0
         self.records_coalesced = 0
         self._failures_by_server: Dict[str, Dict[str, int]] = {}
 
@@ -345,6 +354,7 @@ class LogLayer:
                 "preallocate_failures": self.preallocate_failures,
                 "delete_failures": self.delete_failures,
                 "group_commit_batches": self.group_commit_batches,
+                "group_commit_timeouts": self.group_commit_timeouts,
                 "records_coalesced": self.records_coalesced,
                 "inflight_stripes": self.inflight_stripes(),
                 "failures_by_server": self.failures(),
@@ -437,6 +447,12 @@ class LogLayer:
         record = Record(self._lsn.next(), owner_service, rtype, payload)
         threshold = self.config.group_commit_bytes
         if threshold and len(payload) < threshold:
+            # A batch left open past the latency bound drains before the
+            # new record joins — the new record opens a fresh window, so
+            # a trickle of records cannot indefinitely extend one batch.
+            self._drain_if_stale()
+            if not self._record_batch:
+                self._record_batch_opened = self._clock()
             self._record_batch.append(record)
             self._record_batch_bytes += len(record.encode())
             if self._record_batch_bytes >= threshold:
@@ -463,10 +479,35 @@ class LogLayer:
                            create_info)
         return record
 
+    def poll_group_commit(self) -> bool:
+        """Flush the record batch if it has outlived the latency bound.
+
+        The adaptive half of group commit: staleness is otherwise only
+        checked when the *next* record arrives, so a client that goes
+        quiet must poll (an event loop tick, a service timer) to get its
+        last records moving. Returns True when a batch was drained.
+        No-op unless ``config.group_commit_latency_ms`` is set.
+        """
+        if self._drain_if_stale():
+            return True
+        return False
+
+    def _drain_if_stale(self) -> bool:
+        latency_ms = self.config.group_commit_latency_ms
+        if (not latency_ms or not self._record_batch
+                or self._record_batch_opened is None):
+            return False
+        if (self._clock() - self._record_batch_opened) * 1000.0 < latency_ms:
+            return False
+        self.group_commit_timeouts += 1
+        self._drain_records()
+        return True
+
     def _drain_records(self) -> None:
         """Move every group-committed record into the builders, in LSN
         order. One batched walk amortizes the builder-selection work the
         records would otherwise pay one by one."""
+        self._record_batch_opened = None
         if not self._record_batch:
             return
         self.crash_point("group_commit_flush")
@@ -775,6 +816,8 @@ class LogLayer:
         record = Record(self._lsn.next(), SERVICE_LOG_LAYER,
                         RecordType.VIEW_CHANGE,
                         self.placement.encode_views())
+        if not self._record_batch:
+            self._record_batch_opened = self._clock()
         self._record_batch.append(record)
         self._record_batch_bytes += len(record.encode())
 

@@ -39,7 +39,8 @@ Everything else (not found, exists, ACL denials, bad requests) is a
 definitive answer and is surfaced immediately."""
 
 
-def wrap_transport(transport, policy: Optional["RetryPolicy"], monitor=None):
+def wrap_transport(transport, policy: Optional["RetryPolicy"], monitor=None,
+                   sleep=None):
     """Interpose a :class:`RetryingTransport` when a policy is given.
 
     The one canonical way client components (log layer, reader,
@@ -47,14 +48,19 @@ def wrap_transport(transport, policy: Optional["RetryPolicy"], monitor=None):
     the transport unchanged, anything else wraps it exactly once.
     ``monitor`` (a :class:`~repro.health.monitor.HealthMonitor`) is fed
     every per-server outcome the wrapper sees; it requires a policy,
-    because without the wrapper nothing would feed it.
+    because without the wrapper nothing would feed it. ``sleep`` is the
+    wall-clock backoff hook for real-wire transports (see
+    :class:`RetryingTransport`).
     """
     if policy is None:
         if monitor is not None:
             raise errors.ConfigError(
                 "a health monitor needs a retry policy to feed it")
+        if sleep is not None:
+            raise errors.ConfigError(
+                "a retry sleep hook needs a retry policy to drive it")
         return transport
-    return RetryingTransport(transport, policy, monitor=monitor)
+    return RetryingTransport(transport, policy, monitor=monitor, sleep=sleep)
 
 
 def charge_delay(transport, seconds: float) -> bool:
@@ -122,10 +128,18 @@ class RetryingTransport(Transport):
     unretried — its drivers model failure at a different layer.
     """
 
-    def __init__(self, inner, policy: RetryPolicy, monitor=None) -> None:
+    def __init__(self, inner, policy: RetryPolicy, monitor=None,
+                 sleep=None) -> None:
         self.inner = inner
         self.policy = policy
         self.monitor = monitor
+        # Wall-clock backoff: over a real wire (the TCP plane) there is
+        # no deferred-time ledger to charge, so the backoff must *be*
+        # waited, not merely accounted. ``sleep`` (e.g. ``time.sleep``)
+        # is called with the backoff seconds whenever no ledger
+        # absorbed them; the default None keeps functional tests
+        # timeless exactly as before.
+        self.sleep = sleep
         if monitor is not None:
             # Probes go out below the retry layer: one RPC each, not a
             # whole backoff ladder against a server already known sick.
@@ -191,6 +205,11 @@ class RetryingTransport(Transport):
     def submit_is_synchronous(self) -> bool:
         return self.inner.submit_is_synchronous
 
+    def _wait(self, backoff: float) -> None:
+        """Spend one backoff: simulated ledger first, wall clock second."""
+        if not charge_delay(self.inner, backoff) and self.sleep is not None:
+            self.sleep(backoff)
+
     # ------------------------------------------------------------------
 
     def call(self, server_id: str, request, _resolving: bool = False):
@@ -239,7 +258,7 @@ class RetryingTransport(Transport):
             stats["retries"] += 1
             stats["backoff_s"] += backoff
             self.backoff_charged_s += backoff
-            charge_delay(self.inner, backoff)
+            self._wait(backoff)
             attempt += 1
 
     def submit(self, server_id: str, request):
@@ -294,7 +313,7 @@ class RetryingTransport(Transport):
                 stats["retries"] += 1
                 stats["backoff_s"] += backoff
             self.backoff_charged_s += round_backoff
-            charge_delay(self.inner, round_backoff)
+            self._wait(round_backoff)
             retry_plan = [plan[index] for index, _backoff in retry_indices]
             retried = self.inner.submit_many(retry_plan)
             self._observe_scatter(retry_plan, retried)

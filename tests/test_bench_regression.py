@@ -20,9 +20,19 @@ def metrics(append=200.0, ratio=2.4, overlap=0.5, seq_read=3.3,
             degraded=2.9, scan_rpcs=11, scan_bytes=160000,
             efficiency=0.95, client_overlap=0.4,
             view_rpcs=2, view_bytes=2200,
-            sweep_points=9, recovery=180.0):
+            sweep_points=9, recovery=180.0,
+            codec=300000.0, net_append=13.0, net_scan=11.0,
+            net_overlap=0.5, net_rpcs=20, net_local_rpcs=20,
+            net_bytes=300000, net_local_bytes=300000):
     return {
         "log_append_mb_s": append,
+        "codec_msgs_s": codec,
+        "net": {"append_mb_s": net_append,
+                "scan_mb_s": net_scan,
+                "overlap_ratio": net_overlap,
+                "opcounts": {"rpcs": net_rpcs, "bytes": net_bytes},
+                "local_opcounts": {"rpcs": net_local_rpcs,
+                                   "bytes": net_local_bytes}},
         "reconstruct_latency": {"ratio": ratio},
         "write_pipeline": {"overlap_ratio": overlap},
         "read_pipeline": {"sequential_read_mb_s": seq_read,
@@ -182,6 +192,40 @@ class TestCompare:
         assert any("crash.sweep_points" in p for p in problems)
         assert any("crash.recovery_mb_s" in p for p in problems)
 
+    def test_codec_below_absolute_floor_fails(self):
+        # The floor is absolute: even a matching baseline can't excuse
+        # a codec slower than 220k msgs/s.
+        slow = metrics(codec=150000.0)
+        problems = compare(slow, slow)
+        assert len(problems) == 1
+        assert "codec_msgs_s" in problems[0]
+
+    def test_codec_above_floor_passes(self):
+        assert compare(metrics(), metrics(codec=220000.0)) == []
+
+    def test_net_append_regression_fails(self):
+        fresh = metrics(net_append=13.0 * 0.70)
+        problems = compare(metrics(), fresh, tolerance=0.15)
+        assert len(problems) == 1
+        assert "net.append_mb_s" in problems[0]
+
+    def test_net_scan_regression_fails(self):
+        fresh = metrics(net_scan=11.0 * 0.70)
+        problems = compare(metrics(), fresh, tolerance=0.15)
+        assert problems and "net.scan_mb_s" in problems[0]
+
+    def test_net_overlap_ratio_must_stay_below_one(self):
+        problems = compare(metrics(), metrics(net_overlap=1.02))
+        assert len(problems) == 1
+        assert "net.overlap_ratio" in problems[0]
+
+    def test_missing_baseline_net_is_a_problem(self):
+        baseline = metrics()
+        del baseline["net"]
+        problems = compare(baseline, metrics())
+        assert any("net.append_mb_s" in p for p in problems)
+        assert any("net.scan_mb_s" in p for p in problems)
+
 
 class TestCompareOpcounts:
     def test_identical_counts_pass(self):
@@ -225,6 +269,31 @@ class TestCompareOpcounts:
         del baseline["placement"]
         problems = compare_opcounts(baseline, metrics())
         assert problems and "placement" in problems[0]
+
+    def test_tcp_opcounts_must_equal_local(self):
+        # One extra RPC over the wire = the TCP plane changed the
+        # protocol, not just the plumbing.
+        fresh = metrics(net_rpcs=21, net_local_rpcs=20)
+        problems = compare_opcounts(metrics(), fresh, tolerance=0.02)
+        assert problems
+        assert any("net.opcounts.rpcs" in p for p in problems)
+
+    def test_tcp_byte_divergence_from_local_fails(self):
+        fresh = metrics(net_bytes=330000, net_local_bytes=300000)
+        problems = compare_opcounts(metrics(), fresh, tolerance=0.02)
+        assert problems and any("net.opcounts.bytes" in p
+                                for p in problems)
+
+    def test_net_scan_growth_vs_baseline_fails(self):
+        fresh = metrics(net_rpcs=23, net_local_rpcs=23)
+        problems = compare_opcounts(metrics(), fresh, tolerance=0.02)
+        assert problems  # chattier than the committed baseline
+
+    def test_missing_baseline_net_flagged(self):
+        baseline = metrics()
+        del baseline["net"]
+        problems = compare_opcounts(baseline, metrics())
+        assert problems and any("net" in p for p in problems)
 
 
 class TestToleranceResolution:

@@ -319,3 +319,91 @@ class TestDegradedWritesAndReform:
         for i, addr in enumerate(old):
             assert log.read(addr) == bytes([i]) * 20000
         assert log.read(new) == b"fresh"
+
+
+class TestAdaptiveGroupCommit:
+    """Latency-bounded group commit: batches drain by age, not only size.
+
+    The clock is injected so the sim-time tests advance it
+    deterministically; one test uses the real wall clock to prove the
+    bound holds outside the lab.
+    """
+
+    def make_log(self, cluster, latency_ms, clock=None):
+        return LogLayer(cluster.transport, cluster.stripe_group(),
+                        LogConfig(client_id=1, fragment_size=FRAG,
+                                  group_commit_latency_ms=latency_ms),
+                        clock=clock)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(errors.ConfigError):
+            LogConfig(client_id=1, group_commit_latency_ms=-0.5)
+
+    def test_stale_batch_drains_when_next_record_arrives(self, cluster4):
+        now = [100.0]
+        log = self.make_log(cluster4, latency_ms=50.0, clock=lambda: now[0])
+        log.write_record(SVC, RecordType.USER_BASE, b"early")
+        assert log.buffered_records() == 1
+        now[0] += 0.049                  # still inside the bound
+        log.write_record(SVC, RecordType.USER_BASE, b"joins")
+        assert log.buffered_records() == 2
+        assert log.group_commit_timeouts == 0
+        now[0] += 0.002                  # the batch is now 51 ms old
+        log.write_record(SVC, RecordType.USER_BASE, b"late")
+        # The stale pair drained first; the newcomer opened a fresh
+        # window instead of extending the old one indefinitely.
+        assert log.buffered_records() == 1
+        assert log.group_commit_timeouts == 1
+        assert log.records_coalesced == 2
+
+    def test_poll_drains_idle_batch(self, cluster4):
+        now = [0.0]
+        log = self.make_log(cluster4, latency_ms=20.0, clock=lambda: now[0])
+        log.write_record(SVC, RecordType.USER_BASE, b"quiet client")
+        assert log.poll_group_commit() is False   # too young
+        assert log.buffered_records() == 1
+        now[0] += 0.021
+        assert log.poll_group_commit() is True
+        assert log.buffered_records() == 0
+        assert log.group_commit_timeouts == 1
+        assert log.poll_group_commit() is False   # nothing left to drain
+
+    def test_size_threshold_still_drains_without_timeout(self, cluster4):
+        now = [0.0]
+        log = self.make_log(cluster4, latency_ms=1000.0,
+                            clock=lambda: now[0])
+        for _ in range(80):
+            log.write_record(SVC, RecordType.USER_BASE, b"r" * 100)
+        assert log.group_commit_batches >= 1
+        assert log.group_commit_timeouts == 0     # drained by bytes, not age
+
+    def test_disabled_by_default(self, cluster4):
+        now = [0.0]
+        log = self.make_log(cluster4, latency_ms=0.0, clock=lambda: now[0])
+        log.write_record(SVC, RecordType.USER_BASE, b"sits")
+        now[0] += 3600.0
+        assert log.poll_group_commit() is False   # no latency bound set
+        assert log.buffered_records() == 1
+        assert log.group_commit_timeouts == 0
+
+    def test_wall_clock_bound_holds(self, cluster4):
+        import time as _time
+        log = self.make_log(cluster4, latency_ms=10.0)   # real clock
+        log.write_record(SVC, RecordType.USER_BASE, b"tick")
+        deadline = _time.monotonic() + 2.0
+        while not log.poll_group_commit():
+            if _time.monotonic() > deadline:
+                raise AssertionError("latency bound never fired")
+            _time.sleep(0.002)
+        assert log.buffered_records() == 0
+        assert log.group_commit_timeouts == 1
+
+    def test_flush_drains_batch_and_records_survive(self, cluster4):
+        now = [0.0]
+        log = self.make_log(cluster4, latency_ms=100.0,
+                            clock=lambda: now[0])
+        first = log.write_record(SVC, RecordType.USER_BASE, b"alpha")
+        second = log.write_record(SVC, RecordType.USER_BASE, b"beta")
+        log.flush().wait()                        # flush drains, then ships
+        assert log.buffered_records() == 0
+        assert second.lsn > first.lsn

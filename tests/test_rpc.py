@@ -5,7 +5,12 @@ from hypothesis import given, strategies as st
 
 from repro import errors
 from repro.rpc import messages as m
-from repro.rpc.codec import decode_message, encode_message, wire_size
+from repro.rpc.codec import (
+    decode_message,
+    encode_message,
+    encode_message_parts,
+    wire_size,
+)
 from repro.rpc.transport import (
     CompletedFuture,
     LocalTransport,
@@ -51,12 +56,10 @@ class TestCodec:
         assert decode_message(encode_message(message)) == message
 
     def test_wire_size_tracks_encoding_for_bulk_messages(self):
+        # Exact, not approximate: the frame header's length prefix is
+        # written from wire_size BEFORE the message is serialized.
         for message in all_message_examples():
-            encoded = len(encode_message(message))
-            estimated = wire_size(message)
-            # The arithmetic estimate must be within a small constant of
-            # the real encoding (it skips only fixed framing details).
-            assert abs(estimated - encoded) <= 32
+            assert wire_size(message) == len(encode_message(message))
 
     def test_unknown_tag_rejected(self):
         with pytest.raises(ValueError):
@@ -71,6 +74,65 @@ class TestCodec:
     def test_store_round_trip_property(self, data, principal, marked, fid):
         message = m.StoreRequest(fid=fid, data=data, principal=principal,
                                  marked=marked)
+        assert decode_message(encode_message(message)) == message
+
+
+def _any_message():
+    """Strategy over every wire message type with full field ranges."""
+    fid = st.integers(min_value=0, max_value=2**63 - 1)
+    u32 = st.integers(min_value=0, max_value=2**32 - 1)
+    i64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+    text = st.text(max_size=24)          # includes non-ASCII: UTF-8 sizing
+    data = st.binary(max_size=2048)
+    names = st.lists(text, max_size=3).map(tuple)
+    maybe_names = st.one_of(st.none(), names)
+    return st.one_of(
+        st.builds(m.StoreRequest, fid=fid, data=data, principal=text,
+                  marked=st.booleans(),
+                  acl_ranges=st.lists(st.tuples(u32, u32, fid),
+                                      max_size=4).map(tuple)),
+        st.builds(m.RetrieveRequest, fid=fid, offset=i64, length=i64,
+                  principal=text),
+        st.builds(m.MultiRetrieveRequest,
+                  ranges=st.lists(st.tuples(fid, u32, u32),
+                                  max_size=4).map(tuple),
+                  principal=text),
+        st.builds(m.DeleteRequest, fid=fid, principal=text),
+        st.builds(m.PreallocateRequest, fid=fid, principal=text),
+        st.builds(m.LastMarkedRequest, client_id=i64, principal=text),
+        st.builds(m.HoldsRequest, fids=st.lists(fid, max_size=6).map(tuple),
+                  principal=text),
+        st.builds(m.CreateAclRequest, readers=names, writers=names,
+                  principal=text),
+        st.builds(m.ModifyAclRequest, aid=fid, readers=maybe_names,
+                  writers=maybe_names, principal=text),
+        st.builds(m.DeleteAclRequest, aid=fid, principal=text),
+        st.builds(m.EvalScriptRequest, script=text, principal=text),
+        st.builds(m.ListFidsRequest, client_id=i64, principal=text),
+        st.builds(m.Response, value=i64, payload=data, text=text),
+        st.builds(m.ErrorResponse, error_class=text, message=text),
+    )
+
+
+class TestWireSizeProperty:
+    """wire_size must be EXACT for every encodable message.
+
+    The TCP framer stamps the frame header's length prefix from
+    ``wire_size(msg)`` before the payload is serialized; any drift
+    between the arithmetic and the encoder corrupts the stream for
+    every later frame on the connection.
+    """
+
+    @given(_any_message())
+    def test_wire_size_equals_encoding_exactly(self, message):
+        encoded = encode_message(message)
+        parts = encode_message_parts(message)
+        assert wire_size(message) == len(encoded)
+        assert sum(len(part) for part in parts) == len(encoded)
+        assert b"".join(bytes(part) for part in parts) == encoded
+
+    @given(_any_message())
+    def test_every_message_round_trips(self, message):
         assert decode_message(encode_message(message)) == message
 
 
